@@ -1,0 +1,264 @@
+// Package ampsinf's root benchmark harness: one benchmark per table and
+// figure in the paper's evaluation, each regenerating the experiment on
+// the simulated platform and reporting the headline simulated quantities
+// as custom metrics (sim-seconds, sim-dollars). Since the platform is
+// simulated, ns/op measures the framework itself — optimizer, codecs,
+// deployment and pipeline orchestration — not AWS.
+//
+// Run: go test -bench=. -benchmem
+package ampsinf
+
+import (
+	"testing"
+
+	"ampsinf/internal/experiments"
+)
+
+func reportRun(b *testing.B, label string, sec, usd float64) {
+	b.ReportMetric(sec, label+"-sim-s")
+	b.ReportMetric(usd*1e6, label+"-sim-μ$")
+}
+
+func BenchmarkTable1ModelSizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table1()
+		if len(r.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFigure1MemorySweep(b *testing.B) {
+	var last *experiments.Figure1Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(float64(last.CheapestMB), "cheapest-MB")
+}
+
+func BenchmarkTable2MemorySettings(b *testing.B) {
+	var last *experiments.Table2Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, p := range last.Points {
+		if p.MemoryMB == 1024 {
+			reportRun(b, "lam1024", p.Completion.Seconds(), p.Cost)
+		}
+	}
+}
+
+func BenchmarkFigure2SingleLambdaVsSage(b *testing.B) {
+	var last *experiments.Figure2Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, run := range last.Runs {
+		if run.Setting == "Lambda 512MB" {
+			reportRun(b, "lambda", run.Completion.Seconds(), run.Cost)
+		}
+	}
+}
+
+func BenchmarkTable3TenWaySplit(b *testing.B) {
+	var last *experiments.Table3Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, run := range last.Runs {
+		if run.Setting == "Lam. 1024MB ×10" {
+			reportRun(b, "lam1024x10", run.Completion.Seconds(), run.Cost)
+		}
+	}
+}
+
+// benchMain shares one MainComparison run across the Fig 5-8/Table 4
+// benchmarks' metric extraction but re-runs it per iteration.
+func benchMain(b *testing.B) *experiments.MainComparison {
+	var last *experiments.MainComparison
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunMainComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	return last
+}
+
+func BenchmarkFigure5LoadTimes(b *testing.B) {
+	r := benchMain(b)
+	b.ReportMetric(r.Rows[0].AMPSLoad.Seconds(), "resnet50-amps-load-s")
+	b.ReportMetric(r.Rows[0].Sage2Load.Seconds(), "resnet50-sage2-load-s")
+}
+
+func BenchmarkFigure6PredictTimes(b *testing.B) {
+	r := benchMain(b)
+	b.ReportMetric(r.Rows[0].AMPSPredict.Seconds(), "resnet50-amps-predict-s")
+	b.ReportMetric(r.Rows[0].Sage1Predict.Seconds(), "resnet50-sage1-predict-s")
+}
+
+func BenchmarkTable4Sage2Deploy(b *testing.B) {
+	r := benchMain(b)
+	b.ReportMetric(r.Rows[0].Sage2DeployPredict.Seconds(), "resnet50-sage2-deploy+predict-s")
+}
+
+func BenchmarkFigure7Completion(b *testing.B) {
+	r := benchMain(b)
+	for _, row := range r.Rows {
+		reportRun(b, row.Model, row.AMPSCompletion.Seconds(), row.AMPSCost)
+	}
+}
+
+func BenchmarkFigure8Cost(b *testing.B) {
+	r := benchMain(b)
+	row := r.Rows[0]
+	b.ReportMetric((1-row.AMPSCost/row.Sage1Cost)*100, "resnet50-saving-vs-sage1-%")
+	b.ReportMetric((1-row.AMPSCost/row.Sage2Cost)*100, "resnet50-saving-vs-sage2-%")
+}
+
+func benchBaselines(b *testing.B) *experiments.BaselineComparison {
+	var last *experiments.BaselineComparison
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunBaselineComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	return last
+}
+
+func BenchmarkFigure9CompletionVsBaselines(b *testing.B) {
+	r := benchBaselines(b)
+	row := r.Rows[0]
+	b.ReportMetric(row.AMPS.Completion.Seconds(), "resnet50-amps-s")
+	b.ReportMetric(row.B3.Completion.Seconds(), "resnet50-b3-s")
+}
+
+func BenchmarkFigure10CostVsBaselines(b *testing.B) {
+	r := benchBaselines(b)
+	row := r.Rows[0]
+	b.ReportMetric((row.AMPSPlanCost/row.B3PlanCost-1)*100, "resnet50-amps-over-b3-%")
+}
+
+func BenchmarkFigure11Serfer(b *testing.B) {
+	var last *experiments.Figure11Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	reportRun(b, "amps", last.AMPS.Completion.Seconds(), last.AMPS.Cost)
+	reportRun(b, "serfer", last.Serfer.Completion.Seconds(), last.Serfer.Cost)
+}
+
+func BenchmarkFigure12SmallModel(b *testing.B) {
+	var last *experiments.Figure12Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, run := range last.Runs {
+		if run.Setting == "AMPS-Inf" {
+			reportRun(b, "amps", run.Completion.Seconds(), run.Cost)
+		}
+	}
+}
+
+func BenchmarkTable5BatchOf10(b *testing.B) {
+	var last *experiments.Table5Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	reportRun(b, "resnet50-amps", last.Rows[0].AMPS.Completion.Seconds(), last.Rows[0].AMPS.Cost)
+}
+
+func BenchmarkFigure13Batching(b *testing.B) {
+	var last *experiments.Figure13Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	reportRun(b, "batch", last.BATCH.Completion.Seconds(), last.BATCH.Cost)
+	reportRun(b, "amps-seq", last.AMPSSeq.Completion.Seconds(), last.AMPSSeq.Cost)
+	reportRun(b, "amps-par", last.AMPSPar.Completion.Seconds(), last.AMPSPar.Cost)
+}
+
+// Ablation benchmarks — the design-choice studies DESIGN.md calls out.
+
+func BenchmarkAblationScheduling(b *testing.B) {
+	var last *experiments.AblationSchedulingResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationScheduling()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.InitOverlap.Seconds(), "init-overlap-s")
+}
+
+func BenchmarkAblationQuota(b *testing.B) {
+	var last *experiments.AblationQuotaResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationQuota()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Q2021.Cost*1e6, "2021-plan-μ$")
+}
+
+func BenchmarkAblationQuantization(b *testing.B) {
+	var last *experiments.AblationQuantizationResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationQuantization()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Rows[2].LoadTime.Seconds(), "int4-load-s")
+}
+
+func BenchmarkAblationPressure(b *testing.B) {
+	var last *experiments.AblationPressureResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationPressure()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(float64(last.DefaultCheapestMB), "cheapest-MB")
+}

@@ -1,0 +1,207 @@
+// Command ampsinf is the framework's CLI: inspect models, compute
+// partitioning/provisioning plans, and serve inference jobs on the
+// simulated serverless platform.
+//
+// Usage:
+//
+//	ampsinf models
+//	ampsinf summary -model resnet50
+//	ampsinf plan    -model resnet50 [-slo 30s] [-max-lambdas 16]
+//	ampsinf infer   -model mobilenet [-slo 12s] [-images 3] [-sequential] [-real]
+//	ampsinf sweep   -model mobilenet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ampsinf/internal/cloud/pricing"
+	"ampsinf/internal/coordinator"
+	"ampsinf/internal/core"
+	"ampsinf/internal/nn"
+	"ampsinf/internal/nn/zoo"
+	"ampsinf/internal/optimizer"
+	"ampsinf/internal/perf"
+	"ampsinf/internal/tensor"
+	"ampsinf/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "models":
+		for _, n := range zoo.Names() {
+			fmt.Println(n)
+		}
+	case "summary":
+		err = cmdSummary(os.Args[2:])
+	case "plan":
+		err = cmdPlan(os.Args[2:])
+	case "infer":
+		err = cmdInfer(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ampsinf:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ampsinf <models|summary|plan|infer|sweep> [flags]")
+}
+
+func buildModel(name string) (*nn.Model, error) {
+	return zoo.Build(name, 0)
+}
+
+func cmdSummary(args []string) error {
+	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	model := fs.String("model", "mobilenet", "zoo model name")
+	fs.Parse(args)
+	m, err := buildModel(*model)
+	if err != nil {
+		return err
+	}
+	fmt.Print(m.Summary())
+	segs := m.Segments()
+	fmt.Printf("Cut segments: %d (valid split points for serverless partitioning)\n", len(segs))
+	return nil
+}
+
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	model := fs.String("model", "resnet50", "zoo model name")
+	slo := fs.Duration("slo", 0, "response-time SLO (0 = cost-optimal)")
+	maxLambdas := fs.Int("max-lambdas", 16, "partition cap (K)")
+	useBnB := fs.Bool("bnb", false, "use the QCR+branch-and-bound MIQP path")
+	fs.Parse(args)
+
+	m, err := buildModel(*model)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	plan, err := optimizer.Optimize(optimizer.Request{
+		Model: m, Perf: perf.Default(), SLO: *slo,
+		MaxLambdas: *maxLambdas, UseBnB: *useBnB,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model %s: %d layers, %.0f MB weights, %.2f GFLOPs\n",
+		m.Name, m.NumLayers(), float64(m.WeightBytes())/(1<<20), float64(m.TotalFLOPs())/1e9)
+	fmt.Printf("plan computed in %v (paper: \"a few seconds on a laptop\")\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("partitions: %d   est. response %.2fs   est. cost $%.6f   SLO met: %v\n",
+		len(plan.Lambdas), plan.EstTime.Seconds(), plan.EstCost, plan.MeetsSLO)
+	for i, l := range plan.Lambdas {
+		fmt.Printf("  λ%d: layers [%d, %d)  %4d MB  weights %.1f MB  T=%.2fs  $%.6f\n",
+			i, l.LayerLo, l.LayerHi, l.MemoryMB,
+			float64(l.Profile.WeightsBytes)/(1<<20), l.EstTime.Seconds(), l.EstCost)
+	}
+	return nil
+}
+
+func cmdInfer(args []string) error {
+	fs := flag.NewFlagSet("infer", flag.ExitOnError)
+	model := fs.String("model", "mobilenet", "zoo model name")
+	slo := fs.Duration("slo", 0, "response-time SLO")
+	images := fs.Int("images", 1, "number of images")
+	sequential := fs.Bool("sequential", false, "strictly sequential invocations")
+	real := fs.Bool("real", false, "run real forward passes (slow for big models)")
+	timeline := fs.Bool("timeline", false, "render an ASCII timeline of the job")
+	fs.Parse(args)
+
+	m, err := buildModel(*model)
+	if err != nil {
+		return err
+	}
+	w := nn.InitWeights(m, 1)
+	fw := core.NewFramework(core.Options{})
+	svc, err := fw.Submit(m, w, core.SubmitOptions{SLO: *slo, SkipCompute: !*real})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	fmt.Printf("deployed %d partition(s), memories %v, planning took %v\n",
+		svc.Partitions(), svc.Plan.Memories(), svc.PlanningTime.Round(time.Millisecond))
+
+	imgs := workload.Images(m, *images, 7)
+	if *images == 1 {
+		var rep *coordinator.Report
+		if *sequential {
+			rep, err = svc.InferSequential(imgs[0])
+		} else {
+			rep, err = svc.Infer(imgs[0])
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("served 1 image: completion %.2fs, cost $%.6f", rep.Completion.Seconds(), rep.Cost)
+		if *real {
+			fmt.Printf(", predicted class %d", tensor.ArgMax(rep.Output))
+		}
+		fmt.Println()
+		if *timeline {
+			fmt.Print(coordinator.Timeline(rep, 64))
+		}
+	} else {
+		r, err := svc.InferBatchParallel(imgs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("served %d images in parallel: completion %.2fs, total cost $%.6f\n",
+			*images, r.Completion.Seconds(), r.Cost)
+	}
+	fmt.Println("billing breakdown:")
+	bd := fw.Meter().Breakdown()
+	keys := make([]string, 0, len(bd))
+	for k := range bd {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-20s $%.6f\n", k, bd[k])
+	}
+	return nil
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	model := fs.String("model", "mobilenet", "zoo model name (must fit one lambda)")
+	fs.Parse(args)
+	m, err := buildModel(*model)
+	if err != nil {
+		return err
+	}
+	o, err := optimizer.New(optimizer.Request{Model: m, Perf: perf.Default()})
+	if err != nil {
+		return err
+	}
+	S := len(o.Segments())
+	fmt.Println("memMB  time(s)  cost($)")
+	for _, mem := range pricing.MemoryBlocks() {
+		t, c, err := o.SpanEstimate(0, S, mem)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("%5d  %7.2f  %.6f\n", mem, t.Seconds(), c)
+	}
+	if !o.SpanFeasible(0, S) {
+		fmt.Println(strings.Repeat("-", 24))
+		fmt.Printf("%s does not fit a single lambda; use `ampsinf plan` for a partitioning\n", m.Name)
+	}
+	return nil
+}

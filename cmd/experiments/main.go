@@ -1,0 +1,210 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation on the simulated platform and prints them to stdout.
+//
+// Usage:
+//
+//	experiments [-only <id>]
+//
+// where <id> is e.g. "table1", "figure9". Without -only, everything runs
+// in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ampsinf/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (e.g. table1, figure9)")
+	flag.Parse()
+
+	type job struct {
+		id  string
+		run func() (*experiments.Table, error)
+	}
+
+	var mainCmp *experiments.MainComparison
+	getMain := func() (*experiments.MainComparison, error) {
+		if mainCmp != nil {
+			return mainCmp, nil
+		}
+		var err error
+		mainCmp, err = experiments.RunMainComparison()
+		return mainCmp, err
+	}
+	var baseCmp *experiments.BaselineComparison
+	getBase := func() (*experiments.BaselineComparison, error) {
+		if baseCmp != nil {
+			return baseCmp, nil
+		}
+		var err error
+		baseCmp, err = experiments.RunBaselineComparison()
+		return baseCmp, err
+	}
+
+	jobs := []job{
+		{"table1", func() (*experiments.Table, error) { return experiments.Table1().Table(), nil }},
+		{"figure1", func() (*experiments.Table, error) {
+			r, err := experiments.Figure1()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"table2", func() (*experiments.Table, error) {
+			r, err := experiments.Table2()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"figure2", func() (*experiments.Table, error) {
+			r, err := experiments.Figure2()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"table3", func() (*experiments.Table, error) {
+			r, err := experiments.Table3()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"figure5", func() (*experiments.Table, error) {
+			r, err := getMain()
+			if err != nil {
+				return nil, err
+			}
+			return r.Figure5(), nil
+		}},
+		{"figure6", func() (*experiments.Table, error) {
+			r, err := getMain()
+			if err != nil {
+				return nil, err
+			}
+			return r.Figure6(), nil
+		}},
+		{"table4", func() (*experiments.Table, error) {
+			r, err := getMain()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table4(), nil
+		}},
+		{"figure7", func() (*experiments.Table, error) {
+			r, err := getMain()
+			if err != nil {
+				return nil, err
+			}
+			return r.Figure7(), nil
+		}},
+		{"figure8", func() (*experiments.Table, error) {
+			r, err := getMain()
+			if err != nil {
+				return nil, err
+			}
+			return r.Figure8(), nil
+		}},
+		{"figure9", func() (*experiments.Table, error) {
+			r, err := getBase()
+			if err != nil {
+				return nil, err
+			}
+			return r.Figure9(), nil
+		}},
+		{"figure10", func() (*experiments.Table, error) {
+			r, err := getBase()
+			if err != nil {
+				return nil, err
+			}
+			return r.Figure10(), nil
+		}},
+		{"figure11", func() (*experiments.Table, error) {
+			r, err := experiments.Figure11()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"figure12", func() (*experiments.Table, error) {
+			r, err := experiments.Figure12()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"table5", func() (*experiments.Table, error) {
+			r, err := experiments.Table5()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"figure13", func() (*experiments.Table, error) {
+			r, err := experiments.Figure13()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"ablation-scheduling", func() (*experiments.Table, error) {
+			r, err := experiments.AblationScheduling()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"ablation-quota", func() (*experiments.Table, error) {
+			r, err := experiments.AblationQuota()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"ablation-quantization", func() (*experiments.Table, error) {
+			r, err := experiments.AblationQuantization()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"ablation-pressure", func() (*experiments.Table, error) {
+			r, err := experiments.AblationPressure()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"ablation-storage", func() (*experiments.Table, error) {
+			r, err := experiments.AblationStorage()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+	}
+
+	ran := 0
+	for _, j := range jobs {
+		if *only != "" && !strings.EqualFold(*only, j.id) {
+			continue
+		}
+		t, err := j.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", j.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Render())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
+		os.Exit(2)
+	}
+}

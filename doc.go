@@ -1,0 +1,13 @@
+// Package ampsinf reproduces "AMPS-Inf: Automatic Model Partitioning for
+// Serverless Inference with Cost Efficiency" (ICPP 2021) as a
+// self-contained Go system: a neural-network IR and model zoo, simulated
+// AWS Lambda/S3/Step Functions/SageMaker substrates calibrated to the
+// paper's 2020 measurements, the MIQP-based partitioning/provisioning
+// optimizer, the deployment coordinator, every baseline the paper
+// compares against, and a harness that regenerates each table and figure
+// of the evaluation.
+//
+// Start with internal/core for the user-facing framework API, DESIGN.md
+// for the system inventory, and EXPERIMENTS.md for paper-vs-measured
+// results.
+package ampsinf

@@ -1,0 +1,87 @@
+// Batch serving: the paper's Sec. 5.4 scenario. Serve many images through
+// an AMPS-Inf deployment in the three supported modes — one batched
+// pipeline pass, sequential per-image jobs on warm containers, and
+// parallel per-image pipelines — and compare with the BATCH baseline
+// (single lambda, buffered batches, no model splitting).
+//
+//	go run ./examples/batchserving
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ampsinf/internal/baselines"
+	"ampsinf/internal/cloud/billing"
+	"ampsinf/internal/cloud/lambda"
+	"ampsinf/internal/cloud/s3"
+	"ampsinf/internal/coordinator"
+	"ampsinf/internal/core"
+	"ampsinf/internal/nn"
+	"ampsinf/internal/nn/zoo"
+	"ampsinf/internal/optimizer"
+	"ampsinf/internal/perf"
+	"ampsinf/internal/workload"
+)
+
+func main() {
+	const nImages = 20
+	model, err := zoo.Build("mobilenet", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	weights := nn.InitWeights(model, 42)
+	images := workload.Images(model, nImages, 3)
+
+	// AMPS-Inf deployment with a tight SLO (larger memory, faster serving).
+	fw := core.NewFramework(core.Options{})
+	svc, err := fw.Submit(model, weights, core.SubmitOptions{
+		SLO: 8 * time.Second, SkipCompute: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+	fmt.Printf("AMPS-Inf: %d partition(s), memories %v MB\n\n", svc.Partitions(), svc.Plan.Memories())
+
+	batched, err := svc.InferBatched(images)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s completion %7.2fs   cost $%.6f\n", "one batched pass:", batched.Completion.Seconds(), batched.Cost)
+
+	seq, err := svc.InferBatchSequential(images)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s completion %7.2fs   cost $%.6f\n", "sequential jobs:", seq.Completion.Seconds(), seq.Cost)
+
+	par, err := svc.InferBatchParallel(images)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s completion %7.2fs   cost $%.6f\n\n", "parallel pipelines:", par.Completion.Seconds(), par.Cost)
+
+	// The BATCH baseline: one 2048 MB lambda, batches of 5, no splitting.
+	meter := &billing.Meter{}
+	platform := lambda.New(meter, perf.Default())
+	store := s3.New(s3.DefaultConfig(), meter)
+	o, err := optimizer.New(optimizer.Request{Model: model, Perf: perf.Default()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := baselines.NewBATCH(coordinator.Config{
+		Platform: platform, Store: store, SkipCompute: true,
+	}, o, weights, 2048, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	rep, err := sys.Serve(images)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-22s completion %7.2fs   cost $%.6f   (%d buffered batches)\n",
+		"BATCH baseline:", rep.Completion.Seconds(), rep.Cost, rep.Batches)
+}

@@ -1,0 +1,3 @@
+module ampsinf
+
+go 1.22

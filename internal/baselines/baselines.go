@@ -1,0 +1,140 @@
+// Package baselines implements every system the paper compares AMPS-Inf
+// against (Sec. 5.1, 5.3–5.4):
+//
+//   - Baseline 1 — a random valid partitioning with a random common
+//     memory allocation for all lambdas.
+//   - Baseline 2 — greedy packing from the last layer backwards until
+//     each partition is about to hit the platform limit, with the maximum
+//     memory (3008 MB in 2020) for every lambda.
+//   - Baseline 3 — the cost-optimal configuration by exhaustive search
+//     (no SLO), which the optimizer's λ=0 dynamic program computes
+//     exactly.
+//   - Serfer — the state-of-the-art serverless inference pipeline driven
+//     by AWS Step Functions, using the same partitioning and memory
+//     configuration as AMPS-Inf but paying per-state transition latency
+//     and fees.
+//   - BATCH — single-lambda inference serving with request batching (no
+//     model splitting), invoking one lambda per batch sequentially.
+//
+// SageMaker's Sage 1/Sage 2 settings live in internal/cloud/sagemaker.
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ampsinf/internal/cloud/pricing"
+	"ampsinf/internal/optimizer"
+)
+
+// RandomPlan implements Baseline 1: pick a way of partitioning uniformly
+// at random among feasible cuts, and one random feasible memory block
+// shared by all lambdas. The generator retries until the configuration is
+// feasible end to end.
+func RandomPlan(o *optimizer.Optimizer, rng *rand.Rand) (*optimizer.Plan, error) {
+	S := len(o.Segments())
+	for attempt := 0; attempt < 2000; attempt++ {
+		// Random boundary subset.
+		bounds := []int{0}
+		for b := 1; b < S; b++ {
+			if rng.Intn(3) == 0 {
+				bounds = append(bounds, b)
+			}
+		}
+		bounds = append(bounds, S)
+		// Feasibility of every span.
+		ok := true
+		for i := 0; i+1 < len(bounds); i++ {
+			if !o.SpanFeasible(bounds[i], bounds[i+1]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Random memory shared by all partitions; it must be feasible for
+		// every span, so draw from the intersection.
+		common := o.FeasibleMemories(bounds[0], bounds[1])
+		for i := 1; i+1 < len(bounds); i++ {
+			common = intersect(common, o.FeasibleMemories(bounds[i], bounds[i+1]))
+		}
+		if len(common) == 0 {
+			continue
+		}
+		mem := common[rng.Intn(len(common))]
+		mems := make([]int, len(bounds)-1)
+		for i := range mems {
+			mems[i] = mem
+		}
+		plan, err := o.PlanForConfig(bounds, mems)
+		if err != nil {
+			continue
+		}
+		return plan, nil
+	}
+	return nil, fmt.Errorf("baselines: no feasible random configuration found")
+}
+
+func intersect(a, b []int) []int {
+	set := make(map[int]bool, len(b))
+	for _, v := range b {
+		set[v] = true
+	}
+	var out []int
+	for _, v := range a {
+		if set[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// GreedyLastLayerPlan implements Baseline 2: starting from the last
+// layer, include layers one by one into a partition until the platform
+// limit is about to be hit, then start the next partition; allocate the
+// maximum memory (3008 MB) to every lambda.
+func GreedyLastLayerPlan(o *optimizer.Optimizer) (*optimizer.Plan, error) {
+	S := len(o.Segments())
+	maxMem := pricing.LambdaMaxMemoryMB
+	var rev []int // partition boundaries collected right-to-left
+	hi := S
+	for hi > 0 {
+		lo := hi - 1
+		// Extend the partition backwards while it stays feasible.
+		for lo > 0 && o.SpanFeasible(lo-1, hi) && memFeasible(o, lo-1, hi, maxMem) {
+			lo--
+		}
+		if !o.SpanFeasible(lo, hi) || !memFeasible(o, lo, hi, maxMem) {
+			return nil, fmt.Errorf("baselines: segments [%d, %d) cannot fit any partition", lo, hi)
+		}
+		rev = append(rev, hi)
+		hi = lo
+	}
+	bounds := []int{0}
+	for i := len(rev) - 1; i >= 0; i-- {
+		bounds = append(bounds, rev[i])
+	}
+	mems := make([]int, len(bounds)-1)
+	for i := range mems {
+		mems[i] = maxMem
+	}
+	return o.PlanForConfig(bounds, mems)
+}
+
+func memFeasible(o *optimizer.Optimizer, a, b, mem int) bool {
+	for _, m := range o.FeasibleMemories(a, b) {
+		if m == mem {
+			return true
+		}
+	}
+	return false
+}
+
+// OptimalPlan implements Baseline 3: the cost-optimal configuration by
+// exhaustive search over cuts and blocks, with no SLO. The optimizer's
+// λ=0 dynamic program is exact for this objective (a property test in
+// internal/optimizer asserts it against literal enumeration).
+func OptimalPlan(o *optimizer.Optimizer) (*optimizer.Plan, error) {
+	return o.OptimizeCostOnly()
+}

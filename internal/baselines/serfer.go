@@ -1,0 +1,68 @@
+package baselines
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"ampsinf/internal/cloud/stage"
+	"ampsinf/internal/cloud/stepfn"
+	"ampsinf/internal/coordinator"
+	"ampsinf/internal/modelfmt"
+	"ampsinf/internal/tensor"
+)
+
+// SerferReport describes one Serfer-style inference run.
+type SerferReport struct {
+	Completion  time.Duration
+	Cost        float64
+	Output      *tensor.Tensor
+	Transitions int
+	// TransitionTime is the latency spent in Step Functions state
+	// transitions alone (the overhead AMPS-Inf avoids).
+	TransitionTime time.Duration
+}
+
+var serferJobSeq atomic.Int64
+
+// RunSerfer serves one input the way Serfer does (paper Sec. 5.3): the
+// same partitioning and memory configuration as the AMPS-Inf deployment,
+// but orchestrated by an AWS Step Functions state machine with one task
+// state per partition. Each state transition pays the measured latency
+// and the per-transition fee — the paper's Fig 11 difference.
+func RunSerfer(eng *stepfn.Engine, d *coordinator.Deployment, store stage.Store, input *tensor.Tensor) (*SerferReport, error) {
+	meter := eng.Meter()
+	before := meter.Total()
+
+	job := fmt.Sprintf("serfer/jobs/%d", serferJobSeq.Add(1))
+	inKey := job + "/input"
+	upDur, err := store.Put(inKey, modelfmt.EncodeTensor(input))
+	if err != nil {
+		return nil, fmt.Errorf("baselines: serfer input upload: %w", err)
+	}
+	defer store.Delete(inKey)
+
+	names := d.FunctionNames()
+	states := make([]stepfn.State, len(names))
+	for i, n := range names {
+		states[i] = stepfn.State{Name: fmt.Sprintf("partition-%d", i), FunctionName: n}
+	}
+	exec, err := eng.Run(stepfn.Machine{Name: "serfer-" + job, States: states}, []byte(inKey))
+	if err != nil {
+		return nil, fmt.Errorf("baselines: serfer execution: %w", err)
+	}
+	for i := range names {
+		store.Delete(fmt.Sprintf("%s/out%d", job, i))
+	}
+	out, err := modelfmt.DecodeTensor(exec.Output)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: serfer output: %w", err)
+	}
+	return &SerferReport{
+		Completion:     upDur + exec.Duration,
+		Cost:           meter.Total() - before,
+		Output:         out,
+		Transitions:    exec.Transitions,
+		TransitionTime: exec.TransitionTime,
+	}, nil
+}

@@ -1,0 +1,84 @@
+// Package billing provides the concurrency-safe cost meter every cloud
+// simulator charges into, with per-category breakdowns so experiments can
+// report where each dollar went (execution, requests, storage, instances).
+package billing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Meter accumulates dollar amounts by category. The zero value is ready
+// to use. All methods are safe for concurrent use.
+type Meter struct {
+	mu         sync.Mutex
+	byCategory map[string]float64
+}
+
+// Add charges amount dollars to the category. Negative amounts panic:
+// simulated clouds never issue refunds, so a negative charge is a bug.
+func (m *Meter) Add(category string, amount float64) {
+	if amount < 0 {
+		panic(fmt.Sprintf("billing: negative charge %f to %q", amount, category))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.byCategory == nil {
+		m.byCategory = make(map[string]float64)
+	}
+	m.byCategory[category] += amount
+}
+
+// Total returns the sum across all categories.
+func (m *Meter) Total() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var t float64
+	for _, v := range m.byCategory {
+		t += v
+	}
+	return t
+}
+
+// Category returns the amount charged to one category.
+func (m *Meter) Category(category string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.byCategory[category]
+}
+
+// Breakdown returns a copy of all category totals.
+func (m *Meter) Breakdown() map[string]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]float64, len(m.byCategory))
+	for k, v := range m.byCategory {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset clears all charges.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.byCategory = nil
+}
+
+// String renders the breakdown sorted by category name.
+func (m *Meter) String() string {
+	bd := m.Breakdown()
+	keys := make([]string, 0, len(bd))
+	for k := range bd {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s: $%.6f\n", k, bd[k])
+	}
+	fmt.Fprintf(&b, "total: $%.6f", m.Total())
+	return b.String()
+}

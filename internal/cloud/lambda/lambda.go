@@ -1,0 +1,276 @@
+// Package lambda simulates the 2020 AWS Lambda platform the paper
+// deploys on: function creation with deployment-package and function-
+// layer size validation, memory blocks from 128 MB to 3008 MB in 64 MB
+// steps, CPU share proportional to memory, a 512 MB /tmp quota, a 900 s
+// execution timeout, cold/warm container state, and GB-second billing.
+//
+// Handlers execute real Go code (the coordinator runs actual forward
+// passes) while simulated time advances through the invocation Context;
+// wall-clock time is decoupled from billed time.
+package lambda
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ampsinf/internal/cloud/billing"
+	"ampsinf/internal/cloud/pricing"
+	"ampsinf/internal/perf"
+)
+
+// Handler is the function entry point. It receives the invocation
+// context (which meters simulated time and /tmp usage) and the payload,
+// and returns the response payload.
+type Handler func(ctx *Context, payload []byte) ([]byte, error)
+
+// LayerRef is a function layer attached to a function (the paper pulls
+// the 169 MB dependency bundle and model files in through layers).
+type LayerRef struct {
+	Name      string
+	SizeBytes int64
+}
+
+// FunctionConfig describes a function to create.
+type FunctionConfig struct {
+	Name string
+	// MemoryMB must be a valid block under the platform's quota
+	// (128 + k·64 ≤ 3008 on the paper's 2020 platform).
+	MemoryMB int
+	// PackageBytes is the unzipped deployment-package size (code +
+	// weights bundled directly).
+	PackageBytes int64
+	// Layers are attached function layers (≤ 5; sizes count toward the
+	// 250 MB unzipped limit).
+	Layers  []LayerRef
+	Handler Handler
+	// Timeout defaults to the platform maximum.
+	Timeout time.Duration
+}
+
+// Function is a deployed function with warm-container state.
+type Function struct {
+	cfg  FunctionConfig
+	warm bool
+}
+
+// Platform is a simulated Lambda region.
+type Platform struct {
+	meter *billing.Meter
+	perf  perf.Params
+	quota pricing.Quota
+
+	mu  sync.RWMutex
+	fns map[string]*Function
+}
+
+// New creates a platform charging into meter with the given performance
+// model, under the paper's 2020 quotas.
+func New(meter *billing.Meter, p perf.Params) *Platform {
+	return NewWithQuota(meter, p, pricing.Quota2020())
+}
+
+// NewWithQuota creates a platform under explicit quotas (e.g.
+// pricing.Quota2021 for the December 2020 update the paper names as
+// future work).
+func NewWithQuota(meter *billing.Meter, p perf.Params, q pricing.Quota) *Platform {
+	return &Platform{meter: meter, perf: p, quota: q, fns: make(map[string]*Function)}
+}
+
+// Quota returns the platform's limits.
+func (pl *Platform) Quota() pricing.Quota { return pl.quota }
+
+// Perf returns the platform's performance model.
+func (pl *Platform) Perf() perf.Params { return pl.perf }
+
+// Meter returns the platform's billing meter.
+func (pl *Platform) Meter() *billing.Meter { return pl.meter }
+
+// ResetWarm discards the named function's warm container, so its next
+// invocation cold-starts (used to simulate concurrent invocations, which
+// each land on a fresh container).
+func (pl *Platform) ResetWarm(name string) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if fn, ok := pl.fns[name]; ok {
+		fn.warm = false
+	}
+}
+
+// ValidMemory reports whether memMB is an allocatable 2020 memory block.
+func ValidMemory(memMB int) bool {
+	return pricing.Quota2020().ValidMemory(memMB)
+}
+
+// CreateFunction validates cfg against the platform quotas and registers
+// the function. It fails if a function with the same name exists.
+func (pl *Platform) CreateFunction(cfg FunctionConfig) error {
+	if cfg.Name == "" {
+		return fmt.Errorf("lambda: function needs a name")
+	}
+	if !pl.quota.ValidMemory(cfg.MemoryMB) {
+		return fmt.Errorf("lambda: invalid memory %d MB (blocks are %d..%d step %d)",
+			cfg.MemoryMB, pl.quota.MinMemoryMB, pl.quota.MaxMemoryMB, pl.quota.MemoryStepMB)
+	}
+	if len(cfg.Layers) > pl.quota.MaxLayers {
+		return fmt.Errorf("lambda: %d layers exceeds the %d-layer limit", len(cfg.Layers), pl.quota.MaxLayers)
+	}
+	total := cfg.PackageBytes
+	for _, l := range cfg.Layers {
+		total += l.SizeBytes
+	}
+	if limit := int64(pl.quota.DeployLimitMB) << 20; total > limit {
+		return fmt.Errorf("lambda: unzipped deployment %d MB exceeds the %d MB limit",
+			total>>20, pl.quota.DeployLimitMB)
+	}
+	if cfg.Handler == nil {
+		return fmt.Errorf("lambda: function %q has no handler", cfg.Name)
+	}
+	if cfg.Timeout <= 0 || cfg.Timeout > pl.quota.Timeout {
+		cfg.Timeout = pl.quota.Timeout
+	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if _, dup := pl.fns[cfg.Name]; dup {
+		return fmt.Errorf("lambda: function %q already exists", cfg.Name)
+	}
+	pl.fns[cfg.Name] = &Function{cfg: cfg}
+	return nil
+}
+
+// DeleteFunction removes a function; deleting a missing one is a no-op.
+func (pl *Platform) DeleteFunction(name string) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	delete(pl.fns, name)
+}
+
+// Functions returns the deployed function names.
+func (pl *Platform) Functions() []string {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	names := make([]string, 0, len(pl.fns))
+	for n := range pl.fns {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Result reports one invocation.
+type Result struct {
+	Response []byte
+	// Duration is the simulated handler run time (cold start included).
+	Duration time.Duration
+	// BilledDuration is Duration rounded up to the billing granularity
+	// plus any deferred wait settled later.
+	BilledDuration time.Duration
+	// Cost is what this invocation charged (0 execution if deferred).
+	Cost      float64
+	ColdStart bool
+	TmpPeak   int64
+	Phases    []Phase
+	MemoryMB  int
+}
+
+// Phase is one named span of simulated time inside an invocation, used
+// by the coordinator to reconstruct overlapped schedules.
+type Phase struct {
+	Name     string
+	Duration time.Duration
+}
+
+// InvokeOptions tunes an invocation.
+type InvokeOptions struct {
+	// DeferBilling suppresses the execution charge (the invocation fee is
+	// always charged); the orchestrator settles execution later via
+	// SettleExecution once it knows the function's true lifetime under
+	// its scheduling mode.
+	DeferBilling bool
+}
+
+// Invoke runs the named function on payload. A cold container pays the
+// platform start latency; the handler then advances simulated time via
+// the Context. Exceeding the function timeout aborts the invocation
+// (billing the timeout), and /tmp overflow aborts with an error.
+func (pl *Platform) Invoke(name string, payload []byte, opts InvokeOptions) (*Result, error) {
+	pl.mu.Lock()
+	fn, ok := pl.fns[name]
+	if !ok {
+		pl.mu.Unlock()
+		return nil, fmt.Errorf("lambda: no such function %q", name)
+	}
+	cold := !fn.warm
+	fn.warm = true
+	cfg := fn.cfg
+	pl.mu.Unlock()
+
+	ctx := &Context{
+		platform: pl,
+		memoryMB: cfg.MemoryMB,
+		timeout:  cfg.Timeout,
+		cold:     cold,
+	}
+	if cold {
+		ctx.advance("coldstart", pl.perf.ColdStartBase)
+	}
+	ctx.advance("overhead", pl.perf.InvokeOverhead)
+
+	resp, herr := runHandler(cfg.Handler, ctx, payload)
+
+	// Invocation fee is charged regardless of outcome.
+	pl.meter.Add("lambda:invocations", pricing.LambdaInvocation)
+
+	res := &Result{
+		Response:  resp,
+		Duration:  ctx.elapsed,
+		ColdStart: cold,
+		TmpPeak:   ctx.tmpPeak,
+		Phases:    ctx.phases,
+		MemoryMB:  cfg.MemoryMB,
+	}
+	if ctx.timedOut {
+		res.Duration = cfg.Timeout
+		herr = fmt.Errorf("lambda: function %q timed out after %v", name, cfg.Timeout)
+	}
+	res.BilledDuration = roundUp(res.Duration, pl.quota.BillingGranularity)
+	if !opts.DeferBilling {
+		c := pl.quota.ExecutionCost(cfg.MemoryMB, res.Duration)
+		pl.meter.Add("lambda:execution", c)
+		res.Cost = c + pricing.LambdaInvocation
+	} else {
+		res.Cost = pricing.LambdaInvocation
+	}
+	if herr != nil {
+		return res, herr
+	}
+	return res, nil
+}
+
+// SettleExecution charges the execution cost for a deferred invocation
+// whose true billed lifetime (including S3-polling waits under eager
+// scheduling) the orchestrator has computed.
+func (pl *Platform) SettleExecution(memMB int, billed time.Duration) float64 {
+	c := pl.quota.ExecutionCost(memMB, billed)
+	pl.meter.Add("lambda:execution", c)
+	return c
+}
+
+func runHandler(h Handler, ctx *Context, payload []byte) (resp []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r == errTimeoutSentinel {
+				err = nil // reported via ctx.timedOut
+				return
+			}
+			err = fmt.Errorf("lambda: handler panicked: %v", r)
+		}
+	}()
+	return h(ctx, payload)
+}
+
+func roundUp(d, g time.Duration) time.Duration {
+	if d <= 0 {
+		return g
+	}
+	return (d + g - 1) / g * g
+}

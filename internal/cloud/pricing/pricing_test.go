@@ -1,0 +1,73 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestMemoryBlocks(t *testing.T) {
+	blocks := MemoryBlocks()
+	if blocks[0] != 128 || blocks[len(blocks)-1] != 3008 {
+		t.Fatalf("blocks span %d..%d", blocks[0], blocks[len(blocks)-1])
+	}
+	// (3008-128)/64 + 1 = 46 blocks.
+	if len(blocks) != 46 {
+		t.Fatalf("%d blocks, want 46", len(blocks))
+	}
+	for i := 1; i < len(blocks); i++ {
+		if blocks[i]-blocks[i-1] != 64 {
+			t.Fatalf("non-uniform step at %d", i)
+		}
+	}
+}
+
+// The paper's own numbers: MobileNet at 512 MB for 22.03 s costs $0.00018.
+func TestLambdaCostMatchesPaperExamples(t *testing.T) {
+	cases := []struct {
+		memMB int
+		sec   float64
+		want  float64
+	}{
+		{512, 22.03, 0.00018},
+		{1024, 10.65, 0.00017},
+		{1536, 7.52, 0.00019},
+		{2048, 6.38, 0.00021},
+		{3008, 6.32, 0.00031},
+	}
+	for _, c := range cases {
+		d := time.Duration(c.sec * float64(time.Second))
+		got := LambdaExecutionCost(c.memMB, d)
+		if math.Abs(got-c.want) > 0.00001 {
+			t.Errorf("cost(%dMB, %.2fs) = %.6f, paper %.5f", c.memMB, c.sec, got, c.want)
+		}
+	}
+}
+
+func TestLambdaCostRoundsUpTo100ms(t *testing.T) {
+	a := LambdaExecutionCost(1024, 101*time.Millisecond)
+	b := LambdaExecutionCost(1024, 200*time.Millisecond)
+	if a != b {
+		t.Fatalf("billing granularity not applied: %v vs %v", a, b)
+	}
+	if LambdaExecutionCost(1024, 0) < 0 {
+		t.Fatal("negative cost")
+	}
+}
+
+func TestInstanceHourlyCost(t *testing.T) {
+	got := InstanceHourlyCost(SageHostingM4XLargeHourly, 30*time.Minute)
+	if math.Abs(got-0.14) > 1e-9 {
+		t.Fatalf("half hour of m4.xlarge = %v, want 0.14", got)
+	}
+	if InstanceHourlyCost(1, -time.Hour) != 0 {
+		t.Fatal("negative duration not clamped")
+	}
+}
+
+func TestStoragePerGBSecondDerivation(t *testing.T) {
+	want := S3StorageGBMonth / (30 * 24 * 3600)
+	if S3StoragePerGBSecond != want {
+		t.Fatalf("storage rate %v", S3StoragePerGBSecond)
+	}
+}

@@ -1,0 +1,152 @@
+// Package s3 simulates the object store the paper uses as intermediate
+// storage between partition lambdas. It stores objects in memory, meters
+// request and storage charges through a billing.Meter, and reports the
+// simulated transfer time of each operation from a bandwidth/latency
+// model (the paper's B).
+package s3
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ampsinf/internal/cloud/billing"
+	"ampsinf/internal/cloud/pricing"
+)
+
+// Config sets the transfer model. Zero fields take defaults.
+type Config struct {
+	// BandwidthMBps is the lambda↔S3 throughput (B in the paper).
+	BandwidthMBps float64
+	// RequestLatency is the fixed per-request round-trip latency.
+	RequestLatency time.Duration
+}
+
+// DefaultConfig mirrors commonly measured Lambda↔S3 characteristics.
+func DefaultConfig() Config {
+	return Config{BandwidthMBps: 60, RequestLatency: 25 * time.Millisecond}
+}
+
+func (c *Config) fillDefaults() {
+	d := DefaultConfig()
+	if c.BandwidthMBps <= 0 {
+		c.BandwidthMBps = d.BandwidthMBps
+	}
+	if c.RequestLatency <= 0 {
+		c.RequestLatency = d.RequestLatency
+	}
+}
+
+// Store is a simulated S3 bucket namespace.
+type Store struct {
+	cfg   Config
+	meter *billing.Meter
+
+	mu      sync.RWMutex
+	objects map[string][]byte
+	failing bool
+
+	puts, gets int64
+}
+
+// New creates a store charging into meter.
+func New(cfg Config, meter *billing.Meter) *Store {
+	cfg.fillDefaults()
+	return &Store{cfg: cfg, meter: meter, objects: make(map[string][]byte)}
+}
+
+// TransferTime returns the simulated time to move n bytes in either
+// direction, including request latency.
+func (s *Store) TransferTime(n int64) time.Duration {
+	if n < 0 {
+		n = 0
+	}
+	sec := float64(n) / (s.cfg.BandwidthMBps * 1024 * 1024)
+	return s.cfg.RequestLatency + time.Duration(sec*float64(time.Second))
+}
+
+// SetFailing toggles fault injection: all subsequent operations error
+// until cleared. Used by outage tests.
+func (s *Store) SetFailing(v bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.failing = v
+}
+
+// Put stores data under key, charging one PUT request, and returns the
+// simulated transfer time. The data is copied.
+func (s *Store) Put(key string, data []byte) (time.Duration, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failing {
+		return 0, fmt.Errorf("s3: injected outage on PUT %q", key)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.objects[key] = cp
+	s.puts++
+	s.meter.Add("s3:put", pricing.S3PutRequest)
+	return s.TransferTime(int64(len(data))), nil
+}
+
+// Get retrieves the object at key, charging one GET request, and returns
+// the data (a copy) and the simulated transfer time.
+func (s *Store) Get(key string) ([]byte, time.Duration, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.failing {
+		return nil, 0, fmt.Errorf("s3: injected outage on GET %q", key)
+	}
+	data, ok := s.objects[key]
+	if !ok {
+		return nil, 0, fmt.Errorf("s3: no such key %q", key)
+	}
+	s.gets++
+	s.meter.Add("s3:get", pricing.S3GetRequest)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, s.TransferTime(int64(len(data))), nil
+}
+
+// Head reports whether key exists and its size, without charging.
+func (s *Store) Head(key string) (int64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.objects[key]
+	return int64(len(data)), ok
+}
+
+// Delete removes key. Deleting a missing key is a no-op (S3 semantics).
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.objects, key)
+}
+
+// ChargeStorage meters the storage cost of holding bytes for d — the
+// q·T·H term of the paper's Eq. (3).
+func (s *Store) ChargeStorage(bytes int64, d time.Duration) {
+	if bytes <= 0 || d <= 0 {
+		return
+	}
+	gb := float64(bytes) / (1 << 30)
+	s.meter.Add("s3:storage", gb*d.Seconds()*pricing.S3StoragePerGBSecond)
+}
+
+// Stats returns the request counters.
+func (s *Store) Stats() (puts, gets int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.puts, s.gets
+}
+
+// TotalBytes returns the summed size of all stored objects.
+func (s *Store) TotalBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for _, d := range s.objects {
+		n += int64(len(d))
+	}
+	return n
+}

@@ -1,0 +1,24 @@
+// Package stage defines the intermediate-storage interface partition
+// lambdas stage activations through. The paper uses S3 and notes that
+// "AMPS-Inf can be extended to use any intermediate storage such as Redis
+// and Pocket ... to further increase its performance"; internal/cloud/s3
+// and internal/cloud/redis implement this interface.
+package stage
+
+import "time"
+
+// Store is an object store with a simulated transfer-time model and a
+// storage-cost meter.
+type Store interface {
+	// Put stores data under key and returns the simulated transfer time.
+	Put(key string, data []byte) (time.Duration, error)
+	// Get retrieves the object and the simulated transfer time.
+	Get(key string) ([]byte, time.Duration, error)
+	// Head reports an object's size without charging a request.
+	Head(key string) (int64, bool)
+	// Delete removes a key (idempotent).
+	Delete(key string)
+	// ChargeStorage meters the cost of holding bytes for d (the q·T·H
+	// term for S3; instance time for cache-based stores).
+	ChargeStorage(bytes int64, d time.Duration)
+}

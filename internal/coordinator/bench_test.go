@@ -1,0 +1,57 @@
+package coordinator
+
+import (
+	"testing"
+
+	"ampsinf/internal/nn"
+	"ampsinf/internal/nn/zoo"
+	"ampsinf/internal/optimizer"
+	"ampsinf/internal/perf"
+)
+
+// BenchmarkPipelineJob measures the wall-clock overhead of one multi-
+// partition serverless job end to end: payload construction, S3 staging,
+// tensor codecs, real forward passes and billing.
+func BenchmarkPipelineJob(b *testing.B) {
+	m := zoo.TinyCNN(0)
+	plan, err := optimizer.Optimize(optimizer.Request{
+		Model: m, Perf: perf.Default(), MaxLayersPerPartition: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := nn.InitWeights(m, 1)
+	e := newEnv()
+	d, err := Deploy(e.config(), m, w, plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Teardown()
+	in := randomInput(m, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.RunEager(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeploy measures split+package+create for a real large model.
+func BenchmarkDeployResNet50(b *testing.B) {
+	m := zoo.ResNet50(0)
+	plan, err := optimizer.Optimize(optimizer.Request{Model: m, Perf: perf.Default()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := nn.InitWeights(m, 1)
+	b.SetBytes(m.WeightBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := newEnv()
+		d, err := Deploy(e.config(), m, w, plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d.Teardown()
+	}
+}

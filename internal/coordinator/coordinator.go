@@ -1,0 +1,295 @@
+// Package coordinator implements the paper's Coordinator component: it
+// turns an optimizer Plan into deployed lambda functions — splitting the
+// model description and weights at the partition boundaries, attaching
+// the dependency layer, and validating every platform limit — and then
+// drives coordinated model serving with intermediate activations staged
+// through S3. Partition handlers execute real forward passes, so a
+// deployment's prediction is bit-identical to running the whole model.
+package coordinator
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+
+	"ampsinf/internal/cloud/lambda"
+	"ampsinf/internal/cloud/stage"
+	"ampsinf/internal/modelfmt"
+	"ampsinf/internal/nn"
+	"ampsinf/internal/optimizer"
+	"ampsinf/internal/quant"
+	"ampsinf/internal/tensor"
+)
+
+// Config wires a deployment to its platform.
+type Config struct {
+	Platform *lambda.Platform
+	// Store stages intermediate activations between partitions: S3 by
+	// default, or any other stage.Store (e.g. the ElastiCache-style
+	// internal/cloud/redis the paper's discussion proposes).
+	Store stage.Store
+	// NamePrefix namespaces function names and S3 keys (default "ampsinf").
+	NamePrefix string
+	// SkipCompute makes handlers account simulated compute time without
+	// running the actual forward pass, emitting a zero tensor of the
+	// correct shape instead. Simulated timings and billing are unchanged
+	// (they depend only on sizes and FLOPs); the experiment harness uses
+	// this to sweep full-resolution models quickly. Correctness of real
+	// partitioned execution is covered by tests with SkipCompute off.
+	SkipCompute bool
+	// QuantizeBits quantizes each partition's weights to 8 or 4 bits
+	// before packaging (0 = ship float32). Deployment packages shrink
+	// 4-8x; handlers dequantize on load. The paper names this as the
+	// answer to models whose single layers outgrow the platform limit.
+	QuantizeBits int
+}
+
+// Deployment is a set of partition functions ready to serve.
+type Deployment struct {
+	cfg    Config
+	model  *nn.Model
+	plan   *optimizer.Plan
+	parts  []*partition
+	mu     sync.Mutex
+	jobSeq int
+}
+
+type partition struct {
+	index    int
+	fnName   string
+	model    *nn.Model
+	memoryMB int
+	flops    int64
+	weightsB int64
+
+	// Warm-container cache: decoded weights survive across invocations of
+	// the same (warm) function, as they would in a real runtime.
+	mu      sync.Mutex
+	weights nn.Weights
+	blob    []byte // float32 container, or quantized when qbits > 0
+	qbits   int
+}
+
+type invokePayload struct {
+	Job      string `json:"job"`
+	InputKey string `json:"input_key"`
+}
+
+// parsePayload accepts either the coordinator's JSON payload or — for
+// Step-Functions-driven workflows that chain each state's response into
+// the next state's payload — a bare S3 key, whose job id is its prefix.
+func parsePayload(payload []byte) (invokePayload, error) {
+	if len(payload) > 0 && payload[0] == '{' {
+		var req invokePayload
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return req, err
+		}
+		return req, nil
+	}
+	key := string(payload)
+	i := strings.LastIndexByte(key, '/')
+	if i <= 0 {
+		return invokePayload{}, fmt.Errorf("payload %q is neither JSON nor an S3 key", key)
+	}
+	return invokePayload{Job: key[:i], InputKey: key}, nil
+}
+
+// Deploy splits model+weights per plan, builds the deployment packages
+// and creates one lambda function per partition. The plan must come from
+// an optimizer run on the same model.
+func Deploy(cfg Config, model *nn.Model, weights nn.Weights, plan *optimizer.Plan) (*Deployment, error) {
+	if cfg.Platform == nil || cfg.Store == nil {
+		return nil, fmt.Errorf("coordinator: config needs a platform and a store")
+	}
+	if cfg.NamePrefix == "" {
+		cfg.NamePrefix = "ampsinf"
+	}
+	if plan == nil || len(plan.Lambdas) == 0 {
+		return nil, fmt.Errorf("coordinator: empty plan")
+	}
+	if err := nn.CheckWeights(model, weights); err != nil {
+		return nil, fmt.Errorf("coordinator: %w", err)
+	}
+	if cfg.QuantizeBits != 0 && cfg.QuantizeBits != 8 && cfg.QuantizeBits != 4 {
+		return nil, fmt.Errorf("coordinator: unsupported quantization width %d", cfg.QuantizeBits)
+	}
+	bounds := plan.Bounds()
+	blobs, err := packageWeights(model, weights, bounds, cfg.QuantizeBits)
+	if err != nil {
+		return nil, fmt.Errorf("coordinator: splitting weights: %w", err)
+	}
+
+	d := &Deployment{cfg: cfg, model: model, plan: plan}
+	perfp := cfg.Platform.Perf()
+	depsLayer := lambda.LayerRef{Name: "keras-deps", SizeBytes: int64(perfp.DepsMB * (1 << 20))}
+
+	for i, lp := range plan.Lambdas {
+		part, err := model.Partition(lp.LayerLo, lp.LayerHi)
+		if err != nil {
+			return nil, fmt.Errorf("coordinator: partition %d: %w", i, err)
+		}
+		desc, err := modelfmt.EncodeModel(part)
+		if err != nil {
+			return nil, fmt.Errorf("coordinator: partition %d description: %w", i, err)
+		}
+		p := &partition{
+			index:    i,
+			fnName:   fmt.Sprintf("%s-%s-p%d", cfg.NamePrefix, model.Name, i),
+			model:    part,
+			memoryMB: lp.MemoryMB,
+			flops:    lp.Profile.FLOPs,
+			weightsB: int64(len(blobs[i])), // what is shipped and loaded
+			blob:     blobs[i],
+			qbits:    cfg.QuantizeBits,
+		}
+		pkgBytes := int64(len(blobs[i])) + int64(len(desc)) + int64(1<<20) // weights + description + handler
+		err = cfg.Platform.CreateFunction(lambda.FunctionConfig{
+			Name:         p.fnName,
+			MemoryMB:     lp.MemoryMB,
+			PackageBytes: pkgBytes,
+			Layers:       []lambda.LayerRef{depsLayer},
+			Handler:      d.handler(p),
+		})
+		if err != nil {
+			// Roll back functions created so far.
+			for _, created := range d.parts {
+				cfg.Platform.DeleteFunction(created.fnName)
+			}
+			return nil, fmt.Errorf("coordinator: creating function %q: %w", p.fnName, err)
+		}
+		d.parts = append(d.parts, p)
+	}
+	return d, nil
+}
+
+// handler builds the serving handler for one partition: cold starts
+// initialize dependencies and deserialize the partition weights; every
+// invocation reads its input activation from S3, runs the real forward
+// pass, and either stages the output for the next partition or returns
+// the final prediction.
+func (d *Deployment) handler(p *partition) lambda.Handler {
+	return func(ctx *lambda.Context, payload []byte) ([]byte, error) {
+		req, err := parsePayload(payload)
+		if err != nil {
+			return nil, fmt.Errorf("partition %d: bad payload: %w", p.index, err)
+		}
+		last := p.index == len(d.parts)-1
+		p.mu.Lock()
+		cached := p.weights
+		p.mu.Unlock()
+		if ctx.Cold() || cached == nil {
+			ctx.InitDeps(p.weightsB)
+			if err := ctx.LoadWeights(p.weightsB); err != nil {
+				return nil, fmt.Errorf("partition %d: %w", p.index, err)
+			}
+			w := nn.Weights{}
+			if !d.cfg.SkipCompute {
+				if p.qbits > 0 {
+					qw, qerr := quant.Decode(p.blob)
+					if qerr != nil {
+						return nil, fmt.Errorf("partition %d: corrupt deployment: %w", p.index, qerr)
+					}
+					w = quant.DequantizeWeights(qw)
+					if cerr := nn.CheckWeights(p.model, w); cerr != nil {
+						return nil, fmt.Errorf("partition %d: corrupt deployment: %w", p.index, cerr)
+					}
+				} else {
+					w, err = modelfmt.DecodeWeights(p.model, p.blob)
+					if err != nil {
+						return nil, fmt.Errorf("partition %d: corrupt deployment: %w", p.index, err)
+					}
+				}
+			}
+			p.mu.Lock()
+			p.weights = w
+			p.mu.Unlock()
+			cached = w
+		}
+
+		inBytes, err := ctx.GetObject(d.cfg.Store, req.InputKey)
+		if err != nil {
+			return nil, fmt.Errorf("partition %d: reading input: %w", p.index, err)
+		}
+		in, err := modelfmt.DecodeTensor(inBytes)
+		if err != nil {
+			return nil, fmt.Errorf("partition %d: %w", p.index, err)
+		}
+		ctx.TmpFree(int64(len(inBytes)))
+
+		batch := in.Shape()[0]
+		ctx.Compute(ctx.Perf().BatchFLOPs(p.flops, batch), p.weightsB)
+		var out *tensor.Tensor
+		if d.cfg.SkipCompute {
+			shape := p.model.Output().OutShape.Clone()
+			shape[0] = batch
+			out = tensor.New(shape...)
+		} else {
+			out, err = p.model.Forward(cached, in)
+			if err != nil {
+				return nil, fmt.Errorf("partition %d: forward: %w", p.index, err)
+			}
+		}
+		outBytes := modelfmt.EncodeTensor(out)
+		if last {
+			return outBytes, nil
+		}
+		outKey := fmt.Sprintf("%s/out%d", req.Job, p.index)
+		if err := ctx.PutObject(d.cfg.Store, outKey, outBytes); err != nil {
+			return nil, fmt.Errorf("partition %d: staging output: %w", p.index, err)
+		}
+		return []byte(outKey), nil
+	}
+}
+
+// Teardown deletes the deployment's functions and leftover objects.
+func (d *Deployment) Teardown() {
+	for _, p := range d.parts {
+		d.cfg.Platform.DeleteFunction(p.fnName)
+	}
+}
+
+// Partitions returns the number of deployed partitions.
+func (d *Deployment) Partitions() int { return len(d.parts) }
+
+// FunctionNames returns the deployed function names in pipeline order.
+func (d *Deployment) FunctionNames() []string {
+	names := make([]string, len(d.parts))
+	for i, p := range d.parts {
+		names[i] = p.fnName
+	}
+	return names
+}
+
+func (d *Deployment) nextJobID() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.jobSeq++
+	return fmt.Sprintf("%s/jobs/%s/%d", d.cfg.NamePrefix, d.model.Name, d.jobSeq)
+}
+
+// packageWeights encodes per-partition weight containers: float32
+// modelfmt containers by default, or quantized containers when bits > 0.
+func packageWeights(model *nn.Model, weights nn.Weights, bounds []int, bits int) ([][]byte, error) {
+	if bits == 0 {
+		return modelfmt.SplitWeights(model, weights, bounds)
+	}
+	blobs := make([][]byte, 0, len(bounds)-1)
+	for p := 0; p+1 < len(bounds); p++ {
+		part, err := model.Partition(bounds[p], bounds[p+1])
+		if err != nil {
+			return nil, err
+		}
+		sub := nn.SubsetWeights(model, weights, bounds[p], bounds[p+1])
+		qw, err := quant.QuantizeWeights(part, sub, bits)
+		if err != nil {
+			return nil, err
+		}
+		blob, err := quant.Encode(part, qw)
+		if err != nil {
+			return nil, err
+		}
+		blobs = append(blobs, blob)
+	}
+	return blobs, nil
+}

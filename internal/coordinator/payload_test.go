@@ -1,0 +1,75 @@
+package coordinator
+
+import (
+	"testing"
+
+	"ampsinf/internal/nn"
+	"ampsinf/internal/nn/zoo"
+	"ampsinf/internal/quant"
+)
+
+func TestParsePayloadJSON(t *testing.T) {
+	req, err := parsePayload([]byte(`{"job":"a/b","input_key":"a/b/input"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Job != "a/b" || req.InputKey != "a/b/input" {
+		t.Fatalf("parsed %+v", req)
+	}
+	if _, err := parsePayload([]byte(`{bad json`)); err == nil {
+		t.Fatal("bad json accepted")
+	}
+}
+
+func TestParsePayloadBareKey(t *testing.T) {
+	req, err := parsePayload([]byte("serfer/jobs/1/out0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Job != "serfer/jobs/1" || req.InputKey != "serfer/jobs/1/out0" {
+		t.Fatalf("parsed %+v", req)
+	}
+	if _, err := parsePayload([]byte("noslash")); err == nil {
+		t.Fatal("keyless payload accepted")
+	}
+	if _, err := parsePayload(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+}
+
+func TestPackageWeightsQuantizedSize(t *testing.T) {
+	m := zoo.TinyCNN(0)
+	w := nn.InitWeights(m, 1)
+	bounds := []int{1, len(m.Layers)}
+	floatBlobs, err := packageWeights(m, w, bounds, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q8Blobs, err := packageWeights(m, w, bounds, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q8Blobs[0])*3 > len(floatBlobs[0]) {
+		t.Fatalf("8-bit package %d bytes not ≪ float %d", len(q8Blobs[0]), len(floatBlobs[0]))
+	}
+	// The quantized blob decodes to valid weights for the partition.
+	part, _ := m.Partition(1, len(m.Layers))
+	qw, err := quant.Decode(q8Blobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nn.CheckWeights(part, quant.DequantizeWeights(qw)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeployRejectsBadQuantBits(t *testing.T) {
+	m := zoo.TinyCNN(0)
+	w := nn.InitWeights(m, 1)
+	e := newEnv()
+	cfg := e.config()
+	cfg.QuantizeBits = 7
+	if _, err := Deploy(cfg, m, w, nil); err == nil {
+		t.Fatal("nil plan + bad bits accepted")
+	}
+}

@@ -1,0 +1,318 @@
+package coordinator
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"ampsinf/internal/cloud/lambda"
+	"ampsinf/internal/modelfmt"
+	"ampsinf/internal/tensor"
+)
+
+// invokeDispatchLatency is the platform latency of issuing an (async or
+// sync) function invocation.
+const invokeDispatchLatency = 30 * time.Millisecond
+
+// LambdaRun reports one partition invocation within a job.
+type LambdaRun struct {
+	FunctionName string
+	MemoryMB     int
+	Cold         bool
+	// Active is the handler's own simulated time.
+	Active time.Duration
+	// Billed is the settled billed lifetime (= Active in sequential mode;
+	// includes input-polling wait in eager mode).
+	Billed time.Duration
+	// Phase decomposition of Active (the paper's Fig 5/6 quantities):
+	Init    time.Duration // platform start + runtime overhead + deps init
+	Load    time.Duration // model/weights deserialization
+	Read    time.Duration // input transfer from S3
+	Compute time.Duration // forward pass
+	Write   time.Duration // output transfer to S3
+}
+
+// phaseSplit classifies an invocation's phases into the LambdaRun fields.
+func phaseSplit(res *lambda.Result) (lr LambdaRun) {
+	for _, ph := range res.Phases {
+		switch ph.Name {
+		case "load-weights":
+			lr.Load += ph.Duration
+		case "s3-read":
+			lr.Read += ph.Duration
+		case "compute":
+			lr.Compute += ph.Duration
+		case "s3-write":
+			lr.Write += ph.Duration
+		default: // coldstart, overhead, deps-init
+			lr.Init += ph.Duration
+		}
+	}
+	return lr
+}
+
+// Report describes one inference job.
+type Report struct {
+	Mode       string
+	Completion time.Duration
+	// Cost is the job's marginal charge: execution, invocations, S3
+	// requests and intermediate storage.
+	Cost      float64
+	Output    *tensor.Tensor
+	PerLambda []LambdaRun
+}
+
+// RunSequential serves one input with strictly sequential invocations:
+// partition i+1 is invoked after partition i returns — the execution
+// model behind the paper's formulation, where the response time is the
+// sum of per-lambda times (Eq. 2).
+func (d *Deployment) RunSequential(input *tensor.Tensor) (*Report, error) {
+	return d.run(input, false)
+}
+
+// RunEager serves one input with the measurement-matching schedule: all
+// partition functions are invoked at job start so that dependency
+// initialization and weight loading overlap with upstream execution; each
+// function waits (billed) until its input appears in S3. This is how the
+// deployed system achieves the completion times of the paper's Tables 3
+// and 5.
+func (d *Deployment) RunEager(input *tensor.Tensor) (*Report, error) {
+	return d.run(input, true)
+}
+
+func (d *Deployment) run(input *tensor.Tensor, eager bool) (*Report, error) {
+	before := d.meterTotal()
+	job := d.nextJobID()
+	defer d.cleanup(job)
+
+	rep := &Report{Mode: "sequential"}
+	if eager {
+		rep.Mode = "eager"
+	}
+
+	// Upload the input image(s).
+	inKey := job + "/input"
+	upDur, err := d.cfg.Store.Put(inKey, modelfmt.EncodeTensor(input))
+	if err != nil {
+		return nil, fmt.Errorf("coordinator: uploading input: %w", err)
+	}
+
+	results := make([]*lambda.Result, len(d.parts))
+	prevKey := inKey
+	var prevBytes int64 // accumulated intermediate bytes in S3
+	storedBefore := make([]int64, len(d.parts))
+	for i, p := range d.parts {
+		storedBefore[i] = prevBytes
+		payload, _ := json.Marshal(invokePayload{
+			Job: job, InputKey: prevKey,
+		})
+		res, err := d.cfg.Platform.Invoke(p.fnName, payload, lambda.InvokeOptions{DeferBilling: eager})
+		if err != nil {
+			return nil, fmt.Errorf("coordinator: partition %d: %w", i, err)
+		}
+		results[i] = res
+		if i < len(d.parts)-1 {
+			prevKey = string(res.Response)
+			if n, ok := d.cfg.Store.Head(prevKey); ok {
+				prevBytes += n
+			}
+		}
+	}
+	out, err := modelfmt.DecodeTensor(results[len(results)-1].Response)
+	if err != nil {
+		return nil, fmt.Errorf("coordinator: decoding prediction: %w", err)
+	}
+	rep.Output = out
+
+	if eager {
+		d.settleEager(rep, results, upDur, storedBefore)
+	} else {
+		rep.Completion = upDur
+		for i, res := range results {
+			rep.Completion += invokeDispatchLatency + res.Duration
+			d.cfg.Store.ChargeStorage(storedBefore[i], res.Duration)
+			lr := phaseSplit(res)
+			lr.FunctionName = d.parts[i].fnName
+			lr.MemoryMB = res.MemoryMB
+			lr.Cold = res.ColdStart
+			lr.Active = res.Duration
+			lr.Billed = res.BilledDuration
+			rep.PerLambda = append(rep.PerLambda, lr)
+		}
+	}
+	rep.Cost = d.meterTotal() - before
+	return rep, nil
+}
+
+// settleEager reconstructs the overlapped schedule from the per-phase
+// timings: every function starts at job time ~0 (one dispatch latency),
+// runs its initialization immediately, then blocks until its input is
+// available. Billed lifetime spans dispatch to exit, including the wait.
+func (d *Deployment) settleEager(rep *Report, results []*lambda.Result, upDur time.Duration, storedBefore []int64) {
+	avail := upDur // when partition 0's input is ready in S3
+	for i, res := range results {
+		lr := phaseSplit(res)
+		initDone := lr.Init + lr.Load
+		work := lr.Read + lr.Compute + lr.Write
+		start := invokeDispatchLatency + initDone
+		if avail > start {
+			start = avail
+		}
+		exit := start + work
+		billed := exit - invokeDispatchLatency
+		d.cfg.Platform.SettleExecution(res.MemoryMB, billed)
+		d.cfg.Store.ChargeStorage(storedBefore[i], billed)
+		lr.FunctionName = d.parts[i].fnName
+		lr.MemoryMB = res.MemoryMB
+		lr.Cold = res.ColdStart
+		lr.Active = res.Duration
+		lr.Billed = billed
+		rep.PerLambda = append(rep.PerLambda, lr)
+		avail = exit
+	}
+	rep.Completion = avail
+}
+
+// BatchReport aggregates a multi-image batch job.
+type BatchReport struct {
+	Mode       string
+	Completion time.Duration
+	Cost       float64
+	Jobs       []*Report
+}
+
+// RunBatchSequential serves the inputs one after another through the same
+// warm pipeline (the paper's AMPS-Inf-Seq of Fig 13): completion is the
+// sum of per-image completions.
+func (d *Deployment) RunBatchSequential(inputs []*tensor.Tensor) (*BatchReport, error) {
+	br := &BatchReport{Mode: "batch-sequential"}
+	for i, in := range inputs {
+		rep, err := d.RunEager(in)
+		if err != nil {
+			return nil, fmt.Errorf("coordinator: batch image %d: %w", i, err)
+		}
+		br.Jobs = append(br.Jobs, rep)
+		br.Completion += rep.Completion
+		br.Cost += rep.Cost
+	}
+	return br, nil
+}
+
+// RunBatchParallel serves each input in its own concurrently-running
+// pipeline (fresh containers per job, as parallel invocations cannot
+// share a warm container): completion is the maximum per-image
+// completion, cost the sum.
+func (d *Deployment) RunBatchParallel(inputs []*tensor.Tensor) (*BatchReport, error) {
+	br := &BatchReport{Mode: "batch-parallel"}
+	for i, in := range inputs {
+		for _, p := range d.parts {
+			d.cfg.Platform.ResetWarm(p.fnName)
+		}
+		rep, err := d.RunEager(in)
+		if err != nil {
+			return nil, fmt.Errorf("coordinator: batch image %d: %w", i, err)
+		}
+		br.Jobs = append(br.Jobs, rep)
+		if rep.Completion > br.Completion {
+			br.Completion = rep.Completion
+		}
+		br.Cost += rep.Cost
+	}
+	return br, nil
+}
+
+// RunBatched stacks the inputs into one batch tensor and serves it in a
+// single pipeline pass (one invocation per partition, compute scaled by
+// the batch size).
+func (d *Deployment) RunBatched(inputs []*tensor.Tensor) (*Report, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("coordinator: empty batch")
+	}
+	stacked, err := tensor.Stack(inputs)
+	if err != nil {
+		return nil, fmt.Errorf("coordinator: %w", err)
+	}
+	return d.RunEager(stacked)
+}
+
+func (d *Deployment) meterTotal() float64 {
+	return d.cfg.Platform.Meter().Total()
+}
+
+func (d *Deployment) cleanup(job string) {
+	for i := range d.parts {
+		d.cfg.Store.Delete(fmt.Sprintf("%s/out%d", job, i))
+	}
+	d.cfg.Store.Delete(job + "/input")
+}
+
+// TraceReport summarizes serving a request trace through one pipeline.
+type TraceReport struct {
+	Requests int
+	// Latency percentiles over queueing + service per request.
+	AvgLatency time.Duration
+	P95Latency time.Duration
+	MaxLatency time.Duration
+	// Makespan is the simulated time from the first arrival to the last
+	// response.
+	Makespan time.Duration
+	Cost     float64
+	// Latencies holds every request's response latency, in order.
+	Latencies []time.Duration
+}
+
+// ServeTrace serves an open-loop request trace: request i arrives at
+// arrivals[i] (non-decreasing offsets from time zero) and requests are
+// served FIFO by this single pipeline — the serving regime the BATCH
+// paper's buffering targets. The first request pays the cold start;
+// later ones reuse warm containers. Latency is queueing delay plus the
+// request's own pipeline completion.
+func (d *Deployment) ServeTrace(inputs []*tensor.Tensor, arrivals []time.Duration) (*TraceReport, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("coordinator: empty trace")
+	}
+	if len(arrivals) != len(inputs) {
+		return nil, fmt.Errorf("coordinator: %d arrivals for %d inputs", len(arrivals), len(inputs))
+	}
+	rep := &TraceReport{Requests: len(inputs)}
+	var free time.Duration // when the pipeline becomes idle
+	var totalLatency time.Duration
+	var cost float64
+	for i, in := range inputs {
+		if i > 0 && arrivals[i] < arrivals[i-1] {
+			return nil, fmt.Errorf("coordinator: arrivals not sorted at %d", i)
+		}
+		r, err := d.RunEager(in)
+		if err != nil {
+			return nil, fmt.Errorf("coordinator: trace request %d: %w", i, err)
+		}
+		start := arrivals[i]
+		if free > start {
+			start = free
+		}
+		done := start + r.Completion
+		free = done
+		lat := done - arrivals[i]
+		rep.Latencies = append(rep.Latencies, lat)
+		totalLatency += lat
+		if lat > rep.MaxLatency {
+			rep.MaxLatency = lat
+		}
+		if done > rep.Makespan {
+			rep.Makespan = done
+		}
+		cost += r.Cost
+	}
+	rep.AvgLatency = totalLatency / time.Duration(rep.Requests)
+	rep.Cost = cost
+	// Nearest-rank p95.
+	sorted := append([]time.Duration(nil), rep.Latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := (95*len(sorted) + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	rep.P95Latency = sorted[idx]
+	return rep, nil
+}

@@ -1,0 +1,160 @@
+package coordinator
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ampsinf/internal/tensor"
+	"ampsinf/internal/workload"
+)
+
+func tensorAllClose(a, b *tensor.Tensor) bool { return tensor.AllClose(a, b, 0) }
+
+func TestServeTraceQueueing(t *testing.T) {
+	_, d, m, _ := deployTinySplit(t)
+	inputs := []*tensor.Tensor{
+		randomInput(m, 1), randomInput(m, 2), randomInput(m, 3),
+	}
+	// All three arrive at once: later requests queue behind earlier ones.
+	arrivals := []time.Duration{0, 0, 0}
+	rep, err := d.ServeTrace(inputs, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 3 || len(rep.Latencies) != 3 {
+		t.Fatalf("requests %d, latencies %d", rep.Requests, len(rep.Latencies))
+	}
+	if !(rep.Latencies[0] < rep.Latencies[1] && rep.Latencies[1] < rep.Latencies[2]) {
+		t.Fatalf("burst latencies not increasing: %v", rep.Latencies)
+	}
+	if rep.MaxLatency != rep.Latencies[2] {
+		t.Fatal("max latency wrong")
+	}
+	if rep.P95Latency < rep.AvgLatency {
+		t.Fatal("p95 below average for a skewed burst")
+	}
+	if rep.Makespan < rep.Latencies[2] {
+		t.Fatal("makespan smaller than final latency")
+	}
+	if rep.Cost <= 0 {
+		t.Fatal("no cost recorded")
+	}
+}
+
+func TestServeTraceIdleSystemHasNoQueueing(t *testing.T) {
+	_, d, m, _ := deployTinySplit(t)
+	// Warm the pipeline so service times are uniform.
+	if _, err := d.RunEager(randomInput(m, 9)); err != nil {
+		t.Fatal(err)
+	}
+	inputs := []*tensor.Tensor{randomInput(m, 1), randomInput(m, 2)}
+	// Arrivals far apart: each request's latency equals its own service.
+	arrivals := []time.Duration{0, time.Hour}
+	rep, err := d.ServeTrace(inputs, arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := rep.Latencies[0] - rep.Latencies[1]
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 50*time.Millisecond {
+		t.Fatalf("idle-system latencies differ: %v vs %v", rep.Latencies[0], rep.Latencies[1])
+	}
+}
+
+func TestServeTraceValidation(t *testing.T) {
+	_, d, m, _ := deployTinySplit(t)
+	if _, err := d.ServeTrace(nil, nil); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	inputs := []*tensor.Tensor{randomInput(m, 1), randomInput(m, 2)}
+	if _, err := d.ServeTrace(inputs, []time.Duration{0}); err == nil {
+		t.Fatal("mismatched arrivals accepted")
+	}
+	if _, err := d.ServeTrace(inputs, []time.Duration{time.Second, 0}); err == nil {
+		t.Fatal("unsorted arrivals accepted")
+	}
+}
+
+func TestServeTraceWithGeneratedArrivals(t *testing.T) {
+	_, d, m, _ := deployTinySplit(t)
+	inputs := make([]*tensor.Tensor, 5)
+	for i := range inputs {
+		inputs[i] = randomInput(m, int64(i))
+	}
+	rep, err := d.ServeTrace(inputs, workload.PoissonArrivals(5, 1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 5 {
+		t.Fatalf("requests %d", rep.Requests)
+	}
+}
+
+// Concurrent jobs on one deployment must be safe (run under -race) and
+// every job must still produce the correct prediction.
+func TestConcurrentJobsSafe(t *testing.T) {
+	_, d, m, w := deployTinySplit(t)
+	const jobs = 8
+	type result struct {
+		idx int
+		err error
+		ok  bool
+	}
+	results := make(chan result, jobs)
+	for i := 0; i < jobs; i++ {
+		go func(i int) {
+			in := randomInput(m, int64(100+i))
+			rep, err := d.RunEager(in)
+			if err != nil {
+				results <- result{i, err, false}
+				return
+			}
+			want, err := m.Forward(w, in)
+			if err != nil {
+				results <- result{i, err, false}
+				return
+			}
+			results <- result{i, nil, tensorAllClose(want, rep.Output)}
+		}(i)
+	}
+	for i := 0; i < jobs; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("job %d: %v", r.idx, r.err)
+		}
+		if !r.ok {
+			t.Fatalf("job %d produced a wrong prediction", r.idx)
+		}
+	}
+}
+
+func TestTimelineRendersPhases(t *testing.T) {
+	_, d, m, _ := deployTinySplit(t)
+	rep, err := d.RunEager(randomInput(m, 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Timeline(rep, 60)
+	for _, want := range []string{"job timeline", "λ0", "λ1", "MB", "(cold)", "C"} {
+		if !containsStr(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	if Timeline(nil, 60) != "(empty report)\n" {
+		t.Fatal("nil report not handled")
+	}
+	seq, err := d.RunSequential(randomInput(m, 78))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsStr(Timeline(seq, 40), "(warm)") {
+		t.Fatal("warm marker missing")
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && strings.Contains(s, sub)
+}

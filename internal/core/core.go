@@ -1,0 +1,234 @@
+// Package core is the public face of AMPS-Inf: an autonomous framework
+// that accepts a pre-trained model (description + weights), derives the
+// cost-optimal partitioning and memory provisioning under a response-time
+// SLO (paper Sec. 3), deploys the partitions as serverless functions
+// (Sec. 4), and serves inference requests with intermediate activations
+// staged through object storage.
+//
+// Typical use:
+//
+//	fw := core.NewFramework(core.Options{})
+//	svc, err := fw.Submit(model, weights, core.SubmitOptions{SLO: 30 * time.Second})
+//	rep, err := svc.Infer(image)
+//	fmt.Println(rep.Completion, rep.Cost, tensor.ArgMax(rep.Output))
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ampsinf/internal/cloud/billing"
+	"ampsinf/internal/cloud/lambda"
+	"ampsinf/internal/cloud/s3"
+	"ampsinf/internal/cloud/stage"
+	"ampsinf/internal/coordinator"
+	"ampsinf/internal/nn"
+	"ampsinf/internal/optimizer"
+	"ampsinf/internal/perf"
+	"ampsinf/internal/quant"
+	"ampsinf/internal/tensor"
+)
+
+// Options configures a Framework. Zero values create a self-contained
+// simulated environment with the calibrated defaults.
+type Options struct {
+	Platform *lambda.Platform
+	Store    *s3.Store
+	Meter    *billing.Meter
+	Perf     *perf.Params
+	S3Config *s3.Config
+	// Stage overrides the staging backend entirely (e.g. a redis.Store);
+	// when set it takes precedence over Store/S3Config.
+	Stage stage.Store
+}
+
+// Framework owns the platform bindings and runs the Optimizer +
+// Coordinator pipeline for submitted models.
+type Framework struct {
+	platform *lambda.Platform
+	store    stage.Store
+	meter    *billing.Meter
+	perf     perf.Params
+}
+
+// NewFramework builds a framework, creating any environment pieces not
+// supplied.
+func NewFramework(opts Options) *Framework {
+	meter := opts.Meter
+	if meter == nil {
+		meter = &billing.Meter{}
+	}
+	p := perf.Default()
+	if opts.Perf != nil {
+		p = *opts.Perf
+	}
+	platform := opts.Platform
+	if platform == nil {
+		platform = lambda.New(meter, p)
+	}
+	var store stage.Store = opts.Stage
+	if store == nil && opts.Store != nil {
+		store = opts.Store
+	}
+	if store == nil {
+		cfg := s3.DefaultConfig()
+		if opts.S3Config != nil {
+			cfg = *opts.S3Config
+		}
+		store = s3.New(cfg, meter)
+	}
+	return &Framework{platform: platform, store: store, meter: meter, perf: p}
+}
+
+// Meter returns the framework's billing meter.
+func (f *Framework) Meter() *billing.Meter { return f.meter }
+
+// Platform returns the underlying serverless platform.
+func (f *Framework) Platform() *lambda.Platform { return f.platform }
+
+// Store returns the staging object store.
+func (f *Framework) Store() stage.Store { return f.store }
+
+// SubmitOptions tunes one submission.
+type SubmitOptions struct {
+	// SLO is the response-time objective (0 = cost-optimal, no deadline).
+	SLO time.Duration
+	// MaxLambdas caps partitions (K; default 16).
+	MaxLambdas int
+	// MaxLayersPerPartition is the paper's search-space cap (Eq. 6).
+	MaxLayersPerPartition int
+	// NamePrefix namespaces the deployed functions.
+	NamePrefix string
+	// UseBnB routes memory selection through the full QCR+BnB MIQP path.
+	UseBnB bool
+	// SkipCompute deploys in timing-only mode (see coordinator.Config).
+	SkipCompute bool
+	// QuantizeBits ships 8- or 4-bit quantized weights (0 = float32),
+	// shrinking deployment packages 4-8× — the paper's future-work path
+	// for models whose layers outgrow the platform size limit.
+	QuantizeBits int
+	// SearchStrideMB coarsens the optimizer's memory grid under
+	// fine-grained quotas (0 = automatic).
+	SearchStrideMB int
+}
+
+// Service is a deployed, ready-to-serve model.
+type Service struct {
+	framework  *Framework
+	model      *nn.Model
+	Plan       *optimizer.Plan
+	deployment *coordinator.Deployment
+	// PlanningTime is the optimizer's wall-clock overhead (the paper
+	// reports a few seconds on a laptop).
+	PlanningTime time.Duration
+}
+
+// Submit runs the full AMPS-Inf pipeline: profile, optimize, split,
+// package and deploy. The returned Service serves inference immediately.
+func (f *Framework) Submit(model *nn.Model, weights nn.Weights, opts SubmitOptions) (*Service, error) {
+	if model == nil {
+		return nil, fmt.Errorf("core: nil model")
+	}
+	if err := model.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	weightScale := 0.0
+	if opts.QuantizeBits > 0 {
+		weightScale = quant.CompressionScale(opts.QuantizeBits)
+	}
+	quota := f.platform.Quota()
+	start := time.Now()
+	plan, err := optimizer.Optimize(optimizer.Request{
+		Model:                 model,
+		Perf:                  f.perf,
+		SLO:                   opts.SLO,
+		MaxLambdas:            opts.MaxLambdas,
+		MaxLayersPerPartition: opts.MaxLayersPerPartition,
+		UseBnB:                opts.UseBnB,
+		Quota:                 &quota,
+		SearchStrideMB:        opts.SearchStrideMB,
+		WeightScale:           weightScale,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: optimizing %q: %w", model.Name, err)
+	}
+	planning := time.Since(start)
+
+	prefix := opts.NamePrefix
+	if prefix == "" {
+		prefix = "ampsinf"
+	}
+	dep, err := coordinator.Deploy(coordinator.Config{
+		Platform: f.platform, Store: f.store, NamePrefix: prefix,
+		SkipCompute: opts.SkipCompute, QuantizeBits: opts.QuantizeBits,
+	}, model, weights, plan)
+	if err != nil {
+		return nil, fmt.Errorf("core: deploying %q: %w", model.Name, err)
+	}
+	return &Service{
+		framework: f, model: model, Plan: plan,
+		deployment: dep, PlanningTime: planning,
+	}, nil
+}
+
+// Infer serves one input with the default (eager, overlapped) schedule.
+func (s *Service) Infer(input *tensor.Tensor) (*coordinator.Report, error) {
+	return s.deployment.RunEager(input)
+}
+
+// InferSequential serves one input with strictly sequential invocations
+// (the formulation's execution model).
+func (s *Service) InferSequential(input *tensor.Tensor) (*coordinator.Report, error) {
+	return s.deployment.RunSequential(input)
+}
+
+// InferBatchParallel serves the inputs in concurrently-running pipelines.
+func (s *Service) InferBatchParallel(inputs []*tensor.Tensor) (*coordinator.BatchReport, error) {
+	return s.deployment.RunBatchParallel(inputs)
+}
+
+// InferBatchSequential serves the inputs one after another on warm
+// functions.
+func (s *Service) InferBatchSequential(inputs []*tensor.Tensor) (*coordinator.BatchReport, error) {
+	return s.deployment.RunBatchSequential(inputs)
+}
+
+// InferBatched stacks the inputs into one tensor and serves them in a
+// single pipeline pass.
+func (s *Service) InferBatched(inputs []*tensor.Tensor) (*coordinator.Report, error) {
+	return s.deployment.RunBatched(inputs)
+}
+
+// ServeTrace serves an open-loop request trace (FIFO on this pipeline);
+// see coordinator.Deployment.ServeTrace.
+func (s *Service) ServeTrace(inputs []*tensor.Tensor, arrivals []time.Duration) (*coordinator.TraceReport, error) {
+	return s.deployment.ServeTrace(inputs, arrivals)
+}
+
+// ColdStart resets every partition container, so the next job measures a
+// cold end-to-end serving time (used by the experiment harness).
+func (s *Service) ColdStart() {
+	for _, name := range s.deployment.FunctionNames() {
+		s.framework.platform.ResetWarm(name)
+	}
+}
+
+// Close tears the deployment down.
+func (s *Service) Close() { s.deployment.Teardown() }
+
+// Partitions reports how many lambdas serve the model.
+func (s *Service) Partitions() int { return s.deployment.Partitions() }
+
+// Model returns the served model.
+func (s *Service) Model() *nn.Model { return s.model }
+
+// Breakdown splits one job report into the paper's Fig 5/6 quantities:
+// the summed model+weights loading time across the job's lambdas, and
+// the prediction time (input/output transfers + compute).
+func Breakdown(rep *coordinator.Report) (load, predict time.Duration) {
+	for _, lr := range rep.PerLambda {
+		load += lr.Load
+		predict += lr.Read + lr.Compute + lr.Write
+	}
+	return load, predict
+}

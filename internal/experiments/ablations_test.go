@@ -1,0 +1,84 @@
+package experiments
+
+import "testing"
+
+func TestAblationScheduling(t *testing.T) {
+	r, err := AblationScheduling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Eager.Completion >= r.Sequential.Completion {
+		t.Fatalf("eager %v not faster than sequential %v", r.Eager.Completion, r.Sequential.Completion)
+	}
+	if r.InitOverlap <= 0 {
+		t.Fatal("no initialization overlap measured")
+	}
+	// Eager pays for the polling wait, so it should not be cheaper.
+	if r.Eager.Cost < r.Sequential.Cost*0.99 {
+		t.Fatalf("eager cost $%.6f unexpectedly below sequential $%.6f", r.Eager.Cost, r.Sequential.Cost)
+	}
+}
+
+func TestAblationQuota(t *testing.T) {
+	r, err := AblationQuota()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both quotas must satisfy the SLO; the 1 MB grid can only do at
+	// least as well on cost.
+	if r.Q2021.Cost > r.Q2020.Cost*1.001 {
+		t.Fatalf("2021 quota plan costlier: $%.6f vs $%.6f", r.Q2021.Cost, r.Q2020.Cost)
+	}
+	for _, mem := range r.Q2020.Memories {
+		if (mem-128)%64 != 0 || mem > 3008 {
+			t.Fatalf("2020 plan memory %d off the 2020 grid", mem)
+		}
+	}
+}
+
+func TestAblationQuantization(t *testing.T) {
+	r, err := AblationQuantization()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	f32, i8, i4 := r.Rows[0], r.Rows[1], r.Rows[2]
+	if !(i4.PackageMB < i8.PackageMB && i8.PackageMB < f32.PackageMB) {
+		t.Fatalf("package sizes not decreasing: %.1f / %.1f / %.1f", f32.PackageMB, i8.PackageMB, i4.PackageMB)
+	}
+	if !(i4.LoadTime < i8.LoadTime && i8.LoadTime < f32.LoadTime) {
+		t.Fatalf("load times not decreasing: %v / %v / %v", f32.LoadTime, i8.LoadTime, i4.LoadTime)
+	}
+	if i8.Completion >= f32.Completion {
+		t.Fatal("quantization did not speed up cold serving")
+	}
+}
+
+func TestAblationPressure(t *testing.T) {
+	r, err := AblationPressure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the penalty, smaller blocks become optimal.
+	if r.NoPenaltyCheapest > r.DefaultCheapestMB {
+		t.Fatalf("removing the penalty moved the optimum up: %d → %d", r.DefaultCheapestMB, r.NoPenaltyCheapest)
+	}
+	if r.DefaultCheapestMB < 512 || r.DefaultCheapestMB > 1536 {
+		t.Fatalf("calibrated cheapest block %d outside the paper's interior range", r.DefaultCheapestMB)
+	}
+}
+
+func TestAblationStorage(t *testing.T) {
+	r, err := AblationStorage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Redis.Completion >= r.S3.Completion {
+		t.Fatalf("redis %v not faster than s3 %v", r.Redis.Completion, r.S3.Completion)
+	}
+	if r.Redis.Cost <= 0 || r.S3.Cost <= 0 {
+		t.Fatal("degenerate costs")
+	}
+}

@@ -1,0 +1,51 @@
+package miqp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkSolveNonConvex12(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	pr := randomProblem(rng, 12, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(pr, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConvexify(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	pr := randomProblem(rng, 20, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Convexify(pr)
+	}
+}
+
+func BenchmarkMinEigenvalue(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	pr := randomProblem(rng, 46, false) // one variable per 2020 memory block
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MinEigenvalue(pr.Q)
+	}
+}
+
+func BenchmarkSolveOneHot46(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	q := make([]float64, 46)
+	p := make([]float64, 46)
+	allowed := make([]bool, 46)
+	for i := range q {
+		q[i] = rng.Float64()
+		p[i] = rng.Float64()
+		allowed[i] = i%3 != 0
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveOneHot(q, p, allowed)
+	}
+}

@@ -1,0 +1,301 @@
+package miqp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	good := &Problem{N: 2, P: []float64{1, 2}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Problem{
+		{N: 0},
+		{N: 2, P: []float64{1}},
+		{N: 2, P: []float64{1, 2}, Q: [][]float64{{1, 2}}},
+		{N: 2, P: []float64{1, 2}, Q: [][]float64{{1, 2}, {3, 1}}}, // asymmetric
+		{N: 2, P: []float64{1, 2}, Ineq: []LinConstraint{{A: []float64{1}, B: 0}}},
+	}
+	for i, pr := range bad {
+		if err := pr.Validate(); err == nil {
+			t.Errorf("bad problem %d accepted", i)
+		}
+	}
+}
+
+func TestObjective(t *testing.T) {
+	pr := &Problem{
+		N: 2,
+		Q: [][]float64{{1, 0.5}, {0.5, 2}},
+		P: []float64{3, -1},
+	}
+	// x = (1,1): 1 + 0.5 + 0.5 + 2 + 3 - 1 = 6.
+	if got := pr.Objective([]float64{1, 1}); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("objective = %v, want 6", got)
+	}
+	if got := pr.Objective([]float64{0, 0}); got != 0 {
+		t.Fatalf("objective at origin = %v", got)
+	}
+}
+
+func TestMinEigenvalue(t *testing.T) {
+	cases := []struct {
+		q    [][]float64
+		want float64
+	}{
+		{[][]float64{{2, 0}, {0, 3}}, 2},
+		{[][]float64{{-1, 0}, {0, 5}}, -1},
+		{[][]float64{{0, 1}, {1, 0}}, -1}, // eigenvalues ±1
+		{[][]float64{{4}}, 4},
+	}
+	for i, c := range cases {
+		got := MinEigenvalue(c.q)
+		if math.Abs(got-c.want) > 1e-6 {
+			t.Errorf("case %d: λmin = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestConvexifyPreservesBinaryObjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pr := randomProblem(rng, 6, true)
+	conv, mu := Convexify(pr)
+	if mu < 0 {
+		t.Fatalf("negative μ %v", mu)
+	}
+	// Objectives must agree on all binary points.
+	x := make([]float64, pr.N)
+	for mask := 0; mask < 1<<pr.N; mask++ {
+		for j := 0; j < pr.N; j++ {
+			x[j] = float64((mask >> j) & 1)
+		}
+		a, b := pr.Objective(x), conv.Objective(x)
+		if math.Abs(a-b) > 1e-6*(1+math.Abs(a)) {
+			t.Fatalf("objectives diverge at %v: %v vs %v", x, a, b)
+		}
+	}
+	// Convexified Q must be PSD.
+	if conv.Q != nil {
+		if l := MinEigenvalue(conv.Q); l < -1e-6 {
+			t.Fatalf("convexified λmin = %v", l)
+		}
+	}
+}
+
+func TestSolveUnconstrainedLinear(t *testing.T) {
+	pr := &Problem{N: 3, P: []float64{1, -2, 0}}
+	sol, err := Solve(pr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	// Optimal: x = (0,1,0), objective -2.
+	if math.Abs(sol.Objective+2) > 1e-9 {
+		t.Fatalf("objective %v, want -2", sol.Objective)
+	}
+	if sol.X[0] != 0 || sol.X[1] != 1 {
+		t.Fatalf("x = %v", sol.X)
+	}
+}
+
+func TestSolveOneHotConstraint(t *testing.T) {
+	// Pick exactly one of three options; costs 5, 2, 7.
+	pr := &Problem{
+		N: 3, P: []float64{5, 2, 7},
+		Eq: []LinConstraint{{A: []float64{1, 1, 1}, B: 1}},
+	}
+	sol, err := Solve(pr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal || sol.Objective != 2 || sol.X[1] != 1 {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	pr := &Problem{
+		N: 2, P: []float64{1, 1},
+		Eq: []LinConstraint{{A: []float64{1, 1}, B: 3}}, // max is 2
+	}
+	sol, err := Solve(pr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Fatalf("status %v", sol.Status)
+	}
+}
+
+func TestSolveNonConvexQuadratic(t *testing.T) {
+	// Indefinite Q rewards picking both variables together.
+	pr := &Problem{
+		N: 2,
+		Q: [][]float64{{0, -3}, {-3, 0}},
+		P: []float64{1, 1},
+	}
+	sol, err := Solve(pr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1,1): -6 + 2 = -4 is the minimum.
+	if sol.Status != Optimal || math.Abs(sol.Objective+4) > 1e-9 {
+		t.Fatalf("sol = %+v", sol)
+	}
+}
+
+func TestSolveWithKnapsackConstraint(t *testing.T) {
+	// Maximize value (minimize negative) under weight ≤ 5.
+	pr := &Problem{
+		N: 4, P: []float64{-3, -4, -5, -6},
+		Ineq: []LinConstraint{{A: []float64{2, 3, 4, 5}, B: 5}},
+	}
+	sol, err := Solve(pr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, _ := BruteForce(pr)
+	if math.Abs(sol.Objective-bf.Objective) > 1e-9 {
+		t.Fatalf("BnB %v vs brute force %v", sol.Objective, bf.Objective)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pr := randomProblem(rng, 16, true)
+	sol, err := Solve(pr, Options{MaxNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status == Optimal {
+		t.Fatalf("3-node budget claimed optimality (nodes=%d)", sol.Nodes)
+	}
+}
+
+func TestBruteForceLimits(t *testing.T) {
+	if _, err := BruteForce(&Problem{N: 30, P: make([]float64, 30)}); err == nil {
+		t.Fatal("oversized brute force accepted")
+	}
+}
+
+// The central property: branch-and-bound agrees with brute force on
+// random constrained non-convex instances.
+func TestSolveMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		pr := randomProblem(rng, n, rng.Intn(2) == 0)
+		sol, err := Solve(pr, Options{})
+		if err != nil {
+			return false
+		}
+		bf, err := BruteForce(pr)
+		if err != nil {
+			return false
+		}
+		if bf.Status == Infeasible {
+			return sol.Status == Infeasible
+		}
+		if sol.Status != Optimal {
+			return false
+		}
+		return math.Abs(sol.Objective-bf.Objective) <= 1e-6*(1+math.Abs(bf.Objective))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveOneHotHelper(t *testing.T) {
+	q := []float64{1, 0, 2}
+	p := []float64{4, 6, 1}
+	idx, val := SolveOneHot(q, p, nil)
+	if idx != 2 || val != 3 {
+		t.Fatalf("one-hot = %d/%v", idx, val)
+	}
+	idx, _ = SolveOneHot(q, p, []bool{true, true, false})
+	if idx != 0 {
+		t.Fatalf("masked one-hot = %d", idx)
+	}
+	idx, _ = SolveOneHot(q, p, []bool{false, false, false})
+	if idx != -1 {
+		t.Fatal("all-forbidden should return -1")
+	}
+}
+
+// randomProblem generates a small problem with an indefinite quadratic,
+// a knapsack row and optionally a one-hot equality.
+func randomProblem(rng *rand.Rand, n int, withEq bool) *Problem {
+	q := make([][]float64, n)
+	for i := range q {
+		q[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64() * 2
+			q[i][j] = v
+			q[j][i] = v
+		}
+	}
+	p := make([]float64, n)
+	a := make([]float64, n)
+	for i := range p {
+		p[i] = rng.NormFloat64() * 3
+		a[i] = rng.Float64() * 3
+	}
+	pr := &Problem{
+		N: n, Q: q, P: p,
+		Ineq: []LinConstraint{{A: a, B: rng.Float64() * float64(n)}},
+	}
+	if withEq {
+		ones := make([]float64, n)
+		for i := range ones {
+			ones[i] = 1
+		}
+		pr.Eq = []LinConstraint{{A: ones, B: float64(1 + rng.Intn(2))}}
+	}
+	return pr
+}
+
+func TestStatusStrings(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" || NodeLimit.String() != "node-limit" {
+		t.Fatal("status names wrong")
+	}
+}
+
+func TestConvexifyLinearProblemNoop(t *testing.T) {
+	pr := &Problem{N: 2, P: []float64{1, -1}}
+	conv, mu := Convexify(pr)
+	if conv != pr || mu != 0 {
+		t.Fatal("linear problem perturbed")
+	}
+	psd := &Problem{N: 2, P: []float64{0, 0}, Q: [][]float64{{1, 0}, {0, 2}}}
+	conv2, mu2 := Convexify(psd)
+	if conv2 != psd || mu2 != 0 {
+		t.Fatal("PSD problem perturbed")
+	}
+}
+
+func TestMinEigenvalueEmpty(t *testing.T) {
+	if MinEigenvalue(nil) != 0 {
+		t.Fatal("empty matrix eigenvalue")
+	}
+}
+
+func TestFeasibleTolerances(t *testing.T) {
+	pr := &Problem{
+		N: 2, P: []float64{0, 0},
+		Ineq: []LinConstraint{{A: []float64{1, 1}, B: 1}},
+	}
+	if !pr.Feasible([]float64{1, 0}, 1e-9) {
+		t.Fatal("boundary point rejected")
+	}
+	if pr.Feasible([]float64{1, 1}, 1e-9) {
+		t.Fatal("violating point accepted")
+	}
+}

@@ -1,0 +1,138 @@
+// Package modelfmt serializes models and weights in the roles the paper's
+// YAML model files and HDF5 weight files play: a JSON model description
+// that can be split at partition boundaries, and a binary weights
+// container with per-chunk integrity checksums that can be split and
+// merged by layer range. Deployment packages are built from these blobs.
+package modelfmt
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"ampsinf/internal/nn"
+	"ampsinf/internal/tensor"
+)
+
+// layerJSON is the on-disk form of one layer.
+type layerJSON struct {
+	Name       string   `json:"name"`
+	Kind       string   `json:"kind"`
+	Inputs     []string `json:"inputs"`
+	KH         int      `json:"kh,omitempty"`
+	KW         int      `json:"kw,omitempty"`
+	Stride     int      `json:"stride,omitempty"`
+	Pad        string   `json:"pad,omitempty"`
+	Filters    int      `json:"filters,omitempty"`
+	Activation string   `json:"activation,omitempty"`
+	Eps        float32  `json:"eps,omitempty"`
+	PadT       int      `json:"pad_t,omitempty"`
+	PadB       int      `json:"pad_b,omitempty"`
+	PadL       int      `json:"pad_l,omitempty"`
+	PadR       int      `json:"pad_r,omitempty"`
+	Heads      int      `json:"heads,omitempty"`
+	OutShape   []int    `json:"out_shape"`
+	Params     int64    `json:"params"`
+	FLOPs      int64    `json:"flops"`
+}
+
+type modelJSON struct {
+	Format     string      `json:"format"`
+	Name       string      `json:"name"`
+	InputShape []int       `json:"input_shape"`
+	Layers     []layerJSON `json:"layers"`
+}
+
+const formatID = "ampsinf-model-v1"
+
+var kindToString = map[nn.Kind]string{
+	nn.KindInput: "input", nn.KindConv2D: "conv2d",
+	nn.KindDepthwiseConv2D: "depthwise_conv2d", nn.KindSeparableConv2D: "separable_conv2d",
+	nn.KindDense: "dense", nn.KindBatchNorm: "batch_norm", nn.KindActivation: "activation",
+	nn.KindMaxPool: "max_pool", nn.KindAvgPool: "avg_pool", nn.KindGlobalAvgPool: "global_avg_pool",
+	nn.KindZeroPad: "zero_pad", nn.KindAdd: "add", nn.KindConcat: "concat",
+	nn.KindFlatten: "flatten", nn.KindDropout: "dropout",
+	nn.KindLayerNorm: "layer_norm", nn.KindSelfAttention: "self_attention",
+	nn.KindTimeDense: "time_dense",
+}
+
+var stringToKind = invertKinds()
+
+func invertKinds() map[string]nn.Kind {
+	m := make(map[string]nn.Kind, len(kindToString))
+	for k, s := range kindToString {
+		m[s] = k
+	}
+	return m
+}
+
+var actToString = map[nn.Act]string{
+	nn.ActNone: "", nn.ActReLU: "relu", nn.ActReLU6: "relu6",
+	nn.ActSigmoid: "sigmoid", nn.ActTanh: "tanh", nn.ActSoftmax: "softmax",
+	nn.ActGELU: "gelu",
+}
+
+var stringToAct = invertActs()
+
+func invertActs() map[string]nn.Act {
+	m := make(map[string]nn.Act, len(actToString))
+	for a, s := range actToString {
+		m[s] = a
+	}
+	return m
+}
+
+// EncodeModel serializes a model description to JSON.
+func EncodeModel(m *nn.Model) ([]byte, error) {
+	doc := modelJSON{Format: formatID, Name: m.Name, InputShape: m.InputShape}
+	for _, l := range m.Layers[1:] { // input layer is implicit
+		ks, ok := kindToString[l.Kind]
+		if !ok {
+			return nil, fmt.Errorf("modelfmt: layer %q has unserializable kind %v", l.Name, l.Kind)
+		}
+		doc.Layers = append(doc.Layers, layerJSON{
+			Name: l.Name, Kind: ks, Inputs: l.Inputs,
+			KH: l.KH, KW: l.KW, Stride: l.Stride, Pad: l.Pad.String(),
+			Filters: l.Filters, Activation: actToString[l.Activation], Eps: l.Eps,
+			PadT: l.PadT, PadB: l.PadB, PadL: l.PadL, PadR: l.PadR,
+			Heads: l.Heads, OutShape: l.OutShape, Params: l.ParamCount, FLOPs: l.FLOPs,
+		})
+	}
+	return json.MarshalIndent(doc, "", " ")
+}
+
+// DecodeModel parses a JSON model description and revalidates the graph.
+func DecodeModel(data []byte) (*nn.Model, error) {
+	var doc modelJSON
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("modelfmt: %w", err)
+	}
+	if doc.Format != formatID {
+		return nil, fmt.Errorf("modelfmt: unknown format %q", doc.Format)
+	}
+	if len(doc.InputShape) == 0 {
+		return nil, fmt.Errorf("modelfmt: missing input shape")
+	}
+	layers := make([]*nn.Layer, 0, len(doc.Layers))
+	for _, lj := range doc.Layers {
+		kind, ok := stringToKind[lj.Kind]
+		if !ok {
+			return nil, fmt.Errorf("modelfmt: layer %q has unknown kind %q", lj.Name, lj.Kind)
+		}
+		act, ok := stringToAct[lj.Activation]
+		if !ok {
+			return nil, fmt.Errorf("modelfmt: layer %q has unknown activation %q", lj.Name, lj.Activation)
+		}
+		pad := tensor.Same
+		if lj.Pad == "valid" {
+			pad = tensor.Valid
+		}
+		layers = append(layers, &nn.Layer{
+			Name: lj.Name, Kind: kind, Inputs: lj.Inputs,
+			KH: lj.KH, KW: lj.KW, Stride: lj.Stride, Pad: pad,
+			Filters: lj.Filters, Activation: act, Eps: lj.Eps,
+			PadT: lj.PadT, PadB: lj.PadB, PadL: lj.PadL, PadR: lj.PadR,
+			Heads: lj.Heads, OutShape: lj.OutShape, ParamCount: lj.Params, FLOPs: lj.FLOPs,
+		})
+	}
+	return nn.NewChainModel(doc.Name, doc.InputShape, layers)
+}

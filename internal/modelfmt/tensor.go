@@ -1,0 +1,89 @@
+package modelfmt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"ampsinf/internal/tensor"
+)
+
+// Tensor wire format (little-endian), used for activations staged through
+// S3 between partition lambdas:
+//
+//	magic [4]byte "AMPT"
+//	rank  uint16, dims []uint32
+//	data  []float32 (bits)
+//	crc   uint32 over everything after the magic
+
+var tensorMagic = [4]byte{'A', 'M', 'P', 'T'}
+
+// EncodeTensor serializes a tensor for transfer.
+func EncodeTensor(t *tensor.Tensor) []byte {
+	shape := t.Shape()
+	data := t.Data()
+	body := make([]byte, 0, 2+4*len(shape)+4*len(data))
+	body = binary.LittleEndian.AppendUint16(body, uint16(len(shape)))
+	for _, d := range shape {
+		body = binary.LittleEndian.AppendUint32(body, uint32(d))
+	}
+	off := len(body)
+	body = append(body, make([]byte, 4*len(data))...)
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(body[off+4*i:], math.Float32bits(v))
+	}
+	out := make([]byte, 0, 4+len(body)+4)
+	out = append(out, tensorMagic[:]...)
+	out = append(out, body...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(body))
+	return out
+}
+
+// DecodeTensor parses a tensor, verifying the checksum.
+func DecodeTensor(data []byte) (*tensor.Tensor, error) {
+	if len(data) < 10 || data[0] != 'A' || data[1] != 'M' || data[2] != 'P' || data[3] != 'T' {
+		return nil, fmt.Errorf("modelfmt: bad tensor magic")
+	}
+	body := data[4 : len(data)-4]
+	r := bytes.NewReader(data[4:])
+	wantCRC := crc32.ChecksumIEEE(body)
+	rank, err := readU16(r)
+	if err != nil {
+		return nil, fmt.Errorf("modelfmt: truncated tensor rank")
+	}
+	shape := make([]int, rank)
+	elems := 1
+	for i := range shape {
+		d, err := readU32(r)
+		if err != nil {
+			return nil, fmt.Errorf("modelfmt: truncated tensor shape")
+		}
+		if d == 0 || d > 1<<28 {
+			return nil, fmt.Errorf("modelfmt: implausible tensor dimension %d", d)
+		}
+		shape[i] = int(d)
+		elems *= int(d)
+	}
+	if len(body) != 2+4*int(rank)+4*elems {
+		return nil, fmt.Errorf("modelfmt: tensor payload is %d bytes, want %d", len(body), 2+4*int(rank)+4*elems)
+	}
+	vals := make([]float32, elems)
+	for i := range vals {
+		bits, err := readU32(r)
+		if err != nil {
+			return nil, fmt.Errorf("modelfmt: truncated tensor data")
+		}
+		vals[i] = math.Float32frombits(bits)
+	}
+	var crcBytes [4]byte
+	if _, err := fullRead(r, crcBytes[:]); err != nil {
+		return nil, fmt.Errorf("modelfmt: truncated tensor checksum")
+	}
+	got := uint32(crcBytes[0]) | uint32(crcBytes[1])<<8 | uint32(crcBytes[2])<<16 | uint32(crcBytes[3])<<24
+	if got != wantCRC {
+		return nil, fmt.Errorf("modelfmt: tensor checksum mismatch (corrupt transfer)")
+	}
+	return tensor.FromSlice(vals, shape...), nil
+}

@@ -1,0 +1,270 @@
+package modelfmt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"ampsinf/internal/nn"
+	"ampsinf/internal/tensor"
+)
+
+// Weights container layout (all integers little-endian):
+//
+//	magic   [4]byte  "AMPW"
+//	version uint16   (1)
+//	nchunks uint32
+//	chunks  × nchunks:
+//	  nameLen uint16, name []byte   — layer name
+//	  index   uint16                — tensor index within the layer
+//	  rank    uint16, dims []uint32 — tensor shape
+//	  data    []float32 (bits as uint32)
+//	  crc     uint32                — CRC-32 over name+index+shape+data
+//
+// Chunks appear in the model's topological order, so splitting by layer
+// range is a contiguous byte-range operation conceptually; Split
+// re-encodes for simplicity and safety.
+
+var weightsMagic = [4]byte{'A', 'M', 'P', 'W'}
+
+const weightsVersion = 1
+
+// EncodeWeights serializes weights for all parameterized layers of m, in
+// topological order.
+func EncodeWeights(m *nn.Model, w nn.Weights) ([]byte, error) {
+	if err := nn.CheckWeights(m, w); err != nil {
+		return nil, fmt.Errorf("modelfmt: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Write(weightsMagic[:])
+	writeU16(&buf, weightsVersion)
+	var nchunks uint32
+	for _, l := range m.Layers {
+		nchunks += uint32(len(w[l.Name]))
+	}
+	writeU32(&buf, nchunks)
+	for _, l := range m.Layers {
+		for i, t := range w[l.Name] {
+			if err := writeChunk(&buf, l.Name, i, t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeWeights parses a weights container and verifies every chunk's
+// checksum. The result is validated against the model's weight specs.
+func DecodeWeights(m *nn.Model, data []byte) (nn.Weights, error) {
+	r := bytes.NewReader(data)
+	var magic [4]byte
+	if _, err := r.Read(magic[:]); err != nil || magic != weightsMagic {
+		return nil, fmt.Errorf("modelfmt: bad weights magic")
+	}
+	ver, err := readU16(r)
+	if err != nil || ver != weightsVersion {
+		return nil, fmt.Errorf("modelfmt: unsupported weights version %d", ver)
+	}
+	nchunks, err := readU32(r)
+	if err != nil {
+		return nil, fmt.Errorf("modelfmt: truncated header")
+	}
+	w := make(nn.Weights)
+	for c := uint32(0); c < nchunks; c++ {
+		name, idx, t, err := readChunk(r)
+		if err != nil {
+			return nil, fmt.Errorf("modelfmt: chunk %d: %w", c, err)
+		}
+		if int(idx) != len(w[name]) {
+			return nil, fmt.Errorf("modelfmt: chunk %d for %q out of order (index %d, have %d)", c, name, idx, len(w[name]))
+		}
+		w[name] = append(w[name], t)
+	}
+	if err := nn.CheckWeights(m, w); err != nil {
+		return nil, fmt.Errorf("modelfmt: decoded weights invalid: %w", err)
+	}
+	return w, nil
+}
+
+// SplitWeights encodes per-partition weight containers for the layer
+// ranges implied by bounds: partition p covers layers [bounds[p],
+// bounds[p+1]). Each blob validates against the corresponding partition
+// model produced by (*nn.Model).Partition.
+func SplitWeights(m *nn.Model, w nn.Weights, bounds []int) ([][]byte, error) {
+	if len(bounds) < 2 {
+		return nil, fmt.Errorf("modelfmt: need at least two bounds, got %v", bounds)
+	}
+	blobs := make([][]byte, 0, len(bounds)-1)
+	for p := 0; p+1 < len(bounds); p++ {
+		lo, hi := bounds[p], bounds[p+1]
+		part, err := m.Partition(lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		sub := nn.SubsetWeights(m, w, lo, hi)
+		blob, err := EncodeWeights(part, sub)
+		if err != nil {
+			return nil, fmt.Errorf("modelfmt: partition %d: %w", p, err)
+		}
+		blobs = append(blobs, blob)
+	}
+	return blobs, nil
+}
+
+// MergeWeights reassembles full-model weights from per-partition blobs
+// produced by SplitWeights with the same bounds.
+func MergeWeights(m *nn.Model, blobs [][]byte, bounds []int) (nn.Weights, error) {
+	if len(blobs) != len(bounds)-1 {
+		return nil, fmt.Errorf("modelfmt: %d blobs for %d partitions", len(blobs), len(bounds)-1)
+	}
+	w := make(nn.Weights)
+	for p, blob := range blobs {
+		part, err := m.Partition(bounds[p], bounds[p+1])
+		if err != nil {
+			return nil, err
+		}
+		pw, err := DecodeWeights(part, blob)
+		if err != nil {
+			return nil, fmt.Errorf("modelfmt: partition %d: %w", p, err)
+		}
+		for name, ts := range pw {
+			w[name] = ts
+		}
+	}
+	if err := nn.CheckWeights(m, w); err != nil {
+		return nil, fmt.Errorf("modelfmt: merged weights invalid: %w", err)
+	}
+	return w, nil
+}
+
+func writeChunk(buf *bytes.Buffer, name string, idx int, t *tensor.Tensor) error {
+	if len(name) > math.MaxUint16 {
+		return fmt.Errorf("modelfmt: layer name too long (%d bytes)", len(name))
+	}
+	shape := t.Shape()
+	data := t.Data()
+	body := make([]byte, 0, 2+len(name)+2+2+4*len(shape)+4*len(data))
+	body = binary.LittleEndian.AppendUint16(body, uint16(len(name)))
+	body = append(body, name...)
+	body = binary.LittleEndian.AppendUint16(body, uint16(idx))
+	body = binary.LittleEndian.AppendUint16(body, uint16(len(shape)))
+	for _, d := range shape {
+		body = binary.LittleEndian.AppendUint32(body, uint32(d))
+	}
+	// Bulk-append the float payload: this path moves whole models, so it
+	// must not pay a function call per element.
+	off := len(body)
+	body = append(body, make([]byte, 4*len(data))...)
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(body[off+4*i:], math.Float32bits(v))
+	}
+	buf.Write(body)
+	writeU32(buf, crc32.ChecksumIEEE(body))
+	return nil
+}
+
+func readChunk(r *bytes.Reader) (name string, idx uint16, t *tensor.Tensor, err error) {
+	start := r.Size() - int64(r.Len())
+	nameLen, err := readU16(r)
+	if err != nil {
+		return "", 0, nil, fmt.Errorf("truncated name length")
+	}
+	nameBytes := make([]byte, nameLen)
+	if _, err := fullRead(r, nameBytes); err != nil {
+		return "", 0, nil, fmt.Errorf("truncated name")
+	}
+	idx, err = readU16(r)
+	if err != nil {
+		return "", 0, nil, fmt.Errorf("truncated index")
+	}
+	rank, err := readU16(r)
+	if err != nil {
+		return "", 0, nil, fmt.Errorf("truncated rank")
+	}
+	shape := make([]int, rank)
+	elems := 1
+	for i := range shape {
+		d, err := readU32(r)
+		if err != nil {
+			return "", 0, nil, fmt.Errorf("truncated shape")
+		}
+		if d == 0 || d > 1<<24 {
+			return "", 0, nil, fmt.Errorf("implausible dimension %d", d)
+		}
+		shape[i] = int(d)
+		elems *= int(d)
+	}
+	if int64(elems) > int64(r.Len())/4+1 {
+		return "", 0, nil, fmt.Errorf("chunk claims %d elements, only %d bytes remain", elems, r.Len())
+	}
+	raw4 := make([]byte, 4*elems)
+	if _, err := fullRead(r, raw4); err != nil {
+		return "", 0, nil, fmt.Errorf("truncated data")
+	}
+	data := make([]float32, elems)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw4[4*i:]))
+	}
+	end := r.Size() - int64(r.Len())
+	wantCRC, err := readU32(r)
+	if err != nil {
+		return "", 0, nil, fmt.Errorf("truncated checksum")
+	}
+	// Recompute CRC over the raw chunk bytes.
+	raw := make([]byte, end-start)
+	if _, err := r.Seek(start, 0); err != nil {
+		return "", 0, nil, err
+	}
+	if _, err := fullRead(r, raw); err != nil {
+		return "", 0, nil, err
+	}
+	if _, err := r.Seek(end+4, 0); err != nil {
+		return "", 0, nil, err
+	}
+	if got := crc32.ChecksumIEEE(raw); got != wantCRC {
+		return "", 0, nil, fmt.Errorf("checksum mismatch for %q (corrupt weights)", string(nameBytes))
+	}
+	return string(nameBytes), idx, tensor.FromSlice(data, shape...), nil
+}
+
+func fullRead(r *bytes.Reader, p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		k, err := r.Read(p[n:])
+		n += k
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func writeU16(buf *bytes.Buffer, v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeU32(buf *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	buf.Write(b[:])
+}
+
+func readU16(r *bytes.Reader) (uint16, error) {
+	var b [2]byte
+	if _, err := fullRead(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b[:]), nil
+}
+
+func readU32(r *bytes.Reader) (uint32, error) {
+	var b [4]byte
+	if _, err := fullRead(r, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}

@@ -1,0 +1,305 @@
+package nn
+
+import (
+	"fmt"
+
+	"ampsinf/internal/tensor"
+)
+
+// Builder constructs models layer by layer, inferring output shapes,
+// parameter counts and FLOPs as layers are added. All Add* methods panic
+// on structural errors (mirroring Keras, where graph construction errors
+// are programming errors, not runtime conditions).
+type Builder struct {
+	model *Model
+}
+
+// NewBuilder starts a model with the given per-example input shape
+// (H, W, C for images; the builder prepends the batch dimension).
+func NewBuilder(name string, inputShape ...int) *Builder {
+	shape := append(tensor.Shape{1}, inputShape...)
+	in := &Layer{Name: "input", Kind: KindInput, OutShape: shape}
+	m := &Model{
+		Name:       name,
+		InputShape: shape,
+		Layers:     []*Layer{in},
+		index:      map[string]int{"input": 0},
+	}
+	return &Builder{model: m}
+}
+
+// Input returns the name of the model's input layer.
+func (b *Builder) Input() string { return "input" }
+
+// Model finalizes and returns the model, validating structure.
+func (b *Builder) Model() *Model {
+	if err := b.model.Validate(); err != nil {
+		panic(err)
+	}
+	return b.model
+}
+
+func (b *Builder) shapeOf(name string) tensor.Shape {
+	l := b.model.Layer(name)
+	if l == nil {
+		panic(fmt.Sprintf("nn: unknown layer %q", name))
+	}
+	return l.OutShape
+}
+
+func (b *Builder) add(l *Layer) string {
+	if _, dup := b.model.index[l.Name]; dup {
+		panic(fmt.Sprintf("nn: duplicate layer name %q", l.Name))
+	}
+	b.model.index[l.Name] = len(b.model.Layers)
+	b.model.Layers = append(b.model.Layers, l)
+	return l.Name
+}
+
+// Conv adds a standard convolution with fused activation.
+func (b *Builder) Conv(name, in string, filters, kh, kw, stride int, pad tensor.Padding, act Act) string {
+	s := b.shapeOf(in)
+	if len(s) != 4 {
+		panic(fmt.Sprintf("nn: conv %q needs rank-4 input, got %v", name, s))
+	}
+	out := tensor.ConvOutShape(s, kh, kw, stride, pad, filters)
+	cin := s[3]
+	params := int64(kh*kw*cin*filters + filters)
+	flops := 2 * int64(out[1]*out[2]) * int64(kh*kw*cin) * int64(filters)
+	return b.add(&Layer{
+		Name: name, Kind: KindConv2D, Inputs: []string{in},
+		KH: kh, KW: kw, Stride: stride, Pad: pad, Filters: filters, Activation: act,
+		OutShape: out, ParamCount: params, FLOPs: flops,
+	})
+}
+
+// DepthwiseConv adds a depthwise convolution with fused activation.
+func (b *Builder) DepthwiseConv(name, in string, kh, kw, stride int, pad tensor.Padding, act Act) string {
+	s := b.shapeOf(in)
+	if len(s) != 4 {
+		panic(fmt.Sprintf("nn: depthwise %q needs rank-4 input, got %v", name, s))
+	}
+	c := s[3]
+	out := tensor.ConvOutShape(s, kh, kw, stride, pad, c)
+	params := int64(kh*kw*c + c)
+	flops := 2 * int64(out[1]*out[2]) * int64(kh*kw) * int64(c)
+	return b.add(&Layer{
+		Name: name, Kind: KindDepthwiseConv2D, Inputs: []string{in},
+		KH: kh, KW: kw, Stride: stride, Pad: pad, Activation: act,
+		OutShape: out, ParamCount: params, FLOPs: flops,
+	})
+}
+
+// SeparableConv adds a depthwise-separable convolution (depthwise + 1×1
+// pointwise) with fused activation.
+func (b *Builder) SeparableConv(name, in string, filters, kh, kw, stride int, pad tensor.Padding, act Act) string {
+	s := b.shapeOf(in)
+	if len(s) != 4 {
+		panic(fmt.Sprintf("nn: separable %q needs rank-4 input, got %v", name, s))
+	}
+	cin := s[3]
+	out := tensor.ConvOutShape(s, kh, kw, stride, pad, filters)
+	params := int64(kh*kw*cin) + int64(cin*filters+filters)
+	flops := 2*int64(out[1]*out[2])*int64(kh*kw)*int64(cin) +
+		2*int64(out[1]*out[2])*int64(cin)*int64(filters)
+	return b.add(&Layer{
+		Name: name, Kind: KindSeparableConv2D, Inputs: []string{in},
+		KH: kh, KW: kw, Stride: stride, Pad: pad, Filters: filters, Activation: act,
+		OutShape: out, ParamCount: params, FLOPs: flops,
+	})
+}
+
+// Dense adds a fully-connected layer over a rank-2 input.
+func (b *Builder) Dense(name, in string, units int, act Act) string {
+	s := b.shapeOf(in)
+	if len(s) != 2 {
+		panic(fmt.Sprintf("nn: dense %q needs rank-2 input, got %v (flatten first)", name, s))
+	}
+	k := s[1]
+	return b.add(&Layer{
+		Name: name, Kind: KindDense, Inputs: []string{in},
+		Filters: units, Activation: act,
+		OutShape:   tensor.Shape{s[0], units},
+		ParamCount: int64(k*units + units),
+		FLOPs:      2 * int64(k) * int64(units),
+	})
+}
+
+// BatchNorm adds inference-time batch normalization over the channel dim.
+func (b *Builder) BatchNorm(name, in string) string {
+	s := b.shapeOf(in)
+	c := s[len(s)-1]
+	return b.add(&Layer{
+		Name: name, Kind: KindBatchNorm, Inputs: []string{in}, Eps: 1e-3,
+		OutShape:   s.Clone(),
+		ParamCount: int64(4 * c),
+		FLOPs:      2 * int64(s.Elems()),
+	})
+}
+
+// Activation adds a standalone activation layer.
+func (b *Builder) Activation(name, in string, act Act) string {
+	s := b.shapeOf(in)
+	return b.add(&Layer{
+		Name: name, Kind: KindActivation, Inputs: []string{in}, Activation: act,
+		OutShape: s.Clone(), FLOPs: int64(s.Elems()),
+	})
+}
+
+// MaxPool adds spatial max pooling.
+func (b *Builder) MaxPool(name, in string, k, stride int, pad tensor.Padding) string {
+	return b.pool(name, in, KindMaxPool, k, stride, pad)
+}
+
+// AvgPool adds spatial average pooling.
+func (b *Builder) AvgPool(name, in string, k, stride int, pad tensor.Padding) string {
+	return b.pool(name, in, KindAvgPool, k, stride, pad)
+}
+
+func (b *Builder) pool(name, in string, kind Kind, k, stride int, pad tensor.Padding) string {
+	s := b.shapeOf(in)
+	if len(s) != 4 {
+		panic(fmt.Sprintf("nn: pool %q needs rank-4 input, got %v", name, s))
+	}
+	out := tensor.ConvOutShape(s, k, k, stride, pad, s[3])
+	return b.add(&Layer{
+		Name: name, Kind: kind, Inputs: []string{in},
+		KH: k, KW: k, Stride: stride, Pad: pad,
+		OutShape: out, FLOPs: int64(out.Elems()) * int64(k*k),
+	})
+}
+
+// GlobalAvgPool reduces spatial dimensions to a rank-2 [N, C] output.
+func (b *Builder) GlobalAvgPool(name, in string) string {
+	s := b.shapeOf(in)
+	if len(s) != 4 {
+		panic(fmt.Sprintf("nn: global pool %q needs rank-4 input, got %v", name, s))
+	}
+	return b.add(&Layer{
+		Name: name, Kind: KindGlobalAvgPool, Inputs: []string{in},
+		OutShape: tensor.Shape{s[0], s[3]}, FLOPs: int64(s.Elems()),
+	})
+}
+
+// ZeroPad adds explicit spatial zero padding.
+func (b *Builder) ZeroPad(name, in string, top, bottom, left, right int) string {
+	s := b.shapeOf(in)
+	if len(s) != 4 {
+		panic(fmt.Sprintf("nn: zeropad %q needs rank-4 input, got %v", name, s))
+	}
+	out := tensor.Shape{s[0], s[1] + top + bottom, s[2] + left + right, s[3]}
+	return b.add(&Layer{
+		Name: name, Kind: KindZeroPad, Inputs: []string{in},
+		PadT: top, PadB: bottom, PadL: left, PadR: right,
+		OutShape: out,
+	})
+}
+
+// Add merges branches with elementwise addition (residual connections).
+func (b *Builder) Add(name string, act Act, ins ...string) string {
+	if len(ins) < 2 {
+		panic(fmt.Sprintf("nn: add %q needs ≥2 inputs", name))
+	}
+	s := b.shapeOf(ins[0])
+	for _, in := range ins[1:] {
+		if !b.shapeOf(in).Equal(s) {
+			panic(fmt.Sprintf("nn: add %q shape mismatch %v vs %v", name, s, b.shapeOf(in)))
+		}
+	}
+	return b.add(&Layer{
+		Name: name, Kind: KindAdd, Inputs: append([]string(nil), ins...),
+		Activation: act, OutShape: s.Clone(), FLOPs: int64(s.Elems()) * int64(len(ins)),
+	})
+}
+
+// Concat merges branches along the channel axis.
+func (b *Builder) Concat(name string, ins ...string) string {
+	if len(ins) < 2 {
+		panic(fmt.Sprintf("nn: concat %q needs ≥2 inputs", name))
+	}
+	first := b.shapeOf(ins[0])
+	if len(first) != 4 {
+		panic(fmt.Sprintf("nn: concat %q needs rank-4 inputs, got %v", name, first))
+	}
+	totalC := 0
+	for _, in := range ins {
+		s := b.shapeOf(in)
+		if len(s) != 4 || s[1] != first[1] || s[2] != first[2] {
+			panic(fmt.Sprintf("nn: concat %q spatial mismatch %v vs %v", name, first, s))
+		}
+		totalC += s[3]
+	}
+	out := tensor.Shape{first[0], first[1], first[2], totalC}
+	return b.add(&Layer{
+		Name: name, Kind: KindConcat, Inputs: append([]string(nil), ins...),
+		OutShape: out,
+	})
+}
+
+// Flatten collapses non-batch dimensions.
+func (b *Builder) Flatten(name, in string) string {
+	s := b.shapeOf(in)
+	return b.add(&Layer{
+		Name: name, Kind: KindFlatten, Inputs: []string{in},
+		OutShape: tensor.Shape{s[0], s.Elems() / s[0]},
+	})
+}
+
+// Dropout adds an inference-time no-op dropout marker (kept so layer
+// counts match published architectures).
+func (b *Builder) Dropout(name, in string) string {
+	s := b.shapeOf(in)
+	return b.add(&Layer{
+		Name: name, Kind: KindDropout, Inputs: []string{in},
+		OutShape: s.Clone(),
+	})
+}
+
+// LayerNorm adds transformer layer normalization over the feature dim.
+func (b *Builder) LayerNorm(name, in string) string {
+	s := b.shapeOf(in)
+	c := s[len(s)-1]
+	return b.add(&Layer{
+		Name: name, Kind: KindLayerNorm, Inputs: []string{in}, Eps: 1e-6,
+		OutShape:   s.Clone(),
+		ParamCount: int64(2 * c),
+		FLOPs:      4 * int64(s.Elems()),
+	})
+}
+
+// SelfAttention adds multi-head self-attention over a [T, D] sequence
+// (rank-3 with the batch dim).
+func (b *Builder) SelfAttention(name, in string, heads int) string {
+	s := b.shapeOf(in)
+	if len(s) != 3 {
+		panic(fmt.Sprintf("nn: attention %q needs rank-3 [N, T, D] input, got %v", name, s))
+	}
+	t, d := s[1], s[2]
+	if heads <= 0 || d%heads != 0 {
+		panic(fmt.Sprintf("nn: attention %q: %d heads do not divide dim %d", name, heads, d))
+	}
+	params := int64(4 * (d*d + d))
+	// Projections (4·T·D² MACs) + scores and context (2·T²·D MACs), ×2.
+	flops := 2*int64(4*t)*int64(d)*int64(d) + 2*2*int64(t)*int64(t)*int64(d)
+	return b.add(&Layer{
+		Name: name, Kind: KindSelfAttention, Inputs: []string{in}, Heads: heads,
+		OutShape: s.Clone(), ParamCount: params, FLOPs: flops,
+	})
+}
+
+// TimeDense applies a position-wise dense layer along the last dim of a
+// rank-3 sequence (the transformer feed-forward projection).
+func (b *Builder) TimeDense(name, in string, units int, act Act) string {
+	s := b.shapeOf(in)
+	if len(s) != 3 {
+		panic(fmt.Sprintf("nn: timedense %q needs rank-3 input, got %v", name, s))
+	}
+	d := s[2]
+	return b.add(&Layer{
+		Name: name, Kind: KindTimeDense, Inputs: []string{in},
+		Filters: units, Activation: act,
+		OutShape:   tensor.Shape{s[0], s[1], units},
+		ParamCount: int64(d*units + units),
+		FLOPs:      2 * int64(s[1]) * int64(d) * int64(units),
+	})
+}

@@ -1,0 +1,155 @@
+package nn
+
+import (
+	"fmt"
+
+	"ampsinf/internal/tensor"
+)
+
+// Forward executes the whole model on input and returns the final output.
+func (m *Model) Forward(w Weights, input *tensor.Tensor) (*tensor.Tensor, error) {
+	return m.ForwardRange(w, 1, len(m.Layers), input)
+}
+
+// ForwardRange executes layers in topological positions [lo, hi) — one
+// model partition. The partition's entry tensor is input (the output of
+// layer lo-1, or the model input when lo == 1); the partition must be a
+// valid segment range, i.e. no layer inside references an output produced
+// before lo-1 (see CutPoints). The output of layer hi-1 is returned.
+func (m *Model) ForwardRange(w Weights, lo, hi int, input *tensor.Tensor) (*tensor.Tensor, error) {
+	if lo < 1 || hi > len(m.Layers) || lo >= hi {
+		return nil, fmt.Errorf("nn: invalid layer range [%d, %d) of %d", lo, hi, len(m.Layers))
+	}
+	// Activations live in a map keyed by producer name. The entry tensor
+	// is registered under the name of layer lo-1 (input layer for lo==1).
+	acts := map[string]*tensor.Tensor{m.Layers[lo-1].Name: input}
+
+	// Reference counts: free activations when their last in-range consumer
+	// has executed, bounding peak memory the way a real runtime would.
+	refs := make(map[string]int)
+	for i := lo; i < hi; i++ {
+		for _, in := range m.Layers[i].Inputs {
+			refs[in]++
+		}
+	}
+
+	var out *tensor.Tensor
+	for i := lo; i < hi; i++ {
+		l := m.Layers[i]
+		ins := make([]*tensor.Tensor, len(l.Inputs))
+		for j, name := range l.Inputs {
+			t, ok := acts[name]
+			if !ok {
+				return nil, fmt.Errorf("nn: layer %q needs %q, which is outside partition [%d, %d) — not a valid cut", l.Name, name, lo, hi)
+			}
+			ins[j] = t
+		}
+		t, err := m.eval(l, w, ins)
+		if err != nil {
+			return nil, err
+		}
+		acts[l.Name] = t
+		out = t
+		for _, name := range l.Inputs {
+			refs[name]--
+			if refs[name] == 0 {
+				delete(acts, name)
+			}
+		}
+	}
+	return out, nil
+}
+
+func (m *Model) eval(l *Layer, w Weights, ins []*tensor.Tensor) (t *tensor.Tensor, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("nn: layer %q (%v): %v", l.Name, l.Kind, r)
+		}
+	}()
+	ws := w[l.Name]
+	need := len(m.WeightSpecs(l))
+	if len(ws) != need {
+		return nil, fmt.Errorf("nn: layer %q has %d weight tensors, want %d", l.Name, len(ws), need)
+	}
+	x := ins[0]
+	switch l.Kind {
+	case KindInput:
+		t = x
+	case KindConv2D:
+		t = tensor.Conv2D(x, ws[0], ws[1], l.Stride, l.Pad)
+	case KindDepthwiseConv2D:
+		t = tensor.DepthwiseConv2D(x, ws[0], ws[1], l.Stride, l.Pad)
+	case KindSeparableConv2D:
+		t = tensor.SeparableConv2D(x, ws[0], ws[1], ws[2], l.Stride, l.Pad)
+	case KindDense:
+		t = tensor.Dense(x, ws[0], ws[1])
+	case KindBatchNorm:
+		t = tensor.BatchNorm(x, ws[0], ws[1], ws[2], ws[3], l.Eps)
+	case KindActivation:
+		t = x
+	case KindMaxPool:
+		t = tensor.MaxPool2D(x, l.KH, l.Stride, l.Pad)
+	case KindAvgPool:
+		t = tensor.AvgPool2D(x, l.KH, l.Stride, l.Pad)
+	case KindGlobalAvgPool:
+		t = tensor.GlobalAvgPool2D(x)
+	case KindZeroPad:
+		t = tensor.ZeroPad2D(x, l.PadT, l.PadB, l.PadL, l.PadR)
+	case KindAdd:
+		t = ins[0]
+		for _, o := range ins[1:] {
+			t = tensor.Add(t, o)
+		}
+	case KindConcat:
+		t = tensor.ConcatChannels(ins...)
+	case KindFlatten:
+		t = tensor.Flatten(x)
+	case KindDropout:
+		t = x
+	case KindLayerNorm:
+		t = tensor.LayerNorm(x, ws[0], ws[1], l.Eps)
+	case KindSelfAttention:
+		t = tensor.SelfAttention(x, ws[0], ws[1], ws[2], ws[3], ws[4], ws[5], ws[6], ws[7], l.Heads)
+	case KindTimeDense:
+		n, tl, d := x.Shape()[0], x.Shape()[1], x.Shape()[2]
+		_ = d
+		flat := tensor.Dense(x.Reshape(n*tl, x.Shape()[2]), ws[0], ws[1])
+		t = flat.Reshape(n, tl, l.Filters)
+	default:
+		return nil, fmt.Errorf("nn: layer %q has unknown kind %v", l.Name, l.Kind)
+	}
+	t = applyAct(t, l.Activation)
+	if !t.Shape().Equal(batchAdjusted(l.OutShape, ins[0].Shape())) {
+		return nil, fmt.Errorf("nn: layer %q produced shape %v, inferred %v", l.Name, t.Shape(), l.OutShape)
+	}
+	return t, nil
+}
+
+// batchAdjusted replaces the reference batch dim (1) with the runtime one.
+func batchAdjusted(inferred, runtimeIn tensor.Shape) tensor.Shape {
+	s := inferred.Clone()
+	if len(s) > 0 && len(runtimeIn) > 0 {
+		s[0] = runtimeIn[0]
+	}
+	return s
+}
+
+func applyAct(t *tensor.Tensor, a Act) *tensor.Tensor {
+	switch a {
+	case ActNone:
+		return t
+	case ActReLU:
+		return tensor.ReLU(t)
+	case ActReLU6:
+		return tensor.ReLU6(t)
+	case ActSigmoid:
+		return tensor.Sigmoid(t)
+	case ActTanh:
+		return tensor.Tanh(t)
+	case ActSoftmax:
+		return tensor.Softmax(t)
+	case ActGELU:
+		return tensor.GELU(t)
+	}
+	return t
+}

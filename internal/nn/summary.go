@@ -1,0 +1,30 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Summary renders a Keras-style model summary: one row per layer with
+// output shape and parameter count, followed by totals.
+func (m *Model) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Model: %q\n", m.Name)
+	fmt.Fprintf(&b, "%-28s %-20s %-16s %12s\n", "Layer (type)", "Output Shape", "Connected to", "Param #")
+	b.WriteString(strings.Repeat("-", 80) + "\n")
+	for _, l := range m.Layers {
+		conn := strings.Join(l.Inputs, ",")
+		if len(conn) > 16 {
+			conn = conn[:13] + "..."
+		}
+		name := fmt.Sprintf("%s (%s)", l.Name, l.Kind)
+		if len(name) > 28 {
+			name = name[:25] + "..."
+		}
+		fmt.Fprintf(&b, "%-28s %-20s %-16s %12d\n", name, l.OutShape.String(), conn, l.ParamCount)
+	}
+	b.WriteString(strings.Repeat("-", 80) + "\n")
+	fmt.Fprintf(&b, "Total layers: %d   Total params: %d (%.1f MB)   FLOPs/example: %.2fG\n",
+		m.NumLayers(), m.TotalParams(), float64(m.WeightBytes())/(1<<20), float64(m.TotalFLOPs())/1e9)
+	return b.String()
+}

@@ -1,0 +1,157 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ampsinf/internal/tensor"
+)
+
+// Weights maps layer name → that layer's parameter tensors, in the order
+// given by WeightSpecs.
+type Weights map[string][]*tensor.Tensor
+
+// WeightSpecs returns the parameter tensor shapes a layer requires, given
+// its (already-inferred) configuration. Layers without parameters return
+// nil.
+func (m *Model) WeightSpecs(l *Layer) []tensor.Shape {
+	inShape := func() tensor.Shape {
+		return m.Layer(l.Inputs[0]).OutShape
+	}
+	switch l.Kind {
+	case KindConv2D:
+		s := inShape()
+		return []tensor.Shape{
+			{l.KH, l.KW, s[3], l.Filters}, // kernel
+			{l.Filters},                   // bias
+		}
+	case KindDepthwiseConv2D:
+		s := inShape()
+		return []tensor.Shape{
+			{l.KH, l.KW, s[3], 1},
+			{s[3]},
+		}
+	case KindSeparableConv2D:
+		s := inShape()
+		return []tensor.Shape{
+			{l.KH, l.KW, s[3], 1},   // depthwise kernel
+			{1, 1, s[3], l.Filters}, // pointwise kernel
+			{l.Filters},             // bias
+		}
+	case KindDense:
+		s := inShape()
+		return []tensor.Shape{
+			{s[1], l.Filters},
+			{l.Filters},
+		}
+	case KindBatchNorm:
+		s := inShape()
+		c := s[len(s)-1]
+		return []tensor.Shape{{c}, {c}, {c}, {c}} // gamma, beta, mean, variance
+	case KindLayerNorm:
+		s := inShape()
+		c := s[len(s)-1]
+		return []tensor.Shape{{c}, {c}} // gamma, beta
+	case KindSelfAttention:
+		s := inShape()
+		d := s[len(s)-1]
+		return []tensor.Shape{
+			{d, d}, {d}, // Wq, bq
+			{d, d}, {d}, // Wk, bk
+			{d, d}, {d}, // Wv, bv
+			{d, d}, {d}, // Wo, bo
+		}
+	case KindTimeDense:
+		s := inShape()
+		return []tensor.Shape{{s[len(s)-1], l.Filters}, {l.Filters}}
+	default:
+		return nil
+	}
+}
+
+// InitWeights deterministically initializes all model parameters from the
+// seed, using fan-in-scaled normal weights, zero biases, and identity-like
+// batch-norm statistics. The same (model, seed) always produces the same
+// weights, which the split/merge and partition-equivalence tests rely on.
+func InitWeights(m *Model, seed int64) Weights {
+	rng := rand.New(rand.NewSource(seed))
+	w := make(Weights, len(m.Layers))
+	for _, l := range m.Layers {
+		specs := m.WeightSpecs(l)
+		if len(specs) == 0 {
+			continue
+		}
+		ts := make([]*tensor.Tensor, len(specs))
+		for i, shape := range specs {
+			t := tensor.New(shape...)
+			switch {
+			case l.Kind == KindBatchNorm && (i == 0 || i == 3):
+				// gamma = 1, variance = 1.
+				t.Fill(1)
+			case l.Kind == KindBatchNorm:
+				// beta = 0, mean = 0: already zero.
+			case l.Kind == KindLayerNorm && i == 0:
+				t.Fill(1) // gamma = 1
+			case l.Kind == KindLayerNorm:
+				// beta = 0: already zero.
+			case len(shape) == 1:
+				// biases: zero.
+			default:
+				fanIn := shape.Elems() / shape[len(shape)-1]
+				if fanIn < 1 {
+					fanIn = 1
+				}
+				std := float32(math.Sqrt(2 / float64(fanIn)))
+				for j := range t.Data() {
+					t.Data()[j] = float32(rng.NormFloat64()) * std
+				}
+			}
+			ts[i] = t
+		}
+		w[l.Name] = ts
+	}
+	return w
+}
+
+// CheckWeights verifies that w contains exactly the tensors the model
+// requires, with matching shapes.
+func CheckWeights(m *Model, w Weights) error {
+	for _, l := range m.Layers {
+		specs := m.WeightSpecs(l)
+		got := w[l.Name]
+		if len(specs) == 0 {
+			if len(got) != 0 {
+				return fmt.Errorf("nn: layer %q should have no weights, has %d tensors", l.Name, len(got))
+			}
+			continue
+		}
+		if len(got) != len(specs) {
+			return fmt.Errorf("nn: layer %q has %d weight tensors, want %d", l.Name, len(got), len(specs))
+		}
+		for i, spec := range specs {
+			if !got[i].Shape().Equal(spec) {
+				return fmt.Errorf("nn: layer %q weight %d shape %v, want %v", l.Name, i, got[i].Shape(), spec)
+			}
+		}
+	}
+	for name := range w {
+		if m.Layer(name) == nil {
+			return fmt.Errorf("nn: weights contain unknown layer %q", name)
+		}
+	}
+	return nil
+}
+
+// SubsetWeights returns the weights for layers in positions [lo, hi) of
+// the model's topological order.
+func SubsetWeights(m *Model, w Weights, lo, hi int) Weights {
+	out := make(Weights)
+	for i := lo; i < hi && i < len(m.Layers); i++ {
+		name := m.Layers[i].Name
+		if ts, ok := w[name]; ok {
+			out[name] = ts
+		}
+	}
+	return out
+}

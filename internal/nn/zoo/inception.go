@@ -1,0 +1,111 @@
+package zoo
+
+import (
+	"fmt"
+
+	"ampsinf/internal/nn"
+	"ampsinf/internal/tensor"
+)
+
+// InceptionV3 builds the Inception-V3 network of Szegedy et al. (CVPR
+// 2016) following the Keras Applications graph: factorized stem, three
+// 35×35 inception blocks, a grid reduction, four 17×17 blocks with
+// 1×7/7×1 factorized convolutions, a second reduction, and two 8×8
+// blocks with expanded filter banks. ≈23.9 M parameters (≈92 MB),
+// matching the paper's Table 1 row for InceptionV3.
+func InceptionV3(inputSize int) *nn.Model {
+	if inputSize == 0 {
+		inputSize = 299
+	}
+	b := nn.NewBuilder("inceptionv3", inputSize, inputSize, 3)
+	cb := func(prefix, in string, filters, kh, kw, stride int, pad tensor.Padding) string {
+		return convBNAct(b, prefix, in, filters, kh, kw, stride, pad, nn.ActReLU)
+	}
+
+	// Stem.
+	x := cb("stem1", b.Input(), 32, 3, 3, 2, tensor.Valid)
+	x = cb("stem2", x, 32, 3, 3, 1, tensor.Valid)
+	x = cb("stem3", x, 64, 3, 3, 1, tensor.Same)
+	x = b.MaxPool("stem_pool1", x, 3, 2, tensor.Valid)
+	x = cb("stem4", x, 80, 1, 1, 1, tensor.Valid)
+	x = cb("stem5", x, 192, 3, 3, 1, tensor.Valid)
+	x = b.MaxPool("stem_pool2", x, 3, 2, tensor.Valid)
+
+	// Three 35×35 blocks (mixed0–mixed2); pool-branch filters 32, 64, 64.
+	for i, poolF := range []int{32, 64, 64} {
+		p := fmt.Sprintf("mixed%d", i)
+		b1 := cb(p+"_1x1", x, 64, 1, 1, 1, tensor.Same)
+		b5 := cb(p+"_5x5a", x, 48, 1, 1, 1, tensor.Same)
+		b5 = cb(p+"_5x5b", b5, 64, 5, 5, 1, tensor.Same)
+		b3 := cb(p+"_3x3a", x, 64, 1, 1, 1, tensor.Same)
+		b3 = cb(p+"_3x3b", b3, 96, 3, 3, 1, tensor.Same)
+		b3 = cb(p+"_3x3c", b3, 96, 3, 3, 1, tensor.Same)
+		bp := b.AvgPool(p+"_pool", x, 3, 1, tensor.Same)
+		bp = cb(p+"_poolproj", bp, poolF, 1, 1, 1, tensor.Same)
+		x = b.Concat(p, b1, b5, b3, bp)
+	}
+
+	// Grid reduction to 17×17 (mixed3).
+	{
+		p := "mixed3"
+		r1 := cb(p+"_3x3", x, 384, 3, 3, 2, tensor.Valid)
+		r2 := cb(p+"_dbla", x, 64, 1, 1, 1, tensor.Same)
+		r2 = cb(p+"_dblb", r2, 96, 3, 3, 1, tensor.Same)
+		r2 = cb(p+"_dblc", r2, 96, 3, 3, 2, tensor.Valid)
+		rp := b.MaxPool(p+"_pool", x, 3, 2, tensor.Valid)
+		x = b.Concat(p, r1, r2, rp)
+	}
+
+	// Four 17×17 blocks with factorized 7×7 (mixed4–mixed7); inner
+	// channel widths 128, 160, 160, 192.
+	for i, c := range []int{128, 160, 160, 192} {
+		p := fmt.Sprintf("mixed%d", i+4)
+		b1 := cb(p+"_1x1", x, 192, 1, 1, 1, tensor.Same)
+		b7 := cb(p+"_7x7a", x, c, 1, 1, 1, tensor.Same)
+		b7 = cb(p+"_7x7b", b7, c, 1, 7, 1, tensor.Same)
+		b7 = cb(p+"_7x7c", b7, 192, 7, 1, 1, tensor.Same)
+		bd := cb(p+"_dbla", x, c, 1, 1, 1, tensor.Same)
+		bd = cb(p+"_dblb", bd, c, 7, 1, 1, tensor.Same)
+		bd = cb(p+"_dblc", bd, c, 1, 7, 1, tensor.Same)
+		bd = cb(p+"_dbld", bd, c, 7, 1, 1, tensor.Same)
+		bd = cb(p+"_dble", bd, 192, 1, 7, 1, tensor.Same)
+		bp := b.AvgPool(p+"_pool", x, 3, 1, tensor.Same)
+		bp = cb(p+"_poolproj", bp, 192, 1, 1, 1, tensor.Same)
+		x = b.Concat(p, b1, b7, bd, bp)
+	}
+
+	// Grid reduction to 8×8 (mixed8).
+	{
+		p := "mixed8"
+		r1 := cb(p+"_3x3a", x, 192, 1, 1, 1, tensor.Same)
+		r1 = cb(p+"_3x3b", r1, 320, 3, 3, 2, tensor.Valid)
+		r2 := cb(p+"_7x7a", x, 192, 1, 1, 1, tensor.Same)
+		r2 = cb(p+"_7x7b", r2, 192, 1, 7, 1, tensor.Same)
+		r2 = cb(p+"_7x7c", r2, 192, 7, 1, 1, tensor.Same)
+		r2 = cb(p+"_7x7d", r2, 192, 3, 3, 2, tensor.Valid)
+		rp := b.MaxPool(p+"_pool", x, 3, 2, tensor.Valid)
+		x = b.Concat(p, r1, r2, rp)
+	}
+
+	// Two 8×8 blocks with split filter banks (mixed9, mixed10).
+	for i := 0; i < 2; i++ {
+		p := fmt.Sprintf("mixed%d", i+9)
+		b1 := cb(p+"_1x1", x, 320, 1, 1, 1, tensor.Same)
+		b3 := cb(p+"_3x3", x, 384, 1, 1, 1, tensor.Same)
+		b3a := cb(p+"_3x3_1", b3, 384, 1, 3, 1, tensor.Same)
+		b3b := cb(p+"_3x3_2", b3, 384, 3, 1, 1, tensor.Same)
+		b3c := b.Concat(p+"_3x3_cat", b3a, b3b)
+		bd := cb(p+"_dbla", x, 448, 1, 1, 1, tensor.Same)
+		bd = cb(p+"_dblb", bd, 384, 3, 3, 1, tensor.Same)
+		bda := cb(p+"_dbl_1", bd, 384, 1, 3, 1, tensor.Same)
+		bdb := cb(p+"_dbl_2", bd, 384, 3, 1, 1, tensor.Same)
+		bdc := b.Concat(p+"_dbl_cat", bda, bdb)
+		bp := b.AvgPool(p+"_pool", x, 3, 1, tensor.Same)
+		bp = cb(p+"_poolproj", bp, 192, 1, 1, 1, tensor.Same)
+		x = b.Concat(p, b1, b3c, bdc, bp)
+	}
+
+	x = b.GlobalAvgPool("avg_pool", x)
+	b.Dense("predictions", x, 1000, nn.ActSoftmax)
+	return b.Model()
+}

@@ -1,0 +1,47 @@
+package zoo
+
+import (
+	"fmt"
+
+	"ampsinf/internal/nn"
+	"ampsinf/internal/tensor"
+)
+
+// MobileNet builds MobileNetV1 (α = 1.0) of Howard et al.: a strided
+// 3×3 stem followed by 13 depthwise-separable blocks and a 1000-way
+// classifier, ReLU6 activations throughout. At ≈4.25 M parameters
+// (≈16 MB) it is the paper's "small model" that fits a single lambda.
+func MobileNet(inputSize int) *nn.Model {
+	if inputSize == 0 {
+		inputSize = 224
+	}
+	b := nn.NewBuilder("mobilenet", inputSize, inputSize, 3)
+
+	x := b.Conv("conv1", b.Input(), 32, 3, 3, 2, tensor.Same, nn.ActNone)
+	x = b.BatchNorm("conv1_bn", x)
+	x = b.Activation("conv1_relu", x, nn.ActReLU6)
+
+	type block struct {
+		filters, stride int
+	}
+	blocks := []block{
+		{64, 1}, {128, 2}, {128, 1}, {256, 2}, {256, 1},
+		{512, 2}, {512, 1}, {512, 1}, {512, 1}, {512, 1}, {512, 1},
+		{1024, 2}, {1024, 1},
+	}
+	for i, blk := range blocks {
+		p := fmt.Sprintf("conv_dw_%d", i+1)
+		x = b.DepthwiseConv(p, x, 3, 3, blk.stride, tensor.Same, nn.ActNone)
+		x = b.BatchNorm(p+"_bn", x)
+		x = b.Activation(p+"_relu", x, nn.ActReLU6)
+		q := fmt.Sprintf("conv_pw_%d", i+1)
+		x = b.Conv(q, x, blk.filters, 1, 1, 1, tensor.Same, nn.ActNone)
+		x = b.BatchNorm(q+"_bn", x)
+		x = b.Activation(q+"_relu", x, nn.ActReLU6)
+	}
+
+	x = b.GlobalAvgPool("global_avg_pool", x)
+	x = b.Dropout("dropout", x)
+	b.Dense("predictions", x, 1000, nn.ActSoftmax)
+	return b.Model()
+}

@@ -1,0 +1,68 @@
+package zoo
+
+import (
+	"fmt"
+
+	"ampsinf/internal/nn"
+	"ampsinf/internal/tensor"
+)
+
+// ResNet50 builds the 50-layer residual network of He et al. (CVPR 2016)
+// as implemented in Keras Applications: a 7×7 stem, four bottleneck
+// stages of (3, 4, 6, 3) blocks with (64, 128, 256, 512) base filters,
+// global average pooling and a 1000-way softmax. Parameter count matches
+// the published 25,636,712 (≈98 MB at float32), the paper's Table 1 row.
+func ResNet50(inputSize int) *nn.Model {
+	if inputSize == 0 {
+		inputSize = 224
+	}
+	b := nn.NewBuilder("resnet50", inputSize, inputSize, 3)
+
+	x := b.ZeroPad("conv1_pad", b.Input(), 3, 3, 3, 3)
+	x = b.Conv("conv1_conv", x, 64, 7, 7, 2, tensor.Valid, nn.ActNone)
+	x = b.BatchNorm("conv1_bn", x)
+	x = b.Activation("conv1_act", x, nn.ActReLU)
+	x = b.ZeroPad("pool1_pad", x, 1, 1, 1, 1)
+	x = b.MaxPool("pool1_pool", x, 3, 2, tensor.Valid)
+
+	stage := func(x string, stageIdx, blocks, filters, stride int) string {
+		x = bottleneckConv(b, fmt.Sprintf("conv%d_block1", stageIdx), x, filters, stride)
+		for i := 2; i <= blocks; i++ {
+			x = bottleneckIdentity(b, fmt.Sprintf("conv%d_block%d", stageIdx, i), x, filters)
+		}
+		return x
+	}
+	x = stage(x, 2, 3, 64, 1)
+	x = stage(x, 3, 4, 128, 2)
+	x = stage(x, 4, 6, 256, 2)
+	x = stage(x, 5, 3, 512, 2)
+
+	x = b.GlobalAvgPool("avg_pool", x)
+	b.Dense("predictions", x, 1000, nn.ActSoftmax)
+	return b.Model()
+}
+
+// bottleneckConv is a residual block whose shortcut carries a projection
+// convolution (used at stage entry, optionally strided).
+func bottleneckConv(b *nn.Builder, prefix, in string, filters, stride int) string {
+	short := b.Conv(prefix+"_0_conv", in, 4*filters, 1, 1, stride, tensor.Valid, nn.ActNone)
+	short = b.BatchNorm(prefix+"_0_bn", short)
+
+	x := convBNAct(b, prefix+"_1", in, filters, 1, 1, stride, tensor.Valid, nn.ActReLU)
+	x = convBNAct(b, prefix+"_2", x, filters, 3, 3, 1, tensor.Same, nn.ActReLU)
+	x = b.Conv(prefix+"_3_conv", x, 4*filters, 1, 1, 1, tensor.Valid, nn.ActNone)
+	x = b.BatchNorm(prefix+"_3_bn", x)
+
+	x = b.Add(prefix+"_add", nn.ActNone, short, x)
+	return b.Activation(prefix+"_out", x, nn.ActReLU)
+}
+
+// bottleneckIdentity is a residual block with an identity shortcut.
+func bottleneckIdentity(b *nn.Builder, prefix, in string, filters int) string {
+	x := convBNAct(b, prefix+"_1", in, filters, 1, 1, 1, tensor.Valid, nn.ActReLU)
+	x = convBNAct(b, prefix+"_2", x, filters, 3, 3, 1, tensor.Same, nn.ActReLU)
+	x = b.Conv(prefix+"_3_conv", x, 4*filters, 1, 1, 1, tensor.Valid, nn.ActNone)
+	x = b.BatchNorm(prefix+"_3_bn", x)
+	x = b.Add(prefix+"_add", nn.ActNone, in, x)
+	return b.Activation(prefix+"_out", x, nn.ActReLU)
+}

@@ -1,0 +1,53 @@
+package zoo
+
+import (
+	"fmt"
+
+	"ampsinf/internal/nn"
+)
+
+// transformerEncoder builds a stack of pre-input-embedded transformer
+// encoder blocks with a classification head. The input is the embedded
+// token sequence [T, D] (embedding lookup happens client-side, as the
+// paper's inference handlers receive preprocessed inputs).
+func transformerEncoder(name string, seqLen, dim, heads, ffn, blocks, classes int) *nn.Model {
+	b := nn.NewBuilder(name, seqLen, dim)
+	x := b.Input()
+	for i := 0; i < blocks; i++ {
+		p := fmt.Sprintf("block%d", i+1)
+		attn := b.SelfAttention(p+"_attn", x, heads)
+		x = b.Add(p+"_attn_add", nn.ActNone, x, attn)
+		x = b.LayerNorm(p+"_attn_ln", x)
+		ff := b.TimeDense(p+"_ffn_up", x, ffn, nn.ActGELU)
+		ff = b.TimeDense(p+"_ffn_down", ff, dim, nn.ActNone)
+		x = b.Add(p+"_ffn_add", nn.ActNone, x, ff)
+		x = b.LayerNorm(p+"_ffn_ln", x)
+	}
+	// Classification head: flatten the sequence and project to classes
+	// (a lightweight stand-in for BERT's [CLS] pooler; head parameters
+	// are negligible next to the encoder stack).
+	x = b.Flatten("flatten", x)
+	b.Dense("predictions", x, classes, nn.ActSoftmax)
+	return b.Model()
+}
+
+// BERTBase builds a BERT-Base-sized encoder (12 blocks, D=768, 12 heads,
+// 3072 FFN) over a pre-embedded sequence — the advanced-model class the
+// paper's introduction warns will outgrow serverless deployment limits.
+// Encoder parameters ≈85 M (≈324 MB), before any embedding table.
+// inputSize selects the sequence length (default 128).
+func BERTBase(inputSize int) *nn.Model {
+	if inputSize == 0 {
+		inputSize = 128
+	}
+	return transformerEncoder("bertbase", inputSize, 768, 12, 3072, 12, 2)
+}
+
+// TinyTransformer builds a two-block encoder small enough for fast
+// forward-execution tests (D=32, 4 heads, seq 8 by default).
+func TinyTransformer(inputSize int) *nn.Model {
+	if inputSize == 0 {
+		inputSize = 8
+	}
+	return transformerEncoder("tinytransformer", inputSize, 32, 4, 64, 2, 5)
+}

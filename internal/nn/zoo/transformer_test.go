@@ -1,0 +1,103 @@
+package zoo
+
+import (
+	"math/rand"
+	"testing"
+
+	"ampsinf/internal/nn"
+	"ampsinf/internal/tensor"
+)
+
+func TestBERTBaseSize(t *testing.T) {
+	m := BERTBase(0)
+	// BERT-Base encoder stack: 12 × 7,087,872 ≈ 85.05 M parameters
+	// (attention 4·(768²+768), FFN 2·768·3072 + biases, 2 layer norms).
+	params := m.TotalParams()
+	if params < 84_000_000 || params < 1 || params > 87_000_000 {
+		t.Fatalf("bertbase params = %d, want ≈85M", params)
+	}
+	// ≈324 MB of weights: far over the 250 MB deployment limit, the
+	// paper's motivating concern for advanced models.
+	if mb := m.WeightBytes() >> 20; mb < 300 || mb > 350 {
+		t.Fatalf("bertbase weights %d MB", mb)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransformerSegmentsAtBlockBoundaries(t *testing.T) {
+	m := BERTBase(0)
+	segs := m.Segments()
+	// Residual connections make each half-block atomic: expect at least
+	// one valid cut per encoder block (24 halves + head pieces).
+	if len(segs) < 12 {
+		t.Fatalf("bertbase has only %d segments", len(segs))
+	}
+}
+
+func TestTinyTransformerForward(t *testing.T) {
+	m := TinyTransformer(0)
+	w := nn.InitWeights(m, 3)
+	rng := rand.New(rand.NewSource(1))
+	in := tensor.New(m.InputShape...)
+	for i := range in.Data() {
+		in.Data()[i] = float32(rng.NormFloat64())
+	}
+	out, err := m.Forward(w, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range out.Data() {
+		sum += float64(v)
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("transformer output not a distribution: %v", out.Data())
+	}
+}
+
+func TestTransformerPartitionEquivalence(t *testing.T) {
+	m := TinyTransformer(0)
+	w := nn.InitWeights(m, 7)
+	segs := m.Segments()
+	if len(segs) < 3 {
+		t.Fatalf("tiny transformer has %d segments", len(segs))
+	}
+	rng := rand.New(rand.NewSource(2))
+	in := tensor.New(m.InputShape...)
+	for i := range in.Data() {
+		in.Data()[i] = float32(rng.NormFloat64())
+	}
+	whole, err := m.Forward(w, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := len(segs) / 2
+	cur := in
+	for _, span := range [][2]int{{0, mid}, {mid, len(segs)}} {
+		lo, hi, err := nn.SegmentRange(segs, span[0], span[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur, err = m.ForwardRange(w, lo, hi, cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !tensor.AllClose(whole, cur, 0) {
+		t.Fatalf("partitioned transformer differs by %v", tensor.MaxAbsDiff(whole, cur))
+	}
+}
+
+func TestTransformerModelRegistered(t *testing.T) {
+	for _, name := range []string{"bertbase", "tinytransformer"} {
+		m, err := Build(name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Name != name {
+			t.Fatalf("built %q", m.Name)
+		}
+	}
+}

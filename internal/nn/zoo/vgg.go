@@ -1,0 +1,75 @@
+package zoo
+
+import (
+	"fmt"
+
+	"ampsinf/internal/nn"
+	"ampsinf/internal/tensor"
+)
+
+// VGG16 builds the 16-layer network of Simonyan & Zisserman: five
+// convolutional stages followed by two 4096-unit dense layers and a
+// 1000-way softmax. At 138,357,544 parameters (≈528 MB) it is the
+// paper's example of a model whose size alone (≈500 MB class) rules out
+// single-function deployment.
+func VGG16(inputSize int) *nn.Model {
+	if inputSize == 0 {
+		inputSize = 224
+	}
+	b := nn.NewBuilder("vgg16", inputSize, inputSize, 3)
+	x := b.Input()
+	stage := func(idx, convs, filters int, in string) string {
+		x := in
+		for c := 1; c <= convs; c++ {
+			x = b.Conv(fmt.Sprintf("block%d_conv%d", idx, c), x, filters, 3, 3, 1, tensor.Same, nn.ActReLU)
+		}
+		return b.MaxPool(fmt.Sprintf("block%d_pool", idx), x, 2, 2, tensor.Valid)
+	}
+	x = stage(1, 2, 64, x)
+	x = stage(2, 2, 128, x)
+	x = stage(3, 3, 256, x)
+	x = stage(4, 3, 512, x)
+	x = stage(5, 3, 512, x)
+	x = b.Flatten("flatten", x)
+	x = b.Dense("fc1", x, 4096, nn.ActReLU)
+	x = b.Dense("fc2", x, 4096, nn.ActReLU)
+	b.Dense("predictions", x, 1000, nn.ActSoftmax)
+	return b.Model()
+}
+
+// TinyCNN builds a small convolutional classifier used by fast tests and
+// examples: two conv/pool stages and a dense head on a 32×32×3 input.
+func TinyCNN(inputSize int) *nn.Model {
+	if inputSize == 0 {
+		inputSize = 32
+	}
+	b := nn.NewBuilder("tinycnn", inputSize, inputSize, 3)
+	x := b.Conv("conv1", b.Input(), 8, 3, 3, 1, tensor.Same, nn.ActReLU)
+	x = b.MaxPool("pool1", x, 2, 2, tensor.Valid)
+	x = b.Conv("conv2", x, 16, 3, 3, 1, tensor.Same, nn.ActReLU)
+	x = b.BatchNorm("bn2", x)
+	x = b.MaxPool("pool2", x, 2, 2, tensor.Valid)
+	x = b.Conv("conv3", x, 32, 3, 3, 1, tensor.Same, nn.ActReLU)
+	x = b.GlobalAvgPool("gap", x)
+	x = b.Dense("fc1", x, 64, nn.ActReLU)
+	b.Dense("predictions", x, 10, nn.ActSoftmax)
+	return b.Model()
+}
+
+// LinearNet builds a pure chain of dense layers (no branches), so every
+// boundary is a valid cut point — convenient for exercising the optimizer
+// and cut enumeration exhaustively. inputSize selects the input width
+// (default 64).
+func LinearNet(inputSize int) *nn.Model {
+	if inputSize == 0 {
+		inputSize = 64
+	}
+	b := nn.NewBuilder("linearnet", inputSize, inputSize, 1)
+	x := b.Flatten("flatten", b.Input())
+	widths := []int{256, 256, 128, 128, 64, 64, 32}
+	for i, w := range widths {
+		x = b.Dense(fmt.Sprintf("fc%d", i+1), x, w, nn.ActReLU)
+	}
+	b.Dense("predictions", x, 10, nn.ActSoftmax)
+	return b.Model()
+}

@@ -1,0 +1,77 @@
+package zoo
+
+import (
+	"fmt"
+
+	"ampsinf/internal/nn"
+	"ampsinf/internal/tensor"
+)
+
+// Xception builds Chollet's Xception network (CVPR 2017): an entry flow
+// of strided separable-conv blocks with convolutional shortcuts, a middle
+// flow of eight 728-channel residual separable blocks, and an exit flow
+// widening to 2048 channels. ≈22.9 M parameters (≈87 MB at float32).
+func Xception(inputSize int) *nn.Model {
+	if inputSize == 0 {
+		inputSize = 299
+	}
+	b := nn.NewBuilder("xception", inputSize, inputSize, 3)
+
+	sepBN := func(prefix, in string, filters int) string {
+		x := b.SeparableConv(prefix+"_sepconv", in, filters, 3, 3, 1, tensor.Same, nn.ActNone)
+		return b.BatchNorm(prefix+"_bn", x)
+	}
+
+	// Entry flow stem.
+	x := convBNAct(b, "block1_conv1", b.Input(), 32, 3, 3, 2, tensor.Valid, nn.ActReLU)
+	x = convBNAct(b, "block1_conv2", x, 64, 3, 3, 1, tensor.Valid, nn.ActReLU)
+
+	// Entry flow blocks 2–4 with strided shortcut convolutions.
+	for i, filters := range []int{128, 256, 728} {
+		p := fmt.Sprintf("block%d", i+2)
+		short := b.Conv(p+"_shortcut_conv", x, filters, 1, 1, 2, tensor.Same, nn.ActNone)
+		short = b.BatchNorm(p+"_shortcut_bn", short)
+		y := x
+		if i > 0 {
+			y = b.Activation(p+"_pre_act", y, nn.ActReLU)
+		}
+		y = sepBN(p+"_s1", y, filters)
+		y = b.Activation(p+"_s1_act", y, nn.ActReLU)
+		y = sepBN(p+"_s2", y, filters)
+		y = b.MaxPool(p+"_pool", y, 3, 2, tensor.Same)
+		x = b.Add(p+"_add", nn.ActNone, short, y)
+	}
+
+	// Middle flow: eight identity residual blocks at 728 channels.
+	for i := 0; i < 8; i++ {
+		p := fmt.Sprintf("block%d", i+5)
+		y := b.Activation(p+"_a_act", x, nn.ActReLU)
+		y = sepBN(p+"_a", y, 728)
+		y = b.Activation(p+"_b_act", y, nn.ActReLU)
+		y = sepBN(p+"_b", y, 728)
+		y = b.Activation(p+"_c_act", y, nn.ActReLU)
+		y = sepBN(p+"_c", y, 728)
+		x = b.Add(p+"_add", nn.ActNone, x, y)
+	}
+
+	// Exit flow.
+	{
+		p := "block13"
+		short := b.Conv(p+"_shortcut_conv", x, 1024, 1, 1, 2, tensor.Same, nn.ActNone)
+		short = b.BatchNorm(p+"_shortcut_bn", short)
+		y := b.Activation(p+"_s1_pre", x, nn.ActReLU)
+		y = sepBN(p+"_s1", y, 728)
+		y = b.Activation(p+"_s2_pre", y, nn.ActReLU)
+		y = sepBN(p+"_s2", y, 1024)
+		y = b.MaxPool(p+"_pool", y, 3, 2, tensor.Same)
+		x = b.Add(p+"_add", nn.ActNone, short, y)
+	}
+	x = sepBN("block14_s1", x, 1536)
+	x = b.Activation("block14_s1_act", x, nn.ActReLU)
+	x = sepBN("block14_s2", x, 2048)
+	x = b.Activation("block14_s2_act", x, nn.ActReLU)
+
+	x = b.GlobalAvgPool("avg_pool", x)
+	b.Dense("predictions", x, 1000, nn.ActSoftmax)
+	return b.Model()
+}

@@ -1,0 +1,64 @@
+// Package zoo builds structurally faithful reproductions of the Keras
+// pre-trained models the paper evaluates: ResNet50, MobileNet,
+// InceptionV3 and Xception (plus VGG16 and small test networks). The
+// layer graphs follow the published architectures, so parameter counts —
+// and therefore model sizes, the quantity AMPS-Inf partitions on — match
+// the paper's Table 1 (e.g. ResNet50 ≈ 25.6 M params ≈ 98 MB).
+//
+// Weights are initialized deterministically from a seed rather than from
+// trained checkpoints: the paper's claims concern cost and latency, never
+// accuracy, and the simulated platform executes real forward passes to
+// validate partitioning correctness, for which any fixed weights suffice.
+package zoo
+
+import (
+	"fmt"
+	"sort"
+
+	"ampsinf/internal/nn"
+	"ampsinf/internal/tensor"
+)
+
+// BuildFunc constructs a model with the given square input resolution
+// (channels fixed at 3). Pass 0 for the architecture's canonical size.
+type BuildFunc func(inputSize int) *nn.Model
+
+var registry = map[string]BuildFunc{
+	"resnet50":        ResNet50,
+	"mobilenet":       MobileNet,
+	"inceptionv3":     InceptionV3,
+	"xception":        Xception,
+	"vgg16":           VGG16,
+	"tinycnn":         TinyCNN,
+	"linearnet":       LinearNet,
+	"bertbase":        BERTBase,
+	"tinytransformer": TinyTransformer,
+}
+
+// Build constructs the named model, or returns an error listing the
+// available names.
+func Build(name string, inputSize int) (*nn.Model, error) {
+	f, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("zoo: unknown model %q (available: %v)", name, Names())
+	}
+	return f(inputSize), nil
+}
+
+// Names returns the registered model names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// convBNAct appends Keras's conv→batchnorm→activation triplet and returns
+// the activation layer's name.
+func convBNAct(b *nn.Builder, prefix, in string, filters, kh, kw, stride int, pad tensor.Padding, act nn.Act) string {
+	x := b.Conv(prefix+"_conv", in, filters, kh, kw, stride, pad, nn.ActNone)
+	x = b.BatchNorm(prefix+"_bn", x)
+	return b.Activation(prefix+"_act", x, act)
+}

@@ -1,0 +1,66 @@
+package optimizer
+
+import (
+	"testing"
+	"time"
+)
+
+// The paper reports the optimizer overhead as "within a few seconds on a
+// laptop"; these benches measure our reproduction's planning cost.
+
+func BenchmarkNewResNet50(b *testing.B) {
+	req := request("resnet50")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizeCostOnly(b *testing.B) {
+	o, err := New(request("resnet50"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.OptimizeCostOnly(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizeWithBindingSLO(b *testing.B) {
+	req := request("resnet50")
+	base, err := Optimize(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req.SLO = time.Duration(float64(base.EstTime) * 0.88)
+	o, err := New(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Optimize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizeBnBPath(b *testing.B) {
+	req := request("tinycnn")
+	req.UseBnB = true
+	o, err := New(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := o.Optimize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

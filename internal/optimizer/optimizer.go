@@ -1,0 +1,542 @@
+// Package optimizer implements the core of AMPS-Inf (paper Sec. 3): given
+// a model's segment profile and the platform quotas, it jointly chooses
+//
+//   - how many partitions to create and where to cut (the y variables),
+//   - which memory block each partition's lambda gets (the one-hot x
+//     variables),
+//
+// minimizing total monetary cost (Eq. 3) subject to the deployment-size
+// limit (Eq. 4), the temporary-storage limit (Eq. 5), an optional
+// per-partition layer cap (Eq. 6), memory-block feasibility pruning
+// (Eq. 7) and a response-time SLO.
+//
+// The per-lambda memory choice is the paper's 0-1 quadratic program
+// (Eq. 12–14), solved through the QCR/branch-and-bound machinery of
+// internal/miqp (or an exact one-hot scan fast path — both agree, which a
+// test asserts). The SLO couples lambdas across a cut; as in the paper's
+// Lagrangian treatment, it is dualized with a multiplier λ on total time,
+// making the objective additive per partition so the optimal cut for each
+// λ is found exactly by dynamic programming over segment boundaries. An
+// outer bisection drives λ to the smallest feasible plan cost.
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ampsinf/internal/cloud/pricing"
+	"ampsinf/internal/miqp"
+	"ampsinf/internal/nn"
+	"ampsinf/internal/perf"
+)
+
+// Request describes one optimization job.
+type Request struct {
+	Model *nn.Model
+	Perf  perf.Params
+	// SLO is the response-time objective; 0 disables it (pure cost
+	// minimization — the paper's Baseline 3).
+	SLO time.Duration
+	// MaxLambdas is K, the partition-count cap (default 16).
+	MaxLambdas int
+	// MaxLayersPerPartition is the paper's constraint (6); 0 disables it.
+	MaxLayersPerPartition int
+	// BandwidthMBps is B, the lambda↔S3 bandwidth (default 60).
+	BandwidthMBps float64
+	// RequestLatency is the fixed S3 round-trip latency (default 25 ms).
+	RequestLatency time.Duration
+	// DescBytes is the per-partition model-description size (default 256 KiB).
+	DescBytes int64
+	// UseBnB routes every per-lambda subproblem through the generic
+	// QCR+branch-and-bound MIQP solver instead of the exact one-hot scan.
+	UseBnB bool
+	// Quota selects the platform limits; nil means the paper's 2020
+	// quotas. Pass a pricing.Quota2021() to explore the updated platform
+	// (10,240 MB in 1 MB increments).
+	Quota *pricing.Quota
+	// SearchStrideMB coarsens the memory-block search grid for
+	// fine-grained quotas (0 = automatic: the quota's own step, but at
+	// least 64 MB when the quota allows 1 MB increments).
+	SearchStrideMB int
+	// WeightScale scales partition weight bytes in the size and load-time
+	// accounting (0 = 1.0). Weight quantization before deployment sets it
+	// to quant.CompressionScale(bits).
+	WeightScale float64
+}
+
+func (r *Request) fillDefaults() {
+	if r.MaxLambdas <= 0 {
+		r.MaxLambdas = 16
+	}
+	if r.Quota == nil {
+		q := pricing.Quota2020()
+		r.Quota = &q
+	}
+	if r.SearchStrideMB <= 0 {
+		r.SearchStrideMB = r.Quota.MemoryStepMB
+		if r.SearchStrideMB < 64 {
+			r.SearchStrideMB = 64
+		}
+	}
+	if r.BandwidthMBps <= 0 {
+		r.BandwidthMBps = 60
+	}
+	if r.RequestLatency <= 0 {
+		r.RequestLatency = 25 * time.Millisecond
+	}
+	if r.DescBytes <= 0 {
+		r.DescBytes = 256 << 10
+	}
+	if r.WeightScale <= 0 {
+		r.WeightScale = 1
+	}
+}
+
+// LambdaPlan is one partition's provisioning decision.
+type LambdaPlan struct {
+	// Segment span [SegLo, SegHi) and the layer range it covers.
+	SegLo, SegHi     int
+	LayerLo, LayerHi int
+	MemoryMB         int
+	Profile          perf.SegmentProfile
+	// EstTime is T_i (Eq. 2): init + load + compute + S3 transfers.
+	EstTime time.Duration
+	// EstCost is S_i (Eq. 3): execution + storage + request/invocation fees.
+	EstCost float64
+}
+
+// Plan is the optimizer's output configuration.
+type Plan struct {
+	Lambdas []LambdaPlan
+	// EstTime is the end-to-end response time Σ T_i.
+	EstTime time.Duration
+	// EstCost is the total Σ S_i.
+	EstCost float64
+	// LagrangeMultiplier is the final λ dualizing the SLO (0 when the
+	// cost-optimal plan already meets it).
+	LagrangeMultiplier float64
+	// MeetsSLO reports whether EstTime ≤ SLO (always true when SLO = 0).
+	MeetsSLO bool
+}
+
+// Bounds returns the plan's layer boundaries: [b0, b1, …, bk] with
+// partition p covering layers [b_p, b_p+1).
+func (p *Plan) Bounds() []int {
+	if len(p.Lambdas) == 0 {
+		return nil
+	}
+	bounds := make([]int, 0, len(p.Lambdas)+1)
+	bounds = append(bounds, p.Lambdas[0].LayerLo)
+	for _, l := range p.Lambdas {
+		bounds = append(bounds, l.LayerHi)
+	}
+	return bounds
+}
+
+// Memories returns the per-partition memory blocks.
+func (p *Plan) Memories() []int {
+	ms := make([]int, len(p.Lambdas))
+	for i, l := range p.Lambdas {
+		ms[i] = l.MemoryMB
+	}
+	return ms
+}
+
+// spanChoice is the solved per-lambda subproblem for one candidate span.
+type spanChoice struct {
+	feasible bool
+	memIdx   int // index into blocks
+	time     time.Duration
+	cost     float64 // S_i without the position-dependent storage term
+	// perBlock retains (time, cost) for every feasible block so the
+	// Lagrangian re-weighting can re-select without re-profiling.
+	times []time.Duration
+	costs []float64
+	allow []bool
+}
+
+// Optimizer precomputes span tables for one model and answers Optimize
+// calls. Create with New.
+type Optimizer struct {
+	req    Request
+	segs   []nn.Segment
+	blocks []int
+	// table[a][b] is the per-lambda data for the span [a, b).
+	table [][]spanChoice
+}
+
+// New profiles the model and precomputes the per-span decision tables.
+func New(req Request) (*Optimizer, error) {
+	if req.Model == nil {
+		return nil, fmt.Errorf("optimizer: nil model")
+	}
+	req.fillDefaults()
+	segs := req.Model.Segments()
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("optimizer: model %q has no segments", req.Model.Name)
+	}
+	o := &Optimizer{req: req, segs: segs, blocks: req.Quota.SearchBlocks(req.SearchStrideMB)}
+	o.buildTable()
+	return o, nil
+}
+
+// Segments exposes the model's atomic segments.
+func (o *Optimizer) Segments() []nn.Segment { return o.segs }
+
+func (o *Optimizer) buildTable() {
+	S := len(o.segs)
+	o.table = make([][]spanChoice, S)
+	for a := 0; a < S; a++ {
+		o.table[a] = make([]spanChoice, S+1)
+		for b := a + 1; b <= S; b++ {
+			o.table[a][b] = o.solveSpan(a, b)
+		}
+	}
+}
+
+// solveSpan evaluates a candidate partition covering segments [a, b):
+// feasibility (Eqs. 4–7), per-block T_i and S_i, and the cost-minimal
+// block (the λ=0 subproblem).
+func (o *Optimizer) solveSpan(a, b int) spanChoice {
+	prof := perf.ProfilePartition(o.req.Model, o.segs, a, b)
+	// Quantization shrinks the shipped and loaded weight bytes; compute
+	// is unchanged (weights are dequantized on load).
+	prof.WeightsBytes = int64(float64(prof.WeightsBytes) * o.req.WeightScale)
+	sc := spanChoice{memIdx: -1}
+
+	// Constraint (6): per-partition layer cap.
+	if cap := o.req.MaxLayersPerPartition; cap > 0 && prof.Layers > cap {
+		return sc
+	}
+	// Constraint (4): unzipped deployment = partition package + the
+	// dependency layer D + handler F must fit the platform limit.
+	p := o.req.Perf
+	q := o.req.Quota
+	deploy := prof.DeployBytes(o.req.DescBytes) + int64(p.DepsMB*(1<<20))
+	if deploy > int64(q.DeployLimitMB)<<20 {
+		return sc
+	}
+	// Constraint (5): temporary storage during execution.
+	if prof.TmpBytes() > int64(q.TmpLimitMB)<<20 {
+		return sc
+	}
+
+	// Constraint (7): prune memory blocks below the working-set floor.
+	minMem := p.MinFeasibleMemoryMB(prof.WeightsBytes, q.MinMemoryMB, q.MemoryStepMB)
+
+	L := len(o.blocks)
+	sc.times = make([]time.Duration, L)
+	sc.costs = make([]float64, L)
+	sc.allow = make([]bool, L)
+
+	transfer := o.transferTime(prof.InBytes) + o.transferTime(prof.OutBytes)
+	for j, mem := range o.blocks {
+		if mem < minMem {
+			continue
+		}
+		t := p.EndToEndTime(mem, prof.FLOPs, prof.WeightsBytes) + transfer
+		if t > q.Timeout {
+			continue
+		}
+		// S_i (Eq. 3) without the position-dependent q_i·T·H storage
+		// term, which is settled once the cut is known (it is orders of
+		// magnitude below the decision-relevant terms).
+		cost := q.ExecutionCost(mem, t) +
+			pricing.LambdaInvocation + pricing.S3GetRequest + pricing.S3PutRequest
+		sc.allow[j] = true
+		sc.times[j] = t
+		sc.costs[j] = cost
+	}
+
+	sc.memIdx, _ = o.selectBlock(sc, 0)
+	sc.feasible = sc.memIdx >= 0
+	if sc.feasible {
+		sc.time = sc.times[sc.memIdx]
+		sc.cost = sc.costs[sc.memIdx]
+	}
+	return sc
+}
+
+func (o *Optimizer) transferTime(bytes int64) time.Duration {
+	sec := float64(bytes) / (o.req.BandwidthMBps * 1024 * 1024)
+	return o.req.RequestLatency + time.Duration(sec*float64(time.Second))
+}
+
+// selectBlock solves the per-lambda subproblem min_j cost_j + λ·time_j
+// over the allowed one-hot x — the paper's Eq. (12)–(14). With UseBnB it
+// constructs the explicit 0-1 quadratic program (quadratic term v·u·x²
+// from price×compute, linear term from transfers and λ) and runs it
+// through QCR + branch-and-bound; otherwise an exact scan.
+func (o *Optimizer) selectBlock(sc spanChoice, lambda float64) (int, float64) {
+	if sc.allow == nil {
+		return -1, math.Inf(1)
+	}
+	if !o.req.UseBnB {
+		obj := make([]float64, len(sc.costs))
+		for j := range obj {
+			obj[j] = sc.costs[j] + lambda*sc.times[j].Seconds()
+		}
+		return miqp.SolveOneHot(nil, obj, sc.allow)
+	}
+	// Build the explicit binary QP over the allowed blocks.
+	var idx []int
+	for j, ok := range sc.allow {
+		if ok {
+			idx = append(idx, j)
+		}
+	}
+	if len(idx) == 0 {
+		return -1, math.Inf(1)
+	}
+	n := len(idx)
+	q := make([][]float64, n)
+	pvec := make([]float64, n)
+	ones := make([]float64, n)
+	for r, j := range idx {
+		q[r] = make([]float64, n)
+		// Quadratic diagonal: the v_j·u_j·x_j² execution-cost term of
+		// Eq. (9). Transfers and the SLO multiplier enter linearly.
+		execCost := sc.costs[j] - pricing.LambdaInvocation - pricing.S3GetRequest - pricing.S3PutRequest
+		q[r][r] = execCost
+		pvec[r] = lambda*sc.times[j].Seconds() +
+			pricing.LambdaInvocation + pricing.S3GetRequest + pricing.S3PutRequest
+		ones[r] = 1
+	}
+	pr := &miqp.Problem{
+		N: n, Q: q, P: pvec,
+		Eq: []miqp.LinConstraint{{A: ones, B: 1}},
+	}
+	sol, err := miqp.Solve(pr, miqp.Options{})
+	if err != nil || sol.Status != miqp.Optimal {
+		return -1, math.Inf(1)
+	}
+	for r, j := range idx {
+		if sol.X[r] > 0.5 {
+			return j, sol.Objective
+		}
+	}
+	return -1, math.Inf(1)
+}
+
+// dpResult is the exact minimum of Σ (cost_i + λ·time_i) over all cuts.
+type dpResult struct {
+	objective float64
+	bounds    []int // segment boundaries, length k+1
+	memIdx    []int
+}
+
+// solveForLambda runs the boundary DP: best[b][k] = cheapest relaxed
+// objective covering segments [0, b) with k partitions.
+func (o *Optimizer) solveForLambda(lambda float64) (dpResult, bool) {
+	S := len(o.segs)
+	K := o.req.MaxLambdas
+	if K > S {
+		K = S
+	}
+	const inf = math.MaxFloat64
+	best := make([][]float64, S+1)
+	prev := make([][]int, S+1)
+	choice := make([][]int, S+1)
+	for b := 0; b <= S; b++ {
+		best[b] = make([]float64, K+1)
+		prev[b] = make([]int, K+1)
+		choice[b] = make([]int, K+1)
+		for k := range best[b] {
+			best[b][k] = inf
+			prev[b][k] = -1
+		}
+	}
+	best[0][0] = 0
+	for b := 1; b <= S; b++ {
+		for a := 0; a < b; a++ {
+			sc := o.table[a][b]
+			if !sc.feasible {
+				continue
+			}
+			j, val := o.selectBlock(sc, lambda)
+			if j < 0 {
+				continue
+			}
+			for k := 1; k <= K; k++ {
+				if best[a][k-1] == inf {
+					continue
+				}
+				if cand := best[a][k-1] + val; cand < best[b][k] {
+					best[b][k] = cand
+					prev[b][k] = a
+					choice[b][k] = j
+				}
+			}
+		}
+	}
+	bestK, bestObj := -1, inf
+	for k := 1; k <= K; k++ {
+		if best[S][k] < bestObj {
+			bestObj, bestK = best[S][k], k
+		}
+	}
+	if bestK < 0 {
+		return dpResult{}, false
+	}
+	// Reconstruct the cut.
+	bounds := make([]int, bestK+1)
+	mems := make([]int, bestK)
+	b, k := S, bestK
+	for k > 0 {
+		a := prev[b][k]
+		bounds[k] = b
+		mems[k-1] = choice[b][k]
+		b, k = a, k-1
+	}
+	bounds[0] = 0
+	return dpResult{objective: bestObj, bounds: bounds, memIdx: mems}, true
+}
+
+// Optimize computes the plan. With no SLO it returns the exact
+// cost-minimal configuration. With an SLO it first checks whether the
+// cost-optimal plan already complies, and otherwise bisects the
+// Lagrangian multiplier, keeping the cheapest SLO-feasible plan found.
+func (o *Optimizer) Optimize() (*Plan, error) {
+	res, ok := o.solveForLambda(0)
+	if !ok {
+		return nil, fmt.Errorf("optimizer: model %q has no feasible partitioning under the platform limits", o.req.Model.Name)
+	}
+	plan := o.assemble(res, 0)
+	if o.req.SLO <= 0 || plan.EstTime <= o.req.SLO {
+		plan.MeetsSLO = true
+		return plan, nil
+	}
+
+	// Find an upper multiplier that yields a feasible (fast enough) plan.
+	lo, hi := 0.0, 1e-6
+	var feasiblePlan *Plan
+	for iter := 0; iter < 60; iter++ {
+		r, ok := o.solveForLambda(hi)
+		if !ok {
+			break
+		}
+		p := o.assemble(r, hi)
+		if p.EstTime <= o.req.SLO {
+			feasiblePlan = p
+			break
+		}
+		lo = hi
+		hi *= 8
+	}
+	if feasiblePlan == nil {
+		// Even the time-greediest plans miss the SLO: return the fastest
+		// plan found, flagged infeasible.
+		r, ok := o.solveForLambda(hi)
+		if !ok {
+			r = res
+		}
+		p := o.assemble(r, hi)
+		p.MeetsSLO = false
+		return p, nil
+	}
+	// Bisect λ to shave cost while staying feasible.
+	for iter := 0; iter < 40; iter++ {
+		mid := (lo + hi) / 2
+		r, ok := o.solveForLambda(mid)
+		if !ok {
+			break
+		}
+		p := o.assemble(r, mid)
+		if p.EstTime <= o.req.SLO {
+			hi = mid
+			if p.EstCost < feasiblePlan.EstCost {
+				feasiblePlan = p
+			}
+		} else {
+			lo = mid
+		}
+	}
+	feasiblePlan.MeetsSLO = true
+	return feasiblePlan, nil
+}
+
+// assemble converts a DP result into a full Plan, adding the exact
+// position-dependent S3 storage term (q_i·T_i·H of Eq. 3).
+func (o *Optimizer) assemble(res dpResult, lambda float64) *Plan {
+	plan := &Plan{LagrangeMultiplier: lambda}
+	var qBytes int64 // Σ outputs of previous partitions held in S3
+	for i := 0; i+1 < len(res.bounds); i++ {
+		a, b := res.bounds[i], res.bounds[i+1]
+		sc := o.table[a][b]
+		j := res.memIdx[i]
+		prof := perf.ProfilePartition(o.req.Model, o.segs, a, b)
+		lo, hi, _ := nn.SegmentRange(o.segs, a, b)
+		t := sc.times[j]
+		cost := sc.costs[j] +
+			float64(qBytes)/(1<<30)*t.Seconds()*pricing.S3StoragePerGBSecond
+		plan.Lambdas = append(plan.Lambdas, LambdaPlan{
+			SegLo: a, SegHi: b, LayerLo: lo, LayerHi: hi,
+			MemoryMB: o.blocks[j], Profile: prof,
+			EstTime: t, EstCost: cost,
+		})
+		plan.EstTime += t
+		plan.EstCost += cost
+		qBytes += prof.OutBytes
+	}
+	return plan
+}
+
+// OptimizeCostOnly ignores any SLO and returns the exact cost-minimal
+// plan (λ = 0 dynamic program) — the paper's Baseline 3.
+func (o *Optimizer) OptimizeCostOnly() (*Plan, error) {
+	res, ok := o.solveForLambda(0)
+	if !ok {
+		return nil, fmt.Errorf("optimizer: model %q has no feasible partitioning under the platform limits", o.req.Model.Name)
+	}
+	p := o.assemble(res, 0)
+	p.MeetsSLO = o.req.SLO <= 0 || p.EstTime <= o.req.SLO
+	return p, nil
+}
+
+// Optimize is the one-shot convenience: New + Optimize.
+func Optimize(req Request) (*Plan, error) {
+	o, err := New(req)
+	if err != nil {
+		return nil, err
+	}
+	return o.Optimize()
+}
+
+// ExhaustiveMinCost enumerates every cut (all 2^(S-1) compositions,
+// S ≤ 22) with the cost-optimal block per partition — the paper's
+// Baseline 3 oracle — and returns the minimal total cost. Used to verify
+// that the DP is exact.
+func (o *Optimizer) ExhaustiveMinCost() (float64, bool) {
+	S := len(o.segs)
+	if S > 22 {
+		return 0, false
+	}
+	best := math.Inf(1)
+	found := false
+	// Each bitmask over S-1 boundaries defines a cut.
+	for mask := 0; mask < 1<<(S-1); mask++ {
+		total := 0.0
+		feasible := true
+		a := 0
+		parts := 0
+		for b := 1; b <= S; b++ {
+			if b < S && mask&(1<<(b-1)) == 0 {
+				continue
+			}
+			sc := o.table[a][b]
+			if !sc.feasible {
+				feasible = false
+				break
+			}
+			total += sc.cost
+			parts++
+			a = b
+		}
+		if feasible && parts <= o.req.MaxLambdas && total < best {
+			best = total
+			found = true
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,308 @@
+// Package quant implements the weight quantization the paper names as
+// future work (Sec. 5.4, citing Han et al.'s deep compression): before
+// deployment, each parameter tensor is affinely quantized to 8 or 4 bits,
+// shrinking a partition's deployment package 4–8× so that models whose
+// single layers approach the platform's size limit (the paper's BERT/VGG
+// concern) still fit. Functions dequantize on load; the serving path is
+// unchanged.
+package quant
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"ampsinf/internal/nn"
+	"ampsinf/internal/tensor"
+)
+
+// Tensor is an affinely quantized tensor: value ≈ Scale·q + Min, with q
+// an unsigned Bits-bit code packed little-endian into Packed.
+type Tensor struct {
+	Shape  tensor.Shape
+	Bits   int // 8 or 4
+	Min    float32
+	Scale  float32
+	Packed []byte
+}
+
+// levels returns the number of quantization codes.
+func levels(bits int) int { return 1<<bits - 1 }
+
+// Quantize converts t to a bits-bit quantized tensor.
+func Quantize(t *tensor.Tensor, bits int) (*Tensor, error) {
+	if bits != 8 && bits != 4 {
+		return nil, fmt.Errorf("quant: unsupported bit width %d (want 8 or 4)", bits)
+	}
+	data := t.Data()
+	mn, mx := float32(math.Inf(1)), float32(math.Inf(-1))
+	for _, v := range data {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	if len(data) == 0 {
+		mn, mx = 0, 0
+	}
+	scale := (mx - mn) / float32(levels(bits))
+	if scale == 0 {
+		scale = 1 // constant tensor; all codes zero
+	}
+	q := &Tensor{Shape: t.Shape().Clone(), Bits: bits, Min: mn, Scale: scale}
+	switch bits {
+	case 8:
+		q.Packed = make([]byte, len(data))
+		for i, v := range data {
+			q.Packed[i] = byte(clampCode(v, mn, scale, 255))
+		}
+	case 4:
+		q.Packed = make([]byte, (len(data)+1)/2)
+		for i, v := range data {
+			code := clampCode(v, mn, scale, 15)
+			if i%2 == 0 {
+				q.Packed[i/2] = byte(code)
+			} else {
+				q.Packed[i/2] |= byte(code << 4)
+			}
+		}
+	}
+	return q, nil
+}
+
+func clampCode(v, mn, scale float32, maxCode int) int {
+	c := int(math.Round(float64((v - mn) / scale)))
+	if c < 0 {
+		c = 0
+	}
+	if c > maxCode {
+		c = maxCode
+	}
+	return c
+}
+
+// Dequantize reconstructs a float tensor (lossy: error ≤ Scale/2 per
+// element).
+func (q *Tensor) Dequantize() *tensor.Tensor {
+	n := q.Shape.Elems()
+	data := make([]float32, n)
+	switch q.Bits {
+	case 8:
+		for i := 0; i < n; i++ {
+			data[i] = q.Min + q.Scale*float32(q.Packed[i])
+		}
+	case 4:
+		for i := 0; i < n; i++ {
+			b := q.Packed[i/2]
+			code := b & 0x0F
+			if i%2 == 1 {
+				code = b >> 4
+			}
+			data[i] = q.Min + q.Scale*float32(code)
+		}
+	}
+	return tensor.FromSlice(data, q.Shape...)
+}
+
+// Bytes returns the quantized payload size (codes only).
+func (q *Tensor) Bytes() int64 { return int64(len(q.Packed)) }
+
+// Weights maps layer name → quantized parameter tensors.
+type Weights map[string][]*Tensor
+
+// QuantizeWeights quantizes every parameter tensor of the model.
+func QuantizeWeights(m *nn.Model, w nn.Weights, bits int) (Weights, error) {
+	if err := nn.CheckWeights(m, w); err != nil {
+		return nil, fmt.Errorf("quant: %w", err)
+	}
+	out := make(Weights, len(w))
+	for name, ts := range w {
+		qs := make([]*Tensor, len(ts))
+		for i, t := range ts {
+			q, err := Quantize(t, bits)
+			if err != nil {
+				return nil, fmt.Errorf("quant: layer %q tensor %d: %w", name, i, err)
+			}
+			qs[i] = q
+		}
+		out[name] = qs
+	}
+	return out, nil
+}
+
+// DequantizeWeights reconstructs float weights for serving.
+func DequantizeWeights(qw Weights) nn.Weights {
+	out := make(nn.Weights, len(qw))
+	for name, qs := range qw {
+		ts := make([]*tensor.Tensor, len(qs))
+		for i, q := range qs {
+			ts[i] = q.Dequantize()
+		}
+		out[name] = ts
+	}
+	return out
+}
+
+// TotalBytes sums the quantized payload across all tensors.
+func (qw Weights) TotalBytes() int64 {
+	var n int64
+	for _, qs := range qw {
+		for _, q := range qs {
+			n += q.Bytes()
+		}
+	}
+	return n
+}
+
+// Container layout ("AMPQ", version 1): per chunk, name, index, bits,
+// min, scale, shape, packed codes, CRC-32.
+
+var magic = [4]byte{'A', 'M', 'P', 'Q'}
+
+const version = 1
+
+// Encode serializes quantized weights for the model's layers in
+// topological order.
+func Encode(m *nn.Model, qw Weights) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	var hdr [6]byte
+	binary.LittleEndian.PutUint16(hdr[:2], version)
+	var nchunks uint32
+	for _, l := range m.Layers {
+		nchunks += uint32(len(qw[l.Name]))
+	}
+	binary.LittleEndian.PutUint32(hdr[2:], nchunks)
+	buf.Write(hdr[:])
+	for _, l := range m.Layers {
+		for i, q := range qw[l.Name] {
+			body := encodeChunk(l.Name, i, q)
+			buf.Write(body)
+			var crc [4]byte
+			binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
+			buf.Write(crc[:])
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+func encodeChunk(name string, idx int, q *Tensor) []byte {
+	body := make([]byte, 0, 2+len(name)+2+1+4+4+2+4*len(q.Shape)+len(q.Packed))
+	body = binary.LittleEndian.AppendUint16(body, uint16(len(name)))
+	body = append(body, name...)
+	body = binary.LittleEndian.AppendUint16(body, uint16(idx))
+	body = append(body, byte(q.Bits))
+	body = binary.LittleEndian.AppendUint32(body, math.Float32bits(q.Min))
+	body = binary.LittleEndian.AppendUint32(body, math.Float32bits(q.Scale))
+	body = binary.LittleEndian.AppendUint16(body, uint16(len(q.Shape)))
+	for _, d := range q.Shape {
+		body = binary.LittleEndian.AppendUint32(body, uint32(d))
+	}
+	body = append(body, q.Packed...)
+	return body
+}
+
+// Decode parses a quantized-weights container, verifying checksums.
+func Decode(data []byte) (Weights, error) {
+	if len(data) < 10 || !bytes.Equal(data[:4], magic[:]) {
+		return nil, fmt.Errorf("quant: bad container magic")
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != version {
+		return nil, fmt.Errorf("quant: unsupported version %d", v)
+	}
+	nchunks := binary.LittleEndian.Uint32(data[6:10])
+	qw := make(Weights)
+	off := 10
+	for c := uint32(0); c < nchunks; c++ {
+		name, idx, q, n, err := decodeChunk(data[off:])
+		if err != nil {
+			return nil, fmt.Errorf("quant: chunk %d: %w", c, err)
+		}
+		if int(idx) != len(qw[name]) {
+			return nil, fmt.Errorf("quant: chunk %d for %q out of order", c, name)
+		}
+		qw[name] = append(qw[name], q)
+		off += n
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("quant: %d trailing bytes", len(data)-off)
+	}
+	return qw, nil
+}
+
+func decodeChunk(data []byte) (name string, idx uint16, q *Tensor, consumed int, err error) {
+	need := func(n int) error {
+		if len(data) < consumed+n {
+			return fmt.Errorf("truncated (need %d bytes at %d)", n, consumed)
+		}
+		return nil
+	}
+	if err = need(2); err != nil {
+		return
+	}
+	nameLen := int(binary.LittleEndian.Uint16(data[consumed:]))
+	consumed += 2
+	if err = need(nameLen + 2 + 1 + 4 + 4 + 2); err != nil {
+		return
+	}
+	name = string(data[consumed : consumed+nameLen])
+	consumed += nameLen
+	idx = binary.LittleEndian.Uint16(data[consumed:])
+	consumed += 2
+	bits := int(data[consumed])
+	consumed++
+	if bits != 8 && bits != 4 {
+		err = fmt.Errorf("bad bit width %d", bits)
+		return
+	}
+	mn := math.Float32frombits(binary.LittleEndian.Uint32(data[consumed:]))
+	consumed += 4
+	scale := math.Float32frombits(binary.LittleEndian.Uint32(data[consumed:]))
+	consumed += 4
+	rank := int(binary.LittleEndian.Uint16(data[consumed:]))
+	consumed += 2
+	if err = need(4 * rank); err != nil {
+		return
+	}
+	shape := make(tensor.Shape, rank)
+	elems := 1
+	for i := range shape {
+		d := binary.LittleEndian.Uint32(data[consumed:])
+		consumed += 4
+		if d == 0 || d > 1<<24 {
+			err = fmt.Errorf("implausible dimension %d", d)
+			return
+		}
+		shape[i] = int(d)
+		elems *= int(d)
+	}
+	packedLen := elems
+	if bits == 4 {
+		packedLen = (elems + 1) / 2
+	}
+	if err = need(packedLen + 4); err != nil {
+		return
+	}
+	packed := make([]byte, packedLen)
+	copy(packed, data[consumed:consumed+packedLen])
+	consumed += packedLen
+	wantCRC := binary.LittleEndian.Uint32(data[consumed:])
+	if got := crc32.ChecksumIEEE(data[:consumed]); got != wantCRC {
+		err = fmt.Errorf("checksum mismatch for %q", name)
+		return
+	}
+	consumed += 4
+	q = &Tensor{Shape: shape, Bits: bits, Min: mn, Scale: scale, Packed: packed}
+	return
+}
+
+// CompressionScale returns the deployment-size factor a bits-bit
+// quantization achieves relative to float32 (with ~2% container
+// overhead), for the optimizer's constraint (4) accounting.
+func CompressionScale(bits int) float64 {
+	return float64(bits)/32 + 0.02
+}

@@ -1,0 +1,169 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ampsinf/internal/nn"
+	"ampsinf/internal/nn/zoo"
+	"ampsinf/internal/tensor"
+)
+
+func randTensor(rng *rand.Rand, shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	for i := range t.Data() {
+		t.Data()[i] = float32(rng.NormFloat64())
+	}
+	return t
+}
+
+func TestQuantizeRejectsBadBits(t *testing.T) {
+	if _, err := Quantize(tensor.New(2), 5); err == nil {
+		t.Fatal("5-bit quantization accepted")
+	}
+}
+
+// Property: per-element reconstruction error is bounded by Scale/2 (plus
+// float rounding), for both bit widths.
+func TestQuantizationErrorBound(t *testing.T) {
+	f := func(seed int64, useFourBit bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		bits := 8
+		if useFourBit {
+			bits = 4
+		}
+		orig := randTensor(rng, 3, 5, 2)
+		q, err := Quantize(orig, bits)
+		if err != nil {
+			return false
+		}
+		back := q.Dequantize()
+		bound := float64(q.Scale)/2 + 1e-5
+		return tensor.MaxAbsDiff(orig, back) <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeConstantTensor(t *testing.T) {
+	c := tensor.New(4)
+	c.Fill(3.25)
+	q, err := Quantize(c, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := q.Dequantize()
+	if tensor.MaxAbsDiff(c, back) > 1e-6 {
+		t.Fatalf("constant tensor not preserved: %v", back.Data())
+	}
+}
+
+func TestFourBitPacksTwoPerByte(t *testing.T) {
+	x := randTensor(rand.New(rand.NewSource(1)), 7) // odd length
+	q, _ := Quantize(x, 4)
+	if len(q.Packed) != 4 {
+		t.Fatalf("packed %d bytes for 7 elements, want 4", len(q.Packed))
+	}
+	if q.Dequantize().Elems() != 7 {
+		t.Fatal("element count changed")
+	}
+}
+
+func TestQuantizeWeightsRoundTrip(t *testing.T) {
+	m := zoo.TinyCNN(0)
+	w := nn.InitWeights(m, 9)
+	qw, err := QuantizeWeights(m, w, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8-bit payload ≈ 1/4 of float32.
+	if got, want := qw.TotalBytes(), m.WeightBytes()/4; got < want-16 || got > want+16 {
+		t.Fatalf("quantized payload %d bytes, want ≈%d", got, want)
+	}
+	dw := DequantizeWeights(qw)
+	if err := nn.CheckWeights(m, dw); err != nil {
+		t.Fatalf("dequantized weights invalid: %v", err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := zoo.TinyCNN(0)
+	w := nn.InitWeights(m, 9)
+	for _, bits := range []int{8, 4} {
+		qw, err := QuantizeWeights(m, w, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := Encode(m, qw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Decode(blob)
+		if err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		for name, qs := range qw {
+			for i, q := range qs {
+				b := back[name][i]
+				if !q.Shape.Equal(b.Shape) || q.Bits != b.Bits || q.Min != b.Min || q.Scale != b.Scale {
+					t.Fatalf("bits=%d: chunk %s[%d] metadata changed", bits, name, i)
+				}
+				if !tensor.AllClose(q.Dequantize(), b.Dequantize(), 0) {
+					t.Fatalf("bits=%d: chunk %s[%d] data changed", bits, name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeDetectsCorruption(t *testing.T) {
+	m := zoo.TinyCNN(0)
+	qw, _ := QuantizeWeights(m, nn.InitWeights(m, 9), 8)
+	blob, _ := Encode(m, qw)
+	bad := append([]byte(nil), blob...)
+	bad[len(bad)/2] ^= 0xFF
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("corrupted container accepted")
+	}
+	if _, err := Decode(blob[:len(blob)/2]); err == nil {
+		t.Fatal("truncated container accepted")
+	}
+	if _, err := Decode([]byte("AMPX000000")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// End-to-end: a model served with dequantized 8-bit weights must stay
+// close to the float model (small relative logit error on TinyCNN).
+func TestQuantizedInferenceStaysClose(t *testing.T) {
+	m := zoo.TinyCNN(0)
+	w := nn.InitWeights(m, 3)
+	qw, _ := QuantizeWeights(m, w, 8)
+	dw := DequantizeWeights(qw)
+
+	rng := rand.New(rand.NewSource(5))
+	in := randTensor(rng, 1, 32, 32, 3)
+	a, err := m.Forward(w, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Forward(dw, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(a, b); d > 0.15 {
+		t.Fatalf("8-bit quantization shifted softmax outputs by %v", d)
+	}
+}
+
+func TestCompressionScale(t *testing.T) {
+	if s := CompressionScale(8); math.Abs(s-0.27) > 1e-9 {
+		t.Fatalf("8-bit scale %v", s)
+	}
+	if s := CompressionScale(4); math.Abs(s-0.145) > 1e-9 {
+		t.Fatalf("4-bit scale %v", s)
+	}
+}

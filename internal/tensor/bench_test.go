@@ -1,0 +1,74 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchTensor(shape ...int) *Tensor {
+	rng := rand.New(rand.NewSource(1))
+	t := New(shape...)
+	for i := range t.Data() {
+		t.Data()[i] = float32(rng.NormFloat64())
+	}
+	return t
+}
+
+func BenchmarkConv2D(b *testing.B) {
+	in := benchTensor(1, 56, 56, 64)
+	k := benchTensor(3, 3, 64, 64)
+	bias := benchTensor(64)
+	b.SetBytes(int64(in.Elems()) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2D(in, k, bias, 1, Same)
+	}
+}
+
+func BenchmarkConv2DPointwise(b *testing.B) {
+	in := benchTensor(1, 28, 28, 256)
+	k := benchTensor(1, 1, 256, 256)
+	b.SetBytes(int64(in.Elems()) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Conv2D(in, k, nil, 1, Same)
+	}
+}
+
+func BenchmarkDepthwiseConv2D(b *testing.B) {
+	in := benchTensor(1, 56, 56, 128)
+	k := benchTensor(3, 3, 128, 1)
+	b.SetBytes(int64(in.Elems()) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DepthwiseConv2D(in, k, nil, 1, Same)
+	}
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	x := benchTensor(64, 512)
+	y := benchTensor(512, 512)
+	b.SetBytes(int64(x.Elems()+y.Elems()) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkSoftmax(b *testing.B) {
+	x := benchTensor(32, 1000)
+	b.SetBytes(int64(x.Elems()) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Softmax(x)
+	}
+}
+
+func BenchmarkMaxPool(b *testing.B) {
+	in := benchTensor(1, 112, 112, 64)
+	b.SetBytes(int64(in.Elems()) * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaxPool2D(in, 2, 2, Valid)
+	}
+}

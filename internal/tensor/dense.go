@@ -1,0 +1,90 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// MatMul multiplies a [M, K] tensor by a [K, N] tensor, parallelized over
+// output rows.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: matmul wants rank-2 operands, got %v / %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: matmul inner-dim mismatch %v × %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	parallelFor(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.data[i*k : (i+1)*k]
+			dst := out.data[i*n : (i+1)*n]
+			for kk, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.data[kk*n : (kk+1)*n]
+				for j := range dst {
+					dst[j] += av * brow[j]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Dense applies a fully-connected layer: out = in·W + bias.
+//
+//	in:   [N, K]
+//	w:    [K, U]
+//	bias: [U] or nil
+func Dense(in, w, bias *Tensor) *Tensor {
+	out := MatMul(in, w)
+	if bias != nil {
+		return BiasAdd(out, bias)
+	}
+	return out
+}
+
+// BatchNorm applies per-channel affine normalization over the innermost
+// dimension using precomputed inference-time statistics:
+//
+//	out = gamma * (x - mean) / sqrt(variance + eps) + beta
+//
+// gamma, beta, mean, variance all have length C (the innermost dim).
+func BatchNorm(in, gamma, beta, mean, variance *Tensor, eps float32) *Tensor {
+	c := in.shape[len(in.shape)-1]
+	for _, p := range []*Tensor{gamma, beta, mean, variance} {
+		if p.Elems() != c {
+			panic(fmt.Sprintf("tensor: batchnorm param length %d for %d channels", p.Elems(), c))
+		}
+	}
+	// Fold into scale/shift once, then apply as a fused multiply-add.
+	scale := make([]float32, c)
+	shift := make([]float32, c)
+	for i := 0; i < c; i++ {
+		s := gamma.data[i] / sqrt32(variance.data[i]+eps)
+		scale[i] = s
+		shift[i] = beta.data[i] - mean.data[i]*s
+	}
+	out := New(in.shape...)
+	rows := len(in.data) / c
+	parallelFor(rows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			base := r * c
+			for i := 0; i < c; i++ {
+				out.data[base+i] = in.data[base+i]*scale[i] + shift[i]
+			}
+		}
+	})
+	return out
+}
+
+func sqrt32(v float32) float32 {
+	if v <= 0 {
+		return 0
+	}
+	return float32(math.Sqrt(float64(v)))
+}

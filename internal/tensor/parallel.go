@@ -1,0 +1,63 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers bounds kernel parallelism. It defaults to GOMAXPROCS and can
+// be lowered by the cloud simulator to emulate memory-scaled CPU shares.
+var (
+	workerMu   sync.RWMutex
+	maxWorkers = runtime.GOMAXPROCS(0)
+)
+
+// SetMaxWorkers sets the number of goroutines kernels may use. Values < 1
+// are clamped to 1. It returns the previous setting.
+func SetMaxWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	workerMu.Lock()
+	prev := maxWorkers
+	maxWorkers = n
+	workerMu.Unlock()
+	return prev
+}
+
+// MaxWorkers returns the current kernel parallelism bound.
+func MaxWorkers() int {
+	workerMu.RLock()
+	defer workerMu.RUnlock()
+	return maxWorkers
+}
+
+// parallelFor runs fn(lo, hi) over [0, n) split into roughly equal chunks,
+// one per worker. For small n it runs inline to avoid goroutine overhead.
+func parallelFor(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := MaxWorkers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n < 64 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

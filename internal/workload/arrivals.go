@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// PoissonArrivals generates n arrival offsets from time zero with
+// exponentially distributed inter-arrival gaps at the given rate
+// (requests per second), deterministic in seed. Offsets are returned in
+// non-decreasing order.
+func PoissonArrivals(n int, ratePerSec float64, seed int64) []time.Duration {
+	if n <= 0 {
+		return nil
+	}
+	if ratePerSec <= 0 {
+		ratePerSec = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]time.Duration, n)
+	t := 0.0
+	for i := range out {
+		t += rng.ExpFloat64() / ratePerSec
+		out[i] = time.Duration(t * float64(time.Second))
+	}
+	return out
+}
+
+// UniformArrivals spreads n arrivals evenly across the window.
+func UniformArrivals(n int, window time.Duration) []time.Duration {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = window * time.Duration(i) / time.Duration(n)
+	}
+	return out
+}
+
+// BurstArrivals produces bursts of burstSize simultaneous requests every
+// gap, n requests total.
+func BurstArrivals(n, burstSize int, gap time.Duration) []time.Duration {
+	if n <= 0 {
+		return nil
+	}
+	if burstSize <= 0 {
+		burstSize = 1
+	}
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = gap * time.Duration(i/burstSize)
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile (0 < p ≤ 100) of durations,
+// using nearest-rank on a sorted copy.
+func Percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"ampsinf/internal/nn/zoo"
+	"ampsinf/internal/tensor"
+)
+
+func TestImageShapeAndDeterminism(t *testing.T) {
+	m := zoo.TinyCNN(0)
+	a := Image(m, 5)
+	b := Image(m, 5)
+	if !a.Shape().Equal(m.InputShape) {
+		t.Fatalf("image shape %v", a.Shape())
+	}
+	if !tensor.AllClose(a, b, 0) {
+		t.Fatal("same seed produced different images")
+	}
+	c := Image(m, 6)
+	if tensor.AllClose(a, c, 0) {
+		t.Fatal("different seeds produced identical images")
+	}
+	for _, v := range a.Data() {
+		if v < 0 || v >= 1 {
+			t.Fatalf("pixel %v outside [0,1)", v)
+		}
+	}
+}
+
+func TestImagesDistinct(t *testing.T) {
+	m := zoo.TinyCNN(0)
+	imgs := Images(m, 4, 1)
+	if len(imgs) != 4 {
+		t.Fatalf("%d images", len(imgs))
+	}
+	for i := 1; i < len(imgs); i++ {
+		if tensor.AllClose(imgs[0], imgs[i], 0) {
+			t.Fatalf("image %d duplicates image 0", i)
+		}
+	}
+}
+
+func TestBatches(t *testing.T) {
+	m := zoo.TinyCNN(0)
+	bs := Batches(m, 7, 3, 1)
+	if len(bs) != 3 || len(bs[0]) != 3 || len(bs[2]) != 1 {
+		t.Fatalf("batch sizes %d/%d/%d", len(bs[0]), len(bs[1]), len(bs[2]))
+	}
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	a := PoissonArrivals(100, 2, 9)
+	if len(a) != 100 {
+		t.Fatalf("%d arrivals", len(a))
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatal("arrivals not sorted")
+		}
+	}
+	// Mean inter-arrival ≈ 0.5 s at rate 2/s (loose bound).
+	mean := a[len(a)-1].Seconds() / float64(len(a))
+	if mean < 0.3 || mean > 0.8 {
+		t.Fatalf("mean inter-arrival %.2fs, want ≈0.5", mean)
+	}
+	b := PoissonArrivals(100, 2, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("arrivals not deterministic in seed")
+		}
+	}
+	if PoissonArrivals(0, 2, 1) != nil {
+		t.Fatal("n=0 should return nil")
+	}
+}
+
+func TestUniformAndBurstArrivals(t *testing.T) {
+	u := UniformArrivals(4, 4*time.Second)
+	want := []time.Duration{0, time.Second, 2 * time.Second, 3 * time.Second}
+	for i := range u {
+		if u[i] != want[i] {
+			t.Fatalf("uniform arrivals %v", u)
+		}
+	}
+	b := BurstArrivals(6, 3, time.Second)
+	if b[0] != 0 || b[2] != 0 || b[3] != time.Second || b[5] != time.Second {
+		t.Fatalf("burst arrivals %v", b)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	ds := []time.Duration{4, 1, 3, 2, 5}
+	if got := Percentile(ds, 50); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(ds, 100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(nil, 95); got != 0 {
+		t.Fatalf("empty percentile = %v", got)
+	}
+	// Input must not be reordered.
+	if ds[0] != 4 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
