@@ -1,0 +1,31 @@
+# Verification entry points. `make verify` is the full pre-merge gate
+# (formatting, vet, build, tests under the race detector); `make test`
+# is the quick tier-1 check.
+
+GO ?= go
+
+.PHONY: verify test race fmt vet build fuzz
+
+verify: fmt vet build race
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+# Short fuzz pass over the tensor wire-format decoder.
+fuzz:
+	$(GO) test ./internal/modelfmt/ -fuzz FuzzDecodeTensor -fuzztime 15s

@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"ampsinf/internal/cloud/faults"
 	"ampsinf/internal/cloud/pricing"
 	"ampsinf/internal/coordinator"
 	"ampsinf/internal/core"
@@ -122,6 +123,9 @@ func cmdInfer(args []string) error {
 	sequential := fs.Bool("sequential", false, "strictly sequential invocations")
 	real := fs.Bool("real", false, "run real forward passes (slow for big models)")
 	timeline := fs.Bool("timeline", false, "render an ASCII timeline of the job")
+	faultRate := fs.Float64("fault-rate", 0, "inject platform faults at this overall rate (0..1)")
+	faultSeed := fs.Int64("fault-seed", 1, "fault-injection and retry-jitter seed")
+	retries := fs.Int("retries", 0, "max attempts per operation under faults (0 = default policy when faults are on)")
 	fs.Parse(args)
 
 	m, err := buildModel(*model)
@@ -129,8 +133,18 @@ func cmdInfer(args []string) error {
 		return err
 	}
 	w := nn.InitWeights(m, 1)
-	fw := core.NewFramework(core.Options{})
-	svc, err := fw.Submit(m, w, core.SubmitOptions{SLO: *slo, SkipCompute: !*real})
+	opts := core.Options{}
+	subOpts := core.SubmitOptions{SLO: *slo, SkipCompute: !*real}
+	if *faultRate > 0 || *retries > 1 {
+		opts.Faults = faults.New(faults.Uniform(*faultRate, *faultSeed))
+		subOpts.Retry = coordinator.DefaultRetryPolicy()
+		subOpts.Retry.JitterSeed = *faultSeed
+		if *retries > 0 {
+			subOpts.Retry.MaxAttempts = *retries
+		}
+	}
+	fw := core.NewFramework(opts)
+	svc, err := fw.Submit(m, w, subOpts)
 	if err != nil {
 		return err
 	}
@@ -154,6 +168,10 @@ func cmdInfer(args []string) error {
 			fmt.Printf(", predicted class %d", tensor.ArgMax(rep.Output))
 		}
 		fmt.Println()
+		if rep.FaultsInjected > 0 {
+			fmt.Printf("absorbed %d injected fault(s) with %d retries (%.2fs backoff)\n",
+				rep.FaultsInjected, rep.Retries, rep.BackoffWait.Seconds())
+		}
 		if *timeline {
 			fmt.Print(coordinator.Timeline(rep, 64))
 		}

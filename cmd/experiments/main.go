@@ -188,6 +188,13 @@ func main() {
 			}
 			return r.Table(), nil
 		}},
+		{"reliability", func() (*experiments.Table, error) {
+			r, err := experiments.RunReliability()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
 	}
 
 	ran := 0

@@ -31,13 +31,20 @@ func (m *Meter) Add(category string, amount float64) {
 	m.byCategory[category] += amount
 }
 
-// Total returns the sum across all categories.
+// Total returns the sum across all categories. Categories are summed
+// in sorted order so the float result is bit-for-bit reproducible —
+// map iteration order must not leak into reported costs.
 func (m *Meter) Total() float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	keys := make([]string, 0, len(m.byCategory))
+	for k := range m.byCategory {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	var t float64
-	for _, v := range m.byCategory {
-		t += v
+	for _, k := range keys {
+		t += m.byCategory[k]
 	}
 	return t
 }

@@ -1,0 +1,265 @@
+// Package faults is the deterministic fault-injection layer for the
+// simulated cloud. An Injector draws from a seeded random stream and
+// tells each simulator (internal/cloud/lambda, internal/cloud/s3)
+// whether a given operation should fail and how: invocation throttles
+// (429), transient handler crashes, invocation timeouts, S3 GET/PUT
+// unavailability (503) and slow transfers. Because the stream is
+// seeded, a run with the same seed, rates and workload injects exactly
+// the same faults — experiments and tests are bit-for-bit reproducible.
+//
+// A nil *Injector, or one with all rates zero, is completely neutral:
+// no operation is perturbed, so the fault layer can stay installed in
+// every environment without changing fault-free behaviour.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Kind identifies one injected fault type.
+type Kind int
+
+const (
+	// None means the operation proceeds unperturbed.
+	None Kind = iota
+	// Throttle rejects an invocation before any container is assigned
+	// (Lambda 429 TooManyRequestsException). Nothing is billed.
+	Throttle
+	// Crash aborts the handler at the end of its run: the work (and its
+	// GB-seconds) are billed, but the response is lost.
+	Crash
+	// Timeout wedges the invocation after its work completes; the
+	// platform detects it only after an additional hang, billing the
+	// whole lifetime.
+	Timeout
+	// Unavailable fails an S3 GET/PUT with a 503 SlowDown error. AWS
+	// does not bill 5xx requests, but the failed attempt's lambda time
+	// is already spent.
+	Unavailable
+	// Slow stretches an S3 transfer by the configured factor. The
+	// request succeeds and bills normally; the extra transfer time is
+	// billed lambda time.
+	Slow
+	numKinds int = iota
+)
+
+var kindNames = [...]string{"none", "throttle", "crash", "timeout", "unavailable", "slow"}
+
+// String returns the kind's wire name (used in reports and logs).
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("faults.Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// Error is the error type every injected fault surfaces as, so callers
+// can classify retryability with errors.As.
+type Error struct {
+	Kind Kind
+	// Op names the failed operation ("invoke", "get", "put").
+	Op string
+	// Target is the function name or object key.
+	Target string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("faults: injected %s on %s %q", e.Kind, e.Op, e.Target)
+}
+
+// Transient reports whether a retry of the same operation can succeed.
+// Every injected fault is transient by construction; the method exists
+// so callers do not hard-code that assumption.
+func (e *Error) Transient() bool { return true }
+
+// Config sets per-operation fault probabilities in [0, 1]. The zero
+// value injects nothing.
+type Config struct {
+	// Seed drives the injector's random stream (0 behaves as seed 1, so
+	// the zero value stays usable).
+	Seed int64
+
+	// Invocation faults. At most one fires per invocation; the rates
+	// are cumulative, so InvokeThrottle+InvokeCrash+InvokeTimeout must
+	// be ≤ 1.
+	InvokeThrottle float64
+	InvokeCrash    float64
+	InvokeTimeout  float64
+
+	// Store faults, drawn per GET/PUT. Fail+Slow must be ≤ 1 per op.
+	GetFail float64
+	GetSlow float64
+	PutFail float64
+	PutSlow float64
+
+	// SlowFactor multiplies the transfer time of a Slow fault
+	// (default 4×).
+	SlowFactor float64
+	// TimeoutHangFactor scales the extra hang an injected Timeout adds
+	// on top of the handler's own runtime (default 1.0: the invocation
+	// bills up to 2× its work before the platform gives up).
+	TimeoutHangFactor float64
+}
+
+// Uniform spreads one overall rate across every fault kind: each
+// invocation misbehaves with probability ≈rate (split evenly between
+// throttle, crash and timeout) and each store op with probability
+// ≈rate (split between 503 and slowdown).
+func Uniform(rate float64, seed int64) Config {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return Config{
+		Seed:           seed,
+		InvokeThrottle: rate / 3,
+		InvokeCrash:    rate / 3,
+		InvokeTimeout:  rate / 3,
+		GetFail:        rate / 2,
+		GetSlow:        rate / 2,
+		PutFail:        rate / 2,
+		PutSlow:        rate / 2,
+	}
+}
+
+// Injector decides, per operation, whether to inject a fault. All
+// methods are safe for concurrent use and safe on a nil receiver
+// (which never injects).
+type Injector struct {
+	mu     sync.Mutex
+	cfg    Config
+	rng    *rand.Rand
+	counts [numKinds]int64
+}
+
+// New builds an injector. Rates are clamped to [0, 1].
+func New(cfg Config) *Injector {
+	clamp := func(p *float64) {
+		if *p < 0 {
+			*p = 0
+		}
+		if *p > 1 {
+			*p = 1
+		}
+	}
+	for _, p := range []*float64{
+		&cfg.InvokeThrottle, &cfg.InvokeCrash, &cfg.InvokeTimeout,
+		&cfg.GetFail, &cfg.GetSlow, &cfg.PutFail, &cfg.PutSlow,
+	} {
+		clamp(p)
+	}
+	if cfg.SlowFactor <= 1 {
+		cfg.SlowFactor = 4
+	}
+	if cfg.TimeoutHangFactor <= 0 {
+		cfg.TimeoutHangFactor = 1
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// InvokeFault decides the fate of one invocation of target. When it
+// returns Timeout, hang is the extra lifetime factor to add on top of
+// the handler's runtime.
+func (in *Injector) InvokeFault(target string) (k Kind, hang float64) {
+	if in == nil {
+		return None, 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	c := &in.cfg
+	if c.InvokeThrottle == 0 && c.InvokeCrash == 0 && c.InvokeTimeout == 0 {
+		return None, 0
+	}
+	u := in.rng.Float64()
+	switch {
+	case u < c.InvokeThrottle:
+		k = Throttle
+	case u < c.InvokeThrottle+c.InvokeCrash:
+		k = Crash
+	case u < c.InvokeThrottle+c.InvokeCrash+c.InvokeTimeout:
+		k = Timeout
+		hang = c.TimeoutHangFactor
+	default:
+		return None, 0
+	}
+	in.counts[k]++
+	return k, hang
+}
+
+// StoreFault decides the fate of one store operation; op is "get" or
+// "put". When it returns Slow, factor is the transfer-time multiplier.
+func (in *Injector) StoreFault(op, key string) (k Kind, factor float64) {
+	if in == nil {
+		return None, 1
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var fail, slow float64
+	if op == "get" {
+		fail, slow = in.cfg.GetFail, in.cfg.GetSlow
+	} else {
+		fail, slow = in.cfg.PutFail, in.cfg.PutSlow
+	}
+	if fail == 0 && slow == 0 {
+		return None, 1
+	}
+	u := in.rng.Float64()
+	switch {
+	case u < fail:
+		k = Unavailable
+	case u < fail+slow:
+		k = Slow
+		factor = in.cfg.SlowFactor
+	default:
+		return None, 1
+	}
+	in.counts[k]++
+	return k, factor
+}
+
+// Counts returns how many faults of each kind have been injected so
+// far, keyed by Kind name. A nil injector returns nil.
+func (in *Injector) Counts() map[string]int64 {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]int64)
+	for k, n := range in.counts {
+		if n > 0 {
+			out[Kind(k).String()] = n
+		}
+	}
+	return out
+}
+
+// Total returns the total number of injected faults.
+func (in *Injector) Total() int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var t int64
+	for _, n := range in.counts {
+		t += n
+	}
+	return t
+}
+
+// IsTransient reports whether err (anywhere in its chain) is an
+// injected fault that a retry can clear.
+func IsTransient(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe) && fe.Transient()
+}

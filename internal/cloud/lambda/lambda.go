@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"ampsinf/internal/cloud/billing"
+	"ampsinf/internal/cloud/faults"
 	"ampsinf/internal/cloud/pricing"
 	"ampsinf/internal/perf"
 )
@@ -62,6 +63,7 @@ type Platform struct {
 
 	mu  sync.RWMutex
 	fns map[string]*Function
+	inj *faults.Injector
 }
 
 // New creates a platform charging into meter with the given performance
@@ -75,6 +77,16 @@ func New(meter *billing.Meter, p perf.Params) *Platform {
 // future work).
 func NewWithQuota(meter *billing.Meter, p perf.Params, q pricing.Quota) *Platform {
 	return &Platform{meter: meter, perf: p, quota: q, fns: make(map[string]*Function)}
+}
+
+// SetInjector installs (or, with nil, removes) the platform's fault
+// injector. Invocations consult it for throttles, crashes and
+// timeouts; a nil or zero-rate injector leaves every invocation
+// untouched.
+func (pl *Platform) SetInjector(inj *faults.Injector) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.inj = inj
 }
 
 // Quota returns the platform's limits.
@@ -170,6 +182,9 @@ type Result struct {
 	TmpPeak   int64
 	Phases    []Phase
 	MemoryMB  int
+	// InjectedFault names the fault the platform injected into this
+	// invocation ("" when it ran clean).
+	InjectedFault string
 }
 
 // Phase is one named span of simulated time inside an invocation, used
@@ -198,6 +213,14 @@ func (pl *Platform) Invoke(name string, payload []byte, opts InvokeOptions) (*Re
 	if !ok {
 		pl.mu.Unlock()
 		return nil, fmt.Errorf("lambda: no such function %q", name)
+	}
+	inj := pl.inj
+	// An injected throttle (429) rejects the invocation before any
+	// container is assigned: warm state is untouched and nothing bills.
+	fault, hang := inj.InvokeFault(name)
+	if fault == faults.Throttle {
+		pl.mu.Unlock()
+		return nil, &faults.Error{Kind: faults.Throttle, Op: "invoke", Target: name}
 	}
 	cold := !fn.warm
 	fn.warm = true
@@ -231,6 +254,28 @@ func (pl *Platform) Invoke(name string, payload []byte, opts InvokeOptions) (*Re
 	if ctx.timedOut {
 		res.Duration = cfg.Timeout
 		herr = fmt.Errorf("lambda: function %q timed out after %v", name, cfg.Timeout)
+	} else if herr == nil {
+		// Injected container faults manifest only if the handler didn't
+		// already fail on its own: a crash loses the response after the
+		// work (and its GB-seconds) are spent; a timeout additionally
+		// wedges the invocation until the platform reaps it.
+		switch fault {
+		case faults.Crash:
+			res.InjectedFault = fault.String()
+			res.Response = nil
+			herr = &faults.Error{Kind: faults.Crash, Op: "invoke", Target: name}
+			pl.ResetWarm(name) // the crashed container is discarded
+		case faults.Timeout:
+			res.InjectedFault = fault.String()
+			res.Response = nil
+			hung := res.Duration + time.Duration(hang*float64(res.Duration))
+			if hung > cfg.Timeout {
+				hung = cfg.Timeout
+			}
+			res.Duration = hung
+			herr = &faults.Error{Kind: faults.Timeout, Op: "invoke", Target: name}
+			pl.ResetWarm(name) // the wedged container is discarded
+		}
 	}
 	res.BilledDuration = roundUp(res.Duration, pl.quota.BillingGranularity)
 	if !opts.DeferBilling {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ampsinf/internal/cloud/billing"
+	"ampsinf/internal/cloud/faults"
 	"ampsinf/internal/cloud/pricing"
 )
 
@@ -45,6 +46,7 @@ type Store struct {
 	mu      sync.RWMutex
 	objects map[string][]byte
 	failing bool
+	inj     *faults.Injector
 
 	puts, gets int64
 }
@@ -65,7 +67,7 @@ func (s *Store) TransferTime(n int64) time.Duration {
 	return s.cfg.RequestLatency + time.Duration(sec*float64(time.Second))
 }
 
-// SetFailing toggles fault injection: all subsequent operations error
+// SetFailing toggles a hard outage: all subsequent operations error
 // until cleared. Used by outage tests.
 func (s *Store) SetFailing(v bool) {
 	s.mu.Lock()
@@ -73,29 +75,53 @@ func (s *Store) SetFailing(v bool) {
 	s.failing = v
 }
 
+// SetInjector installs (or, with nil, removes) the store's fault
+// injector. GETs and PUTs consult it for 503s and slowdowns; a nil or
+// zero-rate injector leaves every operation untouched.
+func (s *Store) SetInjector(inj *faults.Injector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inj = inj
+}
+
 // Put stores data under key, charging one PUT request, and returns the
-// simulated transfer time. The data is copied.
+// simulated transfer time. The data is copied. An injected 503 fails
+// the request without charging (AWS does not bill 5xx); an injected
+// slowdown stretches the transfer.
 func (s *Store) Put(key string, data []byte) (time.Duration, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.failing {
-		return 0, fmt.Errorf("s3: injected outage on PUT %q", key)
+		return 0, &faults.Error{Kind: faults.Unavailable, Op: "put", Target: key}
+	}
+	fault, factor := s.inj.StoreFault("put", key)
+	if fault == faults.Unavailable {
+		return 0, &faults.Error{Kind: faults.Unavailable, Op: "put", Target: key}
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	s.objects[key] = cp
 	s.puts++
 	s.meter.Add("s3:put", pricing.S3PutRequest)
-	return s.TransferTime(int64(len(data))), nil
+	d := s.TransferTime(int64(len(data)))
+	if fault == faults.Slow {
+		d = time.Duration(float64(d) * factor)
+	}
+	return d, nil
 }
 
 // Get retrieves the object at key, charging one GET request, and returns
-// the data (a copy) and the simulated transfer time.
+// the data (a copy) and the simulated transfer time. Injected faults
+// behave as in Put.
 func (s *Store) Get(key string) ([]byte, time.Duration, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.failing {
-		return nil, 0, fmt.Errorf("s3: injected outage on GET %q", key)
+		return nil, 0, &faults.Error{Kind: faults.Unavailable, Op: "get", Target: key}
+	}
+	fault, factor := s.inj.StoreFault("get", key)
+	if fault == faults.Unavailable {
+		return nil, 0, &faults.Error{Kind: faults.Unavailable, Op: "get", Target: key}
 	}
 	data, ok := s.objects[key]
 	if !ok {
@@ -105,7 +131,11 @@ func (s *Store) Get(key string) ([]byte, time.Duration, error) {
 	s.meter.Add("s3:get", pricing.S3GetRequest)
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	return cp, s.TransferTime(int64(len(data))), nil
+	d := s.TransferTime(int64(len(data)))
+	if fault == faults.Slow {
+		d = time.Duration(float64(d) * factor)
+	}
+	return cp, d, nil
 }
 
 // Head reports whether key exists and its size, without charging.

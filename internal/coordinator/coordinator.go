@@ -10,6 +10,7 @@ package coordinator
 import (
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"strings"
 	"sync"
 
@@ -43,6 +44,11 @@ type Config struct {
 	// 4-8x; handlers dequantize on load. The paper names this as the
 	// answer to models whose single layers outgrow the platform limit.
 	QuantizeBits int
+	// Retry recovers jobs from transient platform faults (throttles,
+	// crashes, timeouts, S3 503s — see internal/cloud/faults) with
+	// exponential backoff. The zero value disables retries: the job
+	// aborts on the first error.
+	Retry RetryPolicy
 }
 
 // Deployment is a set of partition functions ready to serve.
@@ -53,6 +59,10 @@ type Deployment struct {
 	parts  []*partition
 	mu     sync.Mutex
 	jobSeq int
+
+	// Seeded jitter stream for retry backoff (see RetryPolicy).
+	retryMu  sync.Mutex
+	retryRng *rand.Rand
 }
 
 type partition struct {
@@ -121,6 +131,7 @@ func Deploy(cfg Config, model *nn.Model, weights nn.Weights, plan *optimizer.Pla
 	}
 
 	d := &Deployment{cfg: cfg, model: model, plan: plan}
+	d.initRetryRng()
 	perfp := cfg.Platform.Perf()
 	depsLayer := lambda.LayerRef{Name: "keras-deps", SizeBytes: int64(perfp.DepsMB * (1 << 20))}
 

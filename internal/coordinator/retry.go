@@ -1,0 +1,211 @@
+package coordinator
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ampsinf/internal/cloud/faults"
+	"ampsinf/internal/cloud/lambda"
+)
+
+// faultOf extracts the injected fault from an error chain, or nil.
+func faultOf(err error) *faults.Error {
+	var fe *faults.Error
+	if errors.As(err, &fe) {
+		return fe
+	}
+	return nil
+}
+
+// RetryPolicy makes job runs resilient to transient platform faults
+// (see internal/cloud/faults): failed partition invocations and input
+// uploads are retried with exponential backoff and deterministic
+// jitter. The zero value disables retries — the coordinator aborts on
+// the first error, its pre-fault-layer behaviour.
+type RetryPolicy struct {
+	// MaxAttempts caps attempts per operation (per partition
+	// invocation or input upload). Values ≤ 1 disable retries.
+	MaxAttempts int
+	// JobRetryBudget caps total retries across one job (0 = no cap
+	// beyond the per-operation MaxAttempts).
+	JobRetryBudget int
+	// BaseBackoff is the wait before the first retry (default 200 ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 10 s).
+	MaxBackoff time.Duration
+	// Multiplier grows the backoff per retry (default 2).
+	Multiplier float64
+	// JitterSeed seeds the deterministic equal-jitter stream, so a
+	// deployment replays identical backoff waits run over run (0
+	// behaves as seed 1).
+	JitterSeed int64
+}
+
+// DefaultRetryPolicy is a sensible production-style policy: up to 4
+// attempts per operation, 200 ms → 10 s equal-jitter backoff.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseBackoff: 200 * time.Millisecond,
+		MaxBackoff:  10 * time.Second,
+		Multiplier:  2,
+		JitterSeed:  1,
+	}
+}
+
+func (p RetryPolicy) enabled() bool { return p.MaxAttempts > 1 }
+
+// backoff returns the wait before retry number n (1-based), using
+// equal jitter: half the exponential window is deterministic, the
+// other half is drawn from the deployment's seeded stream.
+func (d *Deployment) backoff(n int) time.Duration {
+	p := d.cfg.Retry
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = 200 * time.Millisecond
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = 10 * time.Second
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	w := float64(base)
+	for i := 1; i < n; i++ {
+		w *= mult
+		if w >= float64(max) {
+			w = float64(max)
+			break
+		}
+	}
+	d.retryMu.Lock()
+	u := d.retryRng.Float64()
+	d.retryMu.Unlock()
+	return time.Duration(w/2 + u*w/2)
+}
+
+// retryInfo accumulates what one operation's retries cost.
+type retryInfo struct {
+	attempts int
+	faults   []string
+	backoff  time.Duration
+	// wasted is the simulated time failed attempts spent executing.
+	wasted time.Duration
+}
+
+func (ri retryInfo) retries() int { return ri.attempts - 1 }
+
+// delay is the extra wall-clock the retries added in front of the
+// successful attempt: failed execution time, backoff waits, and one
+// dispatch per re-invocation.
+func (ri retryInfo) delay() time.Duration {
+	return ri.wasted + ri.backoff + time.Duration(ri.retries())*invokeDispatchLatency
+}
+
+// jobBudget tracks a job-wide retry allowance.
+type jobBudget struct {
+	capped    bool
+	remaining int
+}
+
+func (d *Deployment) newJobBudget() *jobBudget {
+	p := d.cfg.Retry
+	return &jobBudget{capped: p.JobRetryBudget > 0, remaining: p.JobRetryBudget}
+}
+
+func (b *jobBudget) take() bool {
+	if !b.capped {
+		return true
+	}
+	if b.remaining == 0 {
+		return false
+	}
+	b.remaining--
+	return true
+}
+
+// invokeWithRetry runs one partition invocation under the retry
+// policy. Failed-but-executed attempts are billed — in eager
+// (deferred-billing) mode their execution is settled immediately at
+// the attempt's own duration, because a crashed or timed-out container
+// never participates in the overlapped schedule. Intermediates held in
+// S3 during failed attempts and backoff waits are also charged.
+func (d *Deployment) invokeWithRetry(fnName string, payload []byte, eager bool, heldBytes int64, budget *jobBudget) (*lambda.Result, retryInfo, error) {
+	var ri retryInfo
+	for {
+		ri.attempts++
+		res, err := d.cfg.Platform.Invoke(fnName, payload, lambda.InvokeOptions{DeferBilling: eager})
+		if err == nil {
+			if hold := ri.wasted + ri.backoff; hold > 0 {
+				// Upstream intermediates sat in S3 through the failed
+				// attempts and backoff waits; that storage time bills.
+				d.cfg.Store.ChargeStorage(heldBytes, hold)
+			}
+			return res, ri, nil
+		}
+		if res != nil {
+			// The attempt executed before failing: its time is spent and,
+			// under deferred billing, must still be settled.
+			ri.wasted += res.Duration
+			if eager {
+				d.cfg.Platform.SettleExecution(res.MemoryMB, res.Duration)
+			}
+			if res.InjectedFault != "" {
+				ri.faults = append(ri.faults, res.InjectedFault)
+			} else {
+				ri.faults = append(ri.faults, "error")
+			}
+		} else if fe := faultOf(err); fe != nil {
+			ri.faults = append(ri.faults, fe.Kind.String())
+		}
+		if !d.cfg.Retry.enabled() || !faults.IsTransient(err) {
+			return nil, ri, err
+		}
+		if ri.attempts >= d.cfg.Retry.MaxAttempts {
+			return nil, ri, fmt.Errorf("gave up after %d attempts: %w", ri.attempts, err)
+		}
+		if !budget.take() {
+			return nil, ri, fmt.Errorf("job retry budget exhausted after %d attempts: %w", ri.attempts, err)
+		}
+		ri.backoff += d.backoff(ri.attempts)
+	}
+}
+
+// putWithRetry uploads the job input under the retry policy. A failed
+// PUT costs no money (5xx requests are not billed) but each retry
+// waits out a backoff, which the caller folds into completion time.
+func (d *Deployment) putWithRetry(key string, data []byte, budget *jobBudget) (time.Duration, retryInfo, error) {
+	var ri retryInfo
+	for {
+		ri.attempts++
+		dur, err := d.cfg.Store.Put(key, data)
+		if err == nil {
+			return dur, ri, nil
+		}
+		if fe := faultOf(err); fe != nil {
+			ri.faults = append(ri.faults, fe.Kind.String())
+		}
+		if !d.cfg.Retry.enabled() || !faults.IsTransient(err) {
+			return 0, ri, err
+		}
+		if ri.attempts >= d.cfg.Retry.MaxAttempts {
+			return 0, ri, fmt.Errorf("gave up after %d attempts: %w", ri.attempts, err)
+		}
+		if !budget.take() {
+			return 0, ri, fmt.Errorf("job retry budget exhausted after %d attempts: %w", ri.attempts, err)
+		}
+		ri.backoff += d.backoff(ri.attempts)
+	}
+}
+
+func (d *Deployment) initRetryRng() {
+	seed := d.cfg.Retry.JitterSeed
+	if seed == 0 {
+		seed = 1
+	}
+	d.retryRng = rand.New(rand.NewSource(seed))
+}

@@ -31,6 +31,12 @@ type LambdaRun struct {
 	Read    time.Duration // input transfer from S3
 	Compute time.Duration // forward pass
 	Write   time.Duration // output transfer to S3
+
+	// Fault-recovery record (zero on a clean run):
+	Attempts       int           // invocation attempts (1 = no retries)
+	InjectedFaults []string      // fault kind per failed attempt
+	BackoffWait    time.Duration // total backoff before success
+	Wasted         time.Duration // simulated time failed attempts burned
 }
 
 // phaseSplit classifies an invocation's phases into the LambdaRun fields.
@@ -57,10 +63,15 @@ type Report struct {
 	Mode       string
 	Completion time.Duration
 	// Cost is the job's marginal charge: execution, invocations, S3
-	// requests and intermediate storage.
+	// requests and intermediate storage — including everything failed
+	// attempts billed before their retries succeeded.
 	Cost      float64
 	Output    *tensor.Tensor
 	PerLambda []LambdaRun
+	// Fault-recovery aggregates across the job (input upload included):
+	Retries        int           // total retried operations
+	FaultsInjected int           // faults the job absorbed
+	BackoffWait    time.Duration // total backoff the job waited out
 }
 
 // RunSequential serves one input with strictly sequential invocations:
@@ -91,14 +102,19 @@ func (d *Deployment) run(input *tensor.Tensor, eager bool) (*Report, error) {
 		rep.Mode = "eager"
 	}
 
-	// Upload the input image(s).
+	budget := d.newJobBudget()
+
+	// Upload the input image(s), retrying transient store faults.
 	inKey := job + "/input"
-	upDur, err := d.cfg.Store.Put(inKey, modelfmt.EncodeTensor(input))
+	upDur, upInfo, err := d.putWithRetry(inKey, modelfmt.EncodeTensor(input), budget)
 	if err != nil {
 		return nil, fmt.Errorf("coordinator: uploading input: %w", err)
 	}
+	upDur += upInfo.backoff
+	d.recordRetries(rep, upInfo)
 
 	results := make([]*lambda.Result, len(d.parts))
+	infos := make([]retryInfo, len(d.parts))
 	prevKey := inKey
 	var prevBytes int64 // accumulated intermediate bytes in S3
 	storedBefore := make([]int64, len(d.parts))
@@ -107,11 +123,13 @@ func (d *Deployment) run(input *tensor.Tensor, eager bool) (*Report, error) {
 		payload, _ := json.Marshal(invokePayload{
 			Job: job, InputKey: prevKey,
 		})
-		res, err := d.cfg.Platform.Invoke(p.fnName, payload, lambda.InvokeOptions{DeferBilling: eager})
+		res, info, err := d.invokeWithRetry(p.fnName, payload, eager, prevBytes, budget)
 		if err != nil {
 			return nil, fmt.Errorf("coordinator: partition %d: %w", i, err)
 		}
 		results[i] = res
+		infos[i] = info
+		d.recordRetries(rep, info)
 		if i < len(d.parts)-1 {
 			prevKey = string(res.Response)
 			if n, ok := d.cfg.Store.Head(prevKey); ok {
@@ -126,11 +144,12 @@ func (d *Deployment) run(input *tensor.Tensor, eager bool) (*Report, error) {
 	rep.Output = out
 
 	if eager {
-		d.settleEager(rep, results, upDur, storedBefore)
+		d.settleEager(rep, results, infos, upDur, storedBefore)
 	} else {
 		rep.Completion = upDur
 		for i, res := range results {
-			rep.Completion += invokeDispatchLatency + res.Duration
+			info := infos[i]
+			rep.Completion += info.delay() + invokeDispatchLatency + res.Duration
 			d.cfg.Store.ChargeStorage(storedBefore[i], res.Duration)
 			lr := phaseSplit(res)
 			lr.FunctionName = d.parts[i].fnName
@@ -138,6 +157,10 @@ func (d *Deployment) run(input *tensor.Tensor, eager bool) (*Report, error) {
 			lr.Cold = res.ColdStart
 			lr.Active = res.Duration
 			lr.Billed = res.BilledDuration
+			lr.Attempts = info.attempts
+			lr.InjectedFaults = info.faults
+			lr.BackoffWait = info.backoff
+			lr.Wasted = info.wasted
 			rep.PerLambda = append(rep.PerLambda, lr)
 		}
 	}
@@ -145,13 +168,24 @@ func (d *Deployment) run(input *tensor.Tensor, eager bool) (*Report, error) {
 	return rep, nil
 }
 
+// recordRetries folds one operation's retry record into the job report.
+func (d *Deployment) recordRetries(rep *Report, ri retryInfo) {
+	rep.Retries += ri.retries()
+	rep.FaultsInjected += len(ri.faults)
+	rep.BackoffWait += ri.backoff
+}
+
 // settleEager reconstructs the overlapped schedule from the per-phase
 // timings: every function starts at job time ~0 (one dispatch latency),
 // runs its initialization immediately, then blocks until its input is
-// available. Billed lifetime spans dispatch to exit, including the wait.
-func (d *Deployment) settleEager(rep *Report, results []*lambda.Result, upDur time.Duration, storedBefore []int64) {
+// available. Billed lifetime spans dispatch to exit, including the
+// wait. Retried partitions lose their head start: the failed attempts'
+// execution and backoff waits push the successful attempt's work back
+// (the failed attempts themselves were settled as they happened).
+func (d *Deployment) settleEager(rep *Report, results []*lambda.Result, infos []retryInfo, upDur time.Duration, storedBefore []int64) {
 	avail := upDur // when partition 0's input is ready in S3
 	for i, res := range results {
+		info := infos[i]
 		lr := phaseSplit(res)
 		initDone := lr.Init + lr.Load
 		work := lr.Read + lr.Compute + lr.Write
@@ -159,6 +193,7 @@ func (d *Deployment) settleEager(rep *Report, results []*lambda.Result, upDur ti
 		if avail > start {
 			start = avail
 		}
+		start += info.delay()
 		exit := start + work
 		billed := exit - invokeDispatchLatency
 		d.cfg.Platform.SettleExecution(res.MemoryMB, billed)
@@ -168,6 +203,10 @@ func (d *Deployment) settleEager(rep *Report, results []*lambda.Result, upDur ti
 		lr.Cold = res.ColdStart
 		lr.Active = res.Duration
 		lr.Billed = billed
+		lr.Attempts = info.attempts
+		lr.InjectedFaults = info.faults
+		lr.BackoffWait = info.backoff
+		lr.Wasted = info.wasted
 		rep.PerLambda = append(rep.PerLambda, lr)
 		avail = exit
 	}

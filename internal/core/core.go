@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"ampsinf/internal/cloud/billing"
+	"ampsinf/internal/cloud/faults"
 	"ampsinf/internal/cloud/lambda"
 	"ampsinf/internal/cloud/s3"
 	"ampsinf/internal/cloud/stage"
@@ -40,6 +41,9 @@ type Options struct {
 	// Stage overrides the staging backend entirely (e.g. a redis.Store);
 	// when set it takes precedence over Store/S3Config.
 	Stage stage.Store
+	// Faults installs a fault injector on the platform and S3 store the
+	// framework ends up with (nil = fault-free).
+	Faults *faults.Injector
 }
 
 // Framework owns the platform bindings and runs the Optimizer +
@@ -77,6 +81,12 @@ func NewFramework(opts Options) *Framework {
 		}
 		store = s3.New(cfg, meter)
 	}
+	if opts.Faults != nil {
+		platform.SetInjector(opts.Faults)
+		if s3s, ok := store.(*s3.Store); ok {
+			s3s.SetInjector(opts.Faults)
+		}
+	}
 	return &Framework{platform: platform, store: store, meter: meter, perf: p}
 }
 
@@ -110,6 +120,10 @@ type SubmitOptions struct {
 	// SearchStrideMB coarsens the optimizer's memory grid under
 	// fine-grained quotas (0 = automatic).
 	SearchStrideMB int
+	// Retry makes serving resilient to transient platform faults (see
+	// internal/cloud/faults); the zero value aborts jobs on the first
+	// error.
+	Retry coordinator.RetryPolicy
 }
 
 // Service is a deployed, ready-to-serve model.
@@ -161,6 +175,7 @@ func (f *Framework) Submit(model *nn.Model, weights nn.Weights, opts SubmitOptio
 	dep, err := coordinator.Deploy(coordinator.Config{
 		Platform: f.platform, Store: f.store, NamePrefix: prefix,
 		SkipCompute: opts.SkipCompute, QuantizeBits: opts.QuantizeBits,
+		Retry: opts.Retry,
 	}, model, weights, plan)
 	if err != nil {
 		return nil, fmt.Errorf("core: deploying %q: %w", model.Name, err)

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"ampsinf/internal/cloud/billing"
+	"ampsinf/internal/cloud/faults"
 	"ampsinf/internal/cloud/lambda"
 	"ampsinf/internal/cloud/s3"
 	"ampsinf/internal/cloud/sagemaker"
@@ -48,6 +49,13 @@ func NewEnv() *Env {
 			Platform: platform, Store: store, Meter: meter,
 		}),
 	}
+}
+
+// InstallFaults threads one fault injector through the environment's
+// lambda platform and S3 store (nil removes injection).
+func (e *Env) InstallFaults(inj *faults.Injector) {
+	e.Platform.SetInjector(inj)
+	e.Store.SetInjector(inj)
 }
 
 // SLOFactor is the standard response-time objective the harness submits

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+func reliabilitySweep(t *testing.T) *ReliabilityResult {
+	t.Helper()
+	r, err := runReliability("mobilenet", 6, ReliabilitySeed, []float64{0, 0.05, 0.20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestReliabilityCostMonotone(t *testing.T) {
+	r := reliabilitySweep(t)
+	if len(r.Rows) != 3 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	for i := 1; i < len(r.Rows); i++ {
+		prev, row := r.Rows[i-1], r.Rows[i]
+		if row.Cost < prev.Cost {
+			t.Fatalf("cost fell as faults rose: rate %.2f $%.9f < rate %.2f $%.9f",
+				row.Rate, row.Cost, prev.Rate, prev.Cost)
+		}
+		if row.Completion < prev.Completion {
+			t.Fatalf("completion fell as faults rose: rate %.2f %v < rate %.2f %v",
+				row.Rate, row.Completion, prev.Rate, prev.Completion)
+		}
+	}
+	base := r.Rows[0]
+	if base.Faults != 0 || base.Retries != 0 || base.CostInflation != 0 {
+		t.Fatalf("fault-free row not clean: %+v", base)
+	}
+	top := r.Rows[len(r.Rows)-1]
+	if top.Faults == 0 || top.Retries == 0 {
+		t.Fatalf("20%% fault rate injected nothing: %+v", top)
+	}
+	if top.CostInflation <= 0 {
+		t.Fatalf("faults did not inflate cost: %+v", top)
+	}
+}
+
+func TestReliabilityDeterministic(t *testing.T) {
+	a, b := reliabilitySweep(t), reliabilitySweep(t)
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Fatalf("sweeps diverged across runs:\n%+v\n%+v", a.Rows, b.Rows)
+	}
+}
+
+func TestReliabilityTableRenders(t *testing.T) {
+	tab := reliabilitySweep(t).Table()
+	if len(tab.Rows) != 3 || len(tab.Columns) != 8 {
+		t.Fatalf("table %d×%d", len(tab.Rows), len(tab.Columns))
+	}
+	if tab.Render() == "" {
+		t.Fatal("empty render")
+	}
+}

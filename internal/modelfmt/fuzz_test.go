@@ -1,0 +1,60 @@
+package modelfmt
+
+import (
+	"bytes"
+	"testing"
+
+	"ampsinf/internal/tensor"
+)
+
+// FuzzDecodeTensor asserts the decoder's safety contract: arbitrary
+// bytes must error cleanly — never panic, never allocate beyond the
+// decode limits — and anything that does decode must re-encode to the
+// identical bytes (the wire format is canonical).
+//
+// Seed corpus: testdata/fuzz/FuzzDecodeTensor (valid encodings plus
+// historical near-miss shapes: truncations, dimension overflows, CRC
+// damage).
+func FuzzDecodeTensor(f *testing.F) {
+	// Valid encodings of representative tensors.
+	seeds := []*tensor.Tensor{
+		tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3),
+		tensor.FromSlice([]float32{-1.5}, 1),
+		tensor.FromSlice(make([]float32, 24), 2, 3, 4, 1),
+	}
+	for _, t := range seeds {
+		f.Add(EncodeTensor(t))
+	}
+	// Adversarial shapes the decoder historically mishandled or must
+	// keep rejecting: overflowing dimension products, zero dims, giant
+	// ranks, truncated payloads, flipped CRCs.
+	valid := EncodeTensor(seeds[0])
+	truncated := append([]byte(nil), valid[:len(valid)-5]...)
+	f.Add(truncated)
+	badCRC := append([]byte(nil), valid...)
+	badCRC[len(badCRC)-1] ^= 0xFF
+	f.Add(badCRC)
+	f.Add([]byte("AMPT"))
+	f.Add([]byte{'A', 'M', 'P', 'T', 0xFF, 0xFF, 0, 0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := DecodeTensor(data)
+		if err != nil {
+			return
+		}
+		if dec == nil {
+			t.Fatal("nil tensor with nil error")
+		}
+		if n := len(dec.Data()); n > maxDecodeElems {
+			t.Fatalf("decoded %d elements, over the %d limit", n, maxDecodeElems)
+		}
+		if got := dec.Shape().Elems(); got != len(dec.Data()) {
+			t.Fatalf("shape %v claims %d elems but data holds %d", dec.Shape(), got, len(dec.Data()))
+		}
+		// The format is canonical: a successful decode must re-encode to
+		// the exact input bytes.
+		if re := EncodeTensor(dec); !bytes.Equal(re, data) {
+			t.Fatalf("re-encode of %v is not canonical:\n in %x\nout %x", dec.Shape(), data, re)
+		}
+	})
+}

@@ -41,7 +41,19 @@ func EncodeTensor(t *tensor.Tensor) []byte {
 	return out
 }
 
-// DecodeTensor parses a tensor, verifying the checksum.
+// Decode limits: a tensor larger than maxDecodeElems elements (1 GiB
+// of float32) or deeper than maxDecodeRank cannot come from this
+// system and is rejected before any allocation is sized from it —
+// hostile dimension lists must not overflow the element product or
+// drive a huge make().
+const (
+	maxDecodeElems = 1 << 28
+	maxDecodeRank  = 16
+)
+
+// DecodeTensor parses a tensor, verifying the checksum. Arbitrary
+// (corrupt or hostile) input errors cleanly: it never panics and never
+// allocates more than a small multiple of len(data).
 func DecodeTensor(data []byte) (*tensor.Tensor, error) {
 	if len(data) < 10 || data[0] != 'A' || data[1] != 'M' || data[2] != 'P' || data[3] != 'T' {
 		return nil, fmt.Errorf("modelfmt: bad tensor magic")
@@ -53,6 +65,9 @@ func DecodeTensor(data []byte) (*tensor.Tensor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("modelfmt: truncated tensor rank")
 	}
+	if rank > maxDecodeRank {
+		return nil, fmt.Errorf("modelfmt: implausible tensor rank %d", rank)
+	}
 	shape := make([]int, rank)
 	elems := 1
 	for i := range shape {
@@ -60,11 +75,16 @@ func DecodeTensor(data []byte) (*tensor.Tensor, error) {
 		if err != nil {
 			return nil, fmt.Errorf("modelfmt: truncated tensor shape")
 		}
-		if d == 0 || d > 1<<28 {
+		if d == 0 || d > maxDecodeElems {
 			return nil, fmt.Errorf("modelfmt: implausible tensor dimension %d", d)
 		}
 		shape[i] = int(d)
 		elems *= int(d)
+		// Each factor is ≤ 2^28 and the running product is checked every
+		// step, so it can reach at most 2^56 — far from int64 overflow.
+		if elems > maxDecodeElems {
+			return nil, fmt.Errorf("modelfmt: tensor of %v exceeds the %d-element decode limit", shape[:i+1], maxDecodeElems)
+		}
 	}
 	if len(body) != 2+4*int(rank)+4*elems {
 		return nil, fmt.Errorf("modelfmt: tensor payload is %d bytes, want %d", len(body), 2+4*int(rank)+4*elems)
