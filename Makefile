@@ -3,8 +3,11 @@
 # is the quick tier-1 check.
 
 GO ?= go
+# One pass per benchmark keeps `make bench` to ~half a minute; raise to
+# e.g. BENCHTIME=1s for statistically steadier baselines.
+BENCHTIME ?= 1x
 
-.PHONY: verify test race fmt vet build fuzz
+.PHONY: verify test race fmt vet build fuzz bench
 
 verify: fmt vet build race
 
@@ -25,6 +28,12 @@ vet:
 
 build:
 	$(GO) build ./...
+
+# Run every benchmark and write the machine-readable baseline used to
+# spot performance regressions (cmd/benchjson normalizes the output).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson > BENCH_baseline.json
+	@echo "wrote BENCH_baseline.json"
 
 # Short fuzz pass over the tensor wire-format decoder.
 fuzz:

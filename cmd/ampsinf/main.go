@@ -8,23 +8,29 @@
 //	ampsinf summary -model resnet50
 //	ampsinf plan    -model resnet50 [-slo 30s] [-max-lambdas 16]
 //	ampsinf infer   -model mobilenet [-slo 12s] [-images 3] [-sequential] [-real]
-//	ampsinf sweep   -model mobilenet
+//	                [-trace trace.json] [-metrics metrics.json] [-spans spans.json]
+//	ampsinf sweep   -model mobilenet [-trace trace.json] [-metrics metrics.json]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
 	"time"
 
+	"ampsinf/internal/cloud/billing"
 	"ampsinf/internal/cloud/faults"
+	"ampsinf/internal/cloud/lambda"
 	"ampsinf/internal/cloud/pricing"
+	"ampsinf/internal/cloud/s3"
 	"ampsinf/internal/coordinator"
 	"ampsinf/internal/core"
 	"ampsinf/internal/nn"
 	"ampsinf/internal/nn/zoo"
+	"ampsinf/internal/obs"
 	"ampsinf/internal/optimizer"
 	"ampsinf/internal/perf"
 	"ampsinf/internal/tensor"
@@ -126,6 +132,9 @@ func cmdInfer(args []string) error {
 	faultRate := fs.Float64("fault-rate", 0, "inject platform faults at this overall rate (0..1)")
 	faultSeed := fs.Int64("fault-seed", 1, "fault-injection and retry-jitter seed")
 	retries := fs.Int("retries", 0, "max attempts per operation under faults (0 = default policy when faults are on)")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON (load in ui.perfetto.dev) to this file")
+	spansOut := fs.String("spans", "", "write the full span-tree JSON dump to this file")
+	metricsOut := fs.String("metrics", "", "write a metrics snapshot JSON to this file")
 	fs.Parse(args)
 
 	m, err := buildModel(*model)
@@ -142,6 +151,16 @@ func cmdInfer(args []string) error {
 		if *retries > 0 {
 			subOpts.Retry.MaxAttempts = *retries
 		}
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" || *spansOut != "" {
+		tracer = obs.NewTracer()
+		opts.Trace = tracer
+	}
+	var mx *obs.Metrics
+	if *metricsOut != "" {
+		mx = obs.NewMetrics()
+		opts.Metrics = mx
 	}
 	fw := core.NewFramework(opts)
 	svc, err := fw.Submit(m, w, subOpts)
@@ -193,12 +212,55 @@ func cmdInfer(args []string) error {
 	for _, k := range keys {
 		fmt.Printf("  %-20s $%.6f\n", k, bd[k])
 	}
+	return writeObservability(tracer, mx, *traceOut, *spansOut, *metricsOut)
+}
+
+// writeObservability writes the requested trace/span/metrics exports.
+func writeObservability(tracer *obs.Tracer, mx *obs.Metrics, traceOut, spansOut, metricsOut string) error {
+	if traceOut != "" {
+		jobs := tracer.Jobs()
+		if err := writeFile(traceOut, func(w io.Writer) error {
+			return obs.WriteChromeTrace(w, jobs)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace (%d jobs, %d spans) to %s — load it in ui.perfetto.dev\n",
+			len(jobs), obs.CountSpans(jobs), traceOut)
+	}
+	if spansOut != "" {
+		if err := writeFile(spansOut, func(w io.Writer) error {
+			return obs.WriteSpans(w, tracer.Jobs())
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote span dump to %s\n", spansOut)
+	}
+	if metricsOut != "" {
+		if err := writeFile(metricsOut, mx.WriteJSON); err != nil {
+			return err
+		}
+		fmt.Printf("wrote metrics snapshot to %s\n", metricsOut)
+	}
 	return nil
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	model := fs.String("model", "mobilenet", "zoo model name (must fit one lambda)")
+	traceOut := fs.String("trace", "", "serve one job per memory block and write a Chrome trace-event JSON to this file")
+	metricsOut := fs.String("metrics", "", "serve one job per memory block and write a metrics snapshot JSON to this file")
 	fs.Parse(args)
 	m, err := buildModel(*model)
 	if err != nil {
@@ -220,6 +282,67 @@ func cmdSweep(args []string) error {
 	if !o.SpanFeasible(0, S) {
 		fmt.Println(strings.Repeat("-", 24))
 		fmt.Printf("%s does not fit a single lambda; use `ampsinf plan` for a partitioning\n", m.Name)
+		return nil
 	}
-	return nil
+	if *traceOut == "" && *metricsOut == "" {
+		return nil
+	}
+	return sweepMeasured(m, o, S, *traceOut, *metricsOut)
+}
+
+// sweepMeasured re-runs the sweep for real: one single-lambda eager job
+// per memory block on a fresh simulated environment, traced and
+// metered, so the estimate table above can be compared phase-by-phase
+// against an actual execution in Perfetto.
+func sweepMeasured(m *nn.Model, o *optimizer.Optimizer, segments int, traceOut, metricsOut string) error {
+	var tracer *obs.Tracer
+	if traceOut != "" {
+		tracer = obs.NewTracer()
+	}
+	var mx *obs.Metrics
+	if metricsOut != "" {
+		mx = obs.NewMetrics()
+	}
+	w := nn.InitWeights(m, 1)
+	img := workload.Images(m, 1, 7)[0]
+
+	fmt.Println(strings.Repeat("-", 24))
+	fmt.Println("measured (one eager job per memory block):")
+	fmt.Println("memMB  time(s)  cost($)")
+	for _, mem := range pricing.MemoryBlocks() {
+		if _, _, err := o.SpanEstimate(0, segments, mem); err != nil {
+			continue
+		}
+		plan, err := optimizer.Optimize(optimizer.Request{
+			Model: m, Perf: perf.Default(), MaxLambdas: 1,
+		})
+		if err != nil {
+			return err
+		}
+		plan.Lambdas[0].MemoryMB = mem
+
+		meter := &billing.Meter{}
+		if tracer != nil {
+			meter.SetObserver(tracer.RecordCost)
+		}
+		platform := lambda.New(meter, perf.Default())
+		platform.SetMetrics(mx)
+		store := s3.New(s3.DefaultConfig(), meter)
+		store.SetMetrics(mx)
+		dep, err := coordinator.Deploy(coordinator.Config{
+			Platform: platform, Store: store,
+			NamePrefix:  fmt.Sprintf("sweep-%d", mem),
+			SkipCompute: true, Tracer: tracer, Metrics: mx,
+		}, m, w, plan)
+		if err != nil {
+			return err
+		}
+		rep, err := dep.RunEager(img)
+		dep.Teardown()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%5d  %7.2f  %.6f\n", mem, rep.Completion.Seconds(), rep.Cost)
+	}
+	return writeObservability(tracer, mx, traceOut, "", metricsOut)
 }

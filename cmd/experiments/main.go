@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	experiments [-only <id>]
+//	experiments [-only <id>] [-metrics <file>]
 //
 // where <id> is e.g. "table1", "figure9". Without -only, everything runs
-// in paper order.
+// in paper order. With -metrics, a sorted-key JSON snapshot of every
+// simulator and coordinator metric accumulated across the run is
+// written to <file> ("-" for stdout) after the tables.
 package main
 
 import (
@@ -16,11 +18,19 @@ import (
 	"strings"
 
 	"ampsinf/internal/experiments"
+	"ampsinf/internal/obs"
 )
 
 func main() {
 	only := flag.String("only", "", "run a single experiment (e.g. table1, figure9)")
+	metricsOut := flag.String("metrics", "", `write a metrics snapshot JSON to this file ("-" = stdout)`)
 	flag.Parse()
+
+	var mx *obs.Metrics
+	if *metricsOut != "" {
+		mx = obs.NewMetrics()
+		experiments.SetMetrics(mx)
+	}
 
 	type job struct {
 		id  string
@@ -214,4 +224,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *only)
 		os.Exit(2)
 	}
+	if mx != nil {
+		if err := writeMetrics(mx, *metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func writeMetrics(mx *obs.Metrics, path string) error {
+	if path == "-" {
+		return mx.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := mx.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

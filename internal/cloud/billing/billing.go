@@ -10,11 +10,27 @@ import (
 	"sync"
 )
 
+// Observer sees every charge as it lands on the meter, in charge
+// order. The observability layer uses it to attribute exact billing
+// events to trace spans.
+type Observer func(category string, amount float64)
+
 // Meter accumulates dollar amounts by category. The zero value is ready
 // to use. All methods are safe for concurrent use.
 type Meter struct {
 	mu         sync.Mutex
 	byCategory map[string]float64
+	observer   Observer
+}
+
+// SetObserver installs (or, with nil, removes) the charge observer. The
+// observer is called synchronously under the meter's lock, so it sees
+// charges in the exact order they accumulated; it must not call back
+// into the meter.
+func (m *Meter) SetObserver(obs Observer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.observer = obs
 }
 
 // Add charges amount dollars to the category. Negative amounts panic:
@@ -29,6 +45,9 @@ func (m *Meter) Add(category string, amount float64) {
 		m.byCategory = make(map[string]float64)
 	}
 	m.byCategory[category] += amount
+	if m.observer != nil {
+		m.observer(category, amount)
+	}
 }
 
 // Total returns the sum across all categories. Categories are summed

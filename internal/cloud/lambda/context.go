@@ -49,11 +49,17 @@ func (c *Context) Advance(phase string, d time.Duration) {
 }
 
 func (c *Context) advance(phase string, d time.Duration) {
+	c.advanceBytes(phase, d, 0)
+}
+
+// advanceBytes is advance with the phase's payload size recorded, so
+// traces can report bytes moved per transfer phase.
+func (c *Context) advanceBytes(phase string, d time.Duration, bytes int64) {
 	if d < 0 {
 		d = 0
 	}
 	c.elapsed += d
-	c.phases = append(c.phases, Phase{Name: phase, Duration: d})
+	c.phases = append(c.phases, Phase{Name: phase, Duration: d, Bytes: bytes})
 	if c.elapsed > c.timeout {
 		c.timedOut = true
 		panic(errTimeoutSentinel)
@@ -98,7 +104,7 @@ func (c *Context) LoadWeights(weightsBytes int64) error {
 	if err := c.TmpAlloc(weightsBytes); err != nil {
 		return err
 	}
-	c.advance("load-weights", c.platform.perf.WeightsLoadTime(c.memoryMB, weightsBytes))
+	c.advanceBytes("load-weights", c.platform.perf.WeightsLoadTime(c.memoryMB, weightsBytes), weightsBytes)
 	return nil
 }
 
@@ -118,7 +124,7 @@ func (c *Context) GetObject(store stage.Store, key string) ([]byte, error) {
 	if err := c.TmpAlloc(int64(len(data))); err != nil {
 		return nil, err
 	}
-	c.advance("s3-read", d)
+	c.advanceBytes("s3-read", d, int64(len(data)))
 	return data, nil
 }
 
@@ -129,6 +135,6 @@ func (c *Context) PutObject(store stage.Store, key string, data []byte) error {
 	if err != nil {
 		return err
 	}
-	c.advance("s3-write", d)
+	c.advanceBytes("s3-write", d, int64(len(data)))
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"ampsinf/internal/cloud/billing"
 	"ampsinf/internal/cloud/faults"
 	"ampsinf/internal/cloud/pricing"
+	"ampsinf/internal/obs"
 	"ampsinf/internal/perf"
 )
 
@@ -64,6 +65,7 @@ type Platform struct {
 	mu  sync.RWMutex
 	fns map[string]*Function
 	inj *faults.Injector
+	mx  *obs.Metrics
 }
 
 // New creates a platform charging into meter with the given performance
@@ -87,6 +89,21 @@ func (pl *Platform) SetInjector(inj *faults.Injector) {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
 	pl.inj = inj
+}
+
+// SetMetrics installs (or, with nil, removes) the metrics registry the
+// platform updates as it serves invocations (invocation/cold-start/
+// fault counters, per-phase latency histograms, GB-seconds).
+func (pl *Platform) SetMetrics(mx *obs.Metrics) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.mx = mx
+}
+
+func (pl *Platform) metrics() *obs.Metrics {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	return pl.mx
 }
 
 // Quota returns the platform's limits.
@@ -192,6 +209,9 @@ type Result struct {
 type Phase struct {
 	Name     string
 	Duration time.Duration
+	// Bytes is the payload the phase moved (S3 transfers, weights
+	// loading); 0 for pure-compute and overhead phases.
+	Bytes int64
 }
 
 // InvokeOptions tunes an invocation.
@@ -215,11 +235,13 @@ func (pl *Platform) Invoke(name string, payload []byte, opts InvokeOptions) (*Re
 		return nil, fmt.Errorf("lambda: no such function %q", name)
 	}
 	inj := pl.inj
+	mx := pl.mx
 	// An injected throttle (429) rejects the invocation before any
 	// container is assigned: warm state is untouched and nothing bills.
 	fault, hang := inj.InvokeFault(name)
 	if fault == faults.Throttle {
 		pl.mu.Unlock()
+		mx.Inc(`lambda_faults_total{kind="throttle"}`, 1)
 		return nil, &faults.Error{Kind: faults.Throttle, Op: "invoke", Target: name}
 	}
 	cold := !fn.warm
@@ -282,13 +304,31 @@ func (pl *Platform) Invoke(name string, payload []byte, opts InvokeOptions) (*Re
 		c := pl.quota.ExecutionCost(cfg.MemoryMB, res.Duration)
 		pl.meter.Add("lambda:execution", c)
 		res.Cost = c + pricing.LambdaInvocation
+		mx.Add("lambda_gb_seconds_total", gbSeconds(cfg.MemoryMB, res.Duration))
 	} else {
 		res.Cost = pricing.LambdaInvocation
 	}
+
+	mx.Inc("lambda_invocations_total", 1)
+	if cold {
+		mx.Inc("lambda_cold_starts_total", 1)
+	}
+	if res.InjectedFault != "" {
+		mx.Inc(fmt.Sprintf("lambda_faults_total{kind=%q}", res.InjectedFault), 1)
+	}
+	for _, ph := range res.Phases {
+		mx.Observe(fmt.Sprintf("lambda_phase_seconds{phase=%q}", ph.Name),
+			obs.DurationBounds, ph.Duration.Seconds())
+	}
+
 	if herr != nil {
 		return res, herr
 	}
 	return res, nil
+}
+
+func gbSeconds(memMB int, d time.Duration) float64 {
+	return float64(memMB) / 1024 * d.Seconds()
 }
 
 // SettleExecution charges the execution cost for a deferred invocation
@@ -297,6 +337,7 @@ func (pl *Platform) Invoke(name string, payload []byte, opts InvokeOptions) (*Re
 func (pl *Platform) SettleExecution(memMB int, billed time.Duration) float64 {
 	c := pl.quota.ExecutionCost(memMB, billed)
 	pl.meter.Add("lambda:execution", c)
+	pl.metrics().Add("lambda_gb_seconds_total", gbSeconds(memMB, billed))
 	return c
 }
 

@@ -13,6 +13,7 @@ import (
 	"ampsinf/internal/cloud/billing"
 	"ampsinf/internal/cloud/faults"
 	"ampsinf/internal/cloud/pricing"
+	"ampsinf/internal/obs"
 )
 
 // Config sets the transfer model. Zero fields take defaults.
@@ -47,8 +48,10 @@ type Store struct {
 	objects map[string][]byte
 	failing bool
 	inj     *faults.Injector
+	mx      *obs.Metrics
 
-	puts, gets int64
+	puts, gets  int64
+	storedBytes int64
 }
 
 // New creates a store charging into meter.
@@ -84,6 +87,15 @@ func (s *Store) SetInjector(inj *faults.Injector) {
 	s.inj = inj
 }
 
+// SetMetrics installs (or, with nil, removes) the metrics registry the
+// store updates as it serves requests (ops/bytes counters, stored-bytes
+// gauge, storage GB-seconds).
+func (s *Store) SetMetrics(mx *obs.Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mx = mx
+}
+
 // Put stores data under key, charging one PUT request, and returns the
 // simulated transfer time. The data is copied. An injected 503 fails
 // the request without charging (AWS does not bill 5xx); an injected
@@ -96,15 +108,21 @@ func (s *Store) Put(key string, data []byte) (time.Duration, error) {
 	}
 	fault, factor := s.inj.StoreFault("put", key)
 	if fault == faults.Unavailable {
+		s.mx.Inc(`s3_faults_total{kind="unavailable"}`, 1)
 		return 0, &faults.Error{Kind: faults.Unavailable, Op: "put", Target: key}
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
+	s.storedBytes += int64(len(cp)) - int64(len(s.objects[key]))
 	s.objects[key] = cp
 	s.puts++
 	s.meter.Add("s3:put", pricing.S3PutRequest)
+	s.mx.Inc(`s3_requests_total{op="put"}`, 1)
+	s.mx.Inc(`s3_bytes_total{op="put"}`, int64(len(data)))
+	s.mx.Gauge("s3_stored_bytes", float64(s.storedBytes))
 	d := s.TransferTime(int64(len(data)))
 	if fault == faults.Slow {
+		s.mx.Inc(`s3_faults_total{kind="slow"}`, 1)
 		d = time.Duration(float64(d) * factor)
 	}
 	return d, nil
@@ -121,6 +139,7 @@ func (s *Store) Get(key string) ([]byte, time.Duration, error) {
 	}
 	fault, factor := s.inj.StoreFault("get", key)
 	if fault == faults.Unavailable {
+		s.mx.Inc(`s3_faults_total{kind="unavailable"}`, 1)
 		return nil, 0, &faults.Error{Kind: faults.Unavailable, Op: "get", Target: key}
 	}
 	data, ok := s.objects[key]
@@ -129,10 +148,13 @@ func (s *Store) Get(key string) ([]byte, time.Duration, error) {
 	}
 	s.gets++
 	s.meter.Add("s3:get", pricing.S3GetRequest)
+	s.mx.Inc(`s3_requests_total{op="get"}`, 1)
+	s.mx.Inc(`s3_bytes_total{op="get"}`, int64(len(data)))
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	d := s.TransferTime(int64(len(data)))
 	if fault == faults.Slow {
+		s.mx.Inc(`s3_faults_total{kind="slow"}`, 1)
 		d = time.Duration(float64(d) * factor)
 	}
 	return cp, d, nil
@@ -150,6 +172,10 @@ func (s *Store) Head(key string) (int64, bool) {
 func (s *Store) Delete(key string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if old, ok := s.objects[key]; ok {
+		s.storedBytes -= int64(len(old))
+		s.mx.Gauge("s3_stored_bytes", float64(s.storedBytes))
+	}
 	delete(s.objects, key)
 }
 
@@ -161,6 +187,10 @@ func (s *Store) ChargeStorage(bytes int64, d time.Duration) {
 	}
 	gb := float64(bytes) / (1 << 30)
 	s.meter.Add("s3:storage", gb*d.Seconds()*pricing.S3StoragePerGBSecond)
+	s.mu.RLock()
+	mx := s.mx
+	s.mu.RUnlock()
+	mx.Add("s3_storage_gb_seconds_total", gb*d.Seconds())
 }
 
 // Stats returns the request counters.

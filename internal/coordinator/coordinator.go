@@ -18,6 +18,7 @@ import (
 	"ampsinf/internal/cloud/stage"
 	"ampsinf/internal/modelfmt"
 	"ampsinf/internal/nn"
+	"ampsinf/internal/obs"
 	"ampsinf/internal/optimizer"
 	"ampsinf/internal/quant"
 	"ampsinf/internal/tensor"
@@ -49,6 +50,14 @@ type Config struct {
 	// exponential backoff. The zero value disables retries: the job
 	// aborts on the first error.
 	Retry RetryPolicy
+	// Tracer, when set, collects every job's span tree with exact
+	// per-span cost attribution (see internal/obs). Traced jobs are
+	// serialized so concurrent jobs cannot cross-attribute charges; a
+	// nil tracer costs nothing and leaves jobs fully concurrent.
+	Tracer *obs.Tracer
+	// Metrics, when set, receives job-level counters and histograms
+	// (jobs, retries, absorbed faults, completion, per-phase time).
+	Metrics *obs.Metrics
 }
 
 // Deployment is a set of partition functions ready to serve.

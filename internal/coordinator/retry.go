@@ -8,6 +8,7 @@ import (
 
 	"ampsinf/internal/cloud/faults"
 	"ampsinf/internal/cloud/lambda"
+	"ampsinf/internal/obs"
 )
 
 // faultOf extracts the injected fault from an error chain, or nil.
@@ -88,6 +89,17 @@ func (d *Deployment) backoff(n int) time.Duration {
 	return time.Duration(w/2 + u*w/2)
 }
 
+// retryStep records one failed attempt: what executed (nil when the
+// attempt was rejected before running, e.g. a throttle or failed PUT),
+// the fault that felled it, the backoff waited before the next attempt,
+// and the exact charges the attempt billed.
+type retryStep struct {
+	res     *lambda.Result
+	fault   string
+	backoff time.Duration
+	bucket  *obs.CostBucket
+}
+
 // retryInfo accumulates what one operation's retries cost.
 type retryInfo struct {
 	attempts int
@@ -95,6 +107,12 @@ type retryInfo struct {
 	backoff  time.Duration
 	// wasted is the simulated time failed attempts spent executing.
 	wasted time.Duration
+
+	// Trace material: the failed attempts in order, the successful
+	// attempt's charges, and the storage-held-through-retries charge.
+	steps       []retryStep
+	finalBucket *obs.CostBucket
+	holdBucket  *obs.CostBucket
 }
 
 func (ri retryInfo) retries() int { return ri.attempts - 1 }
@@ -135,18 +153,28 @@ func (b *jobBudget) take() bool {
 // never participates in the overlapped schedule. Intermediates held in
 // S3 during failed attempts and backoff waits are also charged.
 func (d *Deployment) invokeWithRetry(fnName string, payload []byte, eager bool, heldBytes int64, budget *jobBudget) (*lambda.Result, retryInfo, error) {
+	tr := d.cfg.Tracer
 	var ri retryInfo
 	for {
 		ri.attempts++
+		bucket := tr.NewBucket()
+		prev := tr.SetSink(bucket)
 		res, err := d.cfg.Platform.Invoke(fnName, payload, lambda.InvokeOptions{DeferBilling: eager})
 		if err == nil {
+			tr.SetSink(prev)
+			ri.finalBucket = bucket
 			if hold := ri.wasted + ri.backoff; hold > 0 {
 				// Upstream intermediates sat in S3 through the failed
 				// attempts and backoff waits; that storage time bills.
+				ri.holdBucket = tr.NewBucket()
+				p := tr.SetSink(ri.holdBucket)
 				d.cfg.Store.ChargeStorage(heldBytes, hold)
+				tr.SetSink(p)
 			}
 			return res, ri, nil
 		}
+		step := retryStep{res: res, bucket: bucket}
+		nfaults := len(ri.faults)
 		if res != nil {
 			// The attempt executed before failing: its time is spent and,
 			// under deferred billing, must still be settled.
@@ -162,16 +190,26 @@ func (d *Deployment) invokeWithRetry(fnName string, payload []byte, eager bool, 
 		} else if fe := faultOf(err); fe != nil {
 			ri.faults = append(ri.faults, fe.Kind.String())
 		}
+		tr.SetSink(prev)
+		if len(ri.faults) > nfaults {
+			step.fault = ri.faults[len(ri.faults)-1]
+		}
 		if !d.cfg.Retry.enabled() || !faults.IsTransient(err) {
+			ri.steps = append(ri.steps, step)
 			return nil, ri, err
 		}
 		if ri.attempts >= d.cfg.Retry.MaxAttempts {
+			ri.steps = append(ri.steps, step)
 			return nil, ri, fmt.Errorf("gave up after %d attempts: %w", ri.attempts, err)
 		}
 		if !budget.take() {
+			ri.steps = append(ri.steps, step)
 			return nil, ri, fmt.Errorf("job retry budget exhausted after %d attempts: %w", ri.attempts, err)
 		}
-		ri.backoff += d.backoff(ri.attempts)
+		bo := d.backoff(ri.attempts)
+		ri.backoff += bo
+		step.backoff = bo
+		ri.steps = append(ri.steps, step)
 	}
 }
 
@@ -179,26 +217,39 @@ func (d *Deployment) invokeWithRetry(fnName string, payload []byte, eager bool, 
 // PUT costs no money (5xx requests are not billed) but each retry
 // waits out a backoff, which the caller folds into completion time.
 func (d *Deployment) putWithRetry(key string, data []byte, budget *jobBudget) (time.Duration, retryInfo, error) {
+	tr := d.cfg.Tracer
 	var ri retryInfo
 	for {
 		ri.attempts++
+		bucket := tr.NewBucket()
+		prev := tr.SetSink(bucket)
 		dur, err := d.cfg.Store.Put(key, data)
+		tr.SetSink(prev)
 		if err == nil {
+			ri.finalBucket = bucket
 			return dur, ri, nil
 		}
+		step := retryStep{bucket: bucket}
 		if fe := faultOf(err); fe != nil {
 			ri.faults = append(ri.faults, fe.Kind.String())
+			step.fault = fe.Kind.String()
 		}
 		if !d.cfg.Retry.enabled() || !faults.IsTransient(err) {
+			ri.steps = append(ri.steps, step)
 			return 0, ri, err
 		}
 		if ri.attempts >= d.cfg.Retry.MaxAttempts {
+			ri.steps = append(ri.steps, step)
 			return 0, ri, fmt.Errorf("gave up after %d attempts: %w", ri.attempts, err)
 		}
 		if !budget.take() {
+			ri.steps = append(ri.steps, step)
 			return 0, ri, fmt.Errorf("job retry budget exhausted after %d attempts: %w", ri.attempts, err)
 		}
-		ri.backoff += d.backoff(ri.attempts)
+		bo := d.backoff(ri.attempts)
+		ri.backoff += bo
+		step.backoff = bo
+		ri.steps = append(ri.steps, step)
 	}
 }
 

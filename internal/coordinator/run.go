@@ -8,6 +8,7 @@ import (
 
 	"ampsinf/internal/cloud/lambda"
 	"ampsinf/internal/modelfmt"
+	"ampsinf/internal/obs"
 	"ampsinf/internal/tensor"
 )
 
@@ -72,6 +73,12 @@ type Report struct {
 	Retries        int           // total retried operations
 	FaultsInjected int           // faults the job absorbed
 	BackoffWait    time.Duration // total backoff the job waited out
+
+	// Trace is the job's span tree (job → upload/invocations → attempts
+	// → phases) on the simulated clock. Always built; when the
+	// deployment has a Tracer the spans additionally carry exact cost
+	// attributions such that obs.SumCosts(Trace) reproduces Cost.
+	Trace *obs.Span
 }
 
 // RunSequential serves one input with strictly sequential invocations:
@@ -93,6 +100,14 @@ func (d *Deployment) RunEager(input *tensor.Tensor) (*Report, error) {
 }
 
 func (d *Deployment) run(input *tensor.Tensor, eager bool) (*Report, error) {
+	tr := d.cfg.Tracer
+	tr.BeginJob()
+	var root *obs.Span
+	defer func() { tr.EndJob(root) }()
+	rootBucket := tr.NewBucket()
+	prevSink := tr.SetSink(rootBucket)
+	defer tr.SetSink(prevSink)
+
 	before := d.meterTotal()
 	job := d.nextJobID()
 	defer d.cleanup(job)
@@ -143,14 +158,18 @@ func (d *Deployment) run(input *tensor.Tensor, eager bool) (*Report, error) {
 	}
 	rep.Output = out
 
+	partBuckets := make([]*obs.CostBucket, len(d.parts))
 	if eager {
-		d.settleEager(rep, results, infos, upDur, storedBefore)
+		d.settleEager(rep, results, infos, upDur, storedBefore, partBuckets)
 	} else {
 		rep.Completion = upDur
 		for i, res := range results {
 			info := infos[i]
 			rep.Completion += info.delay() + invokeDispatchLatency + res.Duration
+			partBuckets[i] = tr.NewBucket()
+			p := tr.SetSink(partBuckets[i])
 			d.cfg.Store.ChargeStorage(storedBefore[i], res.Duration)
+			tr.SetSink(p)
 			lr := phaseSplit(res)
 			lr.FunctionName = d.parts[i].fnName
 			lr.MemoryMB = res.MemoryMB
@@ -165,7 +184,28 @@ func (d *Deployment) run(input *tensor.Tensor, eager bool) (*Report, error) {
 		}
 	}
 	rep.Cost = d.meterTotal() - before
+	root = d.buildTrace(rep, job, eager, upDur, upInfo, results, infos, partBuckets, rootBucket)
+	rep.Trace = root
+	d.recordJobMetrics(rep)
 	return rep, nil
+}
+
+// recordJobMetrics folds one finished job into the metrics registry.
+func (d *Deployment) recordJobMetrics(rep *Report) {
+	mx := d.cfg.Metrics
+	mx.Inc(fmt.Sprintf("coordinator_jobs_total{mode=%q}", rep.Mode), 1)
+	mx.Observe("coordinator_job_completion_seconds", obs.DurationBounds, rep.Completion.Seconds())
+	mx.Add("coordinator_job_cost_usd_total", rep.Cost)
+	mx.Inc("coordinator_retries_total", int64(rep.Retries))
+	mx.Inc("coordinator_faults_absorbed_total", int64(rep.FaultsInjected))
+	mx.Add("coordinator_backoff_seconds_total", rep.BackoffWait.Seconds())
+	for _, lr := range rep.PerLambda {
+		mx.Add(`coordinator_phase_seconds_total{phase="init"}`, lr.Init.Seconds())
+		mx.Add(`coordinator_phase_seconds_total{phase="load"}`, lr.Load.Seconds())
+		mx.Add(`coordinator_phase_seconds_total{phase="read"}`, lr.Read.Seconds())
+		mx.Add(`coordinator_phase_seconds_total{phase="compute"}`, lr.Compute.Seconds())
+		mx.Add(`coordinator_phase_seconds_total{phase="write"}`, lr.Write.Seconds())
+	}
 }
 
 // recordRetries folds one operation's retry record into the job report.
@@ -182,7 +222,8 @@ func (d *Deployment) recordRetries(rep *Report, ri retryInfo) {
 // wait. Retried partitions lose their head start: the failed attempts'
 // execution and backoff waits push the successful attempt's work back
 // (the failed attempts themselves were settled as they happened).
-func (d *Deployment) settleEager(rep *Report, results []*lambda.Result, infos []retryInfo, upDur time.Duration, storedBefore []int64) {
+func (d *Deployment) settleEager(rep *Report, results []*lambda.Result, infos []retryInfo, upDur time.Duration, storedBefore []int64, partBuckets []*obs.CostBucket) {
+	tr := d.cfg.Tracer
 	avail := upDur // when partition 0's input is ready in S3
 	for i, res := range results {
 		info := infos[i]
@@ -196,8 +237,11 @@ func (d *Deployment) settleEager(rep *Report, results []*lambda.Result, infos []
 		start += info.delay()
 		exit := start + work
 		billed := exit - invokeDispatchLatency
+		partBuckets[i] = tr.NewBucket()
+		p := tr.SetSink(partBuckets[i])
 		d.cfg.Platform.SettleExecution(res.MemoryMB, billed)
 		d.cfg.Store.ChargeStorage(storedBefore[i], billed)
+		tr.SetSink(p)
 		lr.FunctionName = d.parts[i].fnName
 		lr.MemoryMB = res.MemoryMB
 		lr.Cold = res.ColdStart

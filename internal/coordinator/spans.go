@@ -1,0 +1,234 @@
+package coordinator
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"ampsinf/internal/cloud/lambda"
+	"ampsinf/internal/obs"
+)
+
+// buildTrace reconstructs the finished job's span tree from the same
+// per-invocation results and retry records the billing settlement used,
+// so exporters (Chrome trace, waterfall) never re-derive offsets. The
+// tree mirrors the job geometry exactly:
+//
+//	job (track "coordinator")
+//	├─ upload-input (track "input"): failed PUTs, backoffs, final PUT
+//	└─ one invoke span per partition (track = function name)
+//	   ├─ dispatch · failed attempts · backoffs · re-dispatches
+//	   └─ successful attempt
+//	      └─ phases (coldstart/overhead/deps-init/load-weights/
+//	         s3-read/compute/s3-write), with an input-poll wait
+//	         inserted before the work phases in eager mode
+//
+// Cost buckets captured around each billed operation are attached to
+// the matching span (S3 request fees land on their transfer phase), so
+// obs.SumCosts over the tree replays the meter's charges exactly.
+func (d *Deployment) buildTrace(rep *Report, job string, eager bool, upDur time.Duration, upInfo retryInfo, results []*lambda.Result, infos []retryInfo, partBuckets []*obs.CostBucket, rootBucket *obs.CostBucket) *obs.Span {
+	root := &obs.Span{
+		Name: job, Kind: obs.KindJob, Track: "coordinator",
+		Duration: rep.Completion,
+	}
+	root.SetAttr("mode", rep.Mode)
+	root.SetAttr("model", d.model.Name)
+	attachBucket(root, rootBucket)
+
+	d.buildUploadSpan(root, job, upDur, upInfo)
+
+	jobCursor := upDur // sequential chain cursor
+	avail := upDur     // eager availability chain
+	for i, res := range results {
+		info := infos[i]
+		lr := phaseSplit(res)
+		track := d.parts[i].fnName
+
+		var invStart, workStart, exit time.Duration
+		if eager {
+			// Mirror settleEager's schedule arithmetic exactly.
+			invStart = 0
+			workStart = invokeDispatchLatency + lr.Init + lr.Load
+			if avail > workStart {
+				workStart = avail
+			}
+			workStart += info.delay()
+			exit = workStart + lr.Read + lr.Compute + lr.Write
+			avail = exit
+		} else {
+			invStart = jobCursor
+			exit = jobCursor + info.delay() + invokeDispatchLatency + res.Duration
+			jobCursor = exit
+		}
+
+		inv := root.AddChild(&obs.Span{
+			Name: track, Kind: obs.KindInvoke, Track: track,
+			Start: invStart, Duration: exit - invStart,
+		})
+		inv.SetAttr("function", track)
+		inv.SetAttr("memory_mb", strconv.Itoa(res.MemoryMB))
+		inv.SetAttr("cold", strconv.FormatBool(res.ColdStart))
+		inv.SetAttr("attempts", strconv.Itoa(info.attempts))
+		attachBucket(inv, partBuckets[i])
+		attachBucket(inv, info.holdBucket)
+
+		cursor := invStart
+		inv.AddChild(&obs.Span{
+			Name: "dispatch", Kind: obs.KindDispatch, Track: track,
+			Start: cursor, Duration: invokeDispatchLatency,
+		})
+		cursor += invokeDispatchLatency
+		cursor = layoutSteps(inv, info.steps, cursor, track, true)
+
+		att := inv.AddChild(&obs.Span{
+			Name: fmt.Sprintf("attempt-%d", info.attempts), Kind: obs.KindAttempt, Track: track,
+			Start: cursor, Duration: exit - cursor,
+		})
+		att.SetAttr("attempt", strconv.Itoa(info.attempts))
+		addPhases(att, res, cursor, workStart, eager, info.finalBucket)
+	}
+
+	// Per-span cost = chronological sum of the span's own charges.
+	root.Walk(func(s *obs.Span) {
+		var t float64
+		for _, e := range s.CostEvents {
+			t += e.Amount
+		}
+		s.Cost = t
+	})
+	return root
+}
+
+// buildUploadSpan lays out the input upload: failed PUT attempts are
+// zero-length (a failed PUT transfers nothing and bills nothing), each
+// followed by its backoff; the successful PUT closes the span.
+func (d *Deployment) buildUploadSpan(root *obs.Span, job string, upDur time.Duration, upInfo retryInfo) {
+	putDur := upDur - upInfo.backoff
+	upload := root.AddChild(&obs.Span{
+		Name: "upload-input", Kind: obs.KindUpload, Track: "input",
+		Start: 0, Duration: upDur,
+	})
+	upload.SetAttr("attempts", strconv.Itoa(upInfo.attempts))
+	cursor := layoutSteps(upload, upInfo.steps, 0, "input", false)
+	put := upload.AddChild(&obs.Span{
+		Name: "put", Kind: obs.KindAttempt, Track: "input",
+		Start: cursor, Duration: putDur,
+	})
+	put.SetAttr("attempt", strconv.Itoa(upInfo.attempts))
+	if n, ok := d.cfg.Store.Head(job + "/input"); ok {
+		put.SetAttr("bytes", strconv.FormatInt(n, 10))
+	}
+	attachBucket(put, upInfo.finalBucket)
+}
+
+// layoutSteps lays the failed attempts of one retried operation onto
+// the parent, advancing the cursor past each attempt, its backoff, and
+// (for invocations) the re-dispatch latency. Returns the cursor where
+// the successful attempt begins.
+func layoutSteps(parent *obs.Span, steps []retryStep, cursor time.Duration, track string, redispatch bool) time.Duration {
+	for k, st := range steps {
+		var dur time.Duration
+		if st.res != nil {
+			dur = st.res.Duration
+		}
+		att := parent.AddChild(&obs.Span{
+			Name: fmt.Sprintf("attempt-%d", k+1), Kind: obs.KindAttempt, Track: track,
+			Start: cursor, Duration: dur,
+		})
+		att.SetAttr("attempt", strconv.Itoa(k+1))
+		att.SetAttr("failed", "true")
+		if st.fault != "" {
+			att.SetAttr("fault", st.fault)
+			att.AddEvent("fault:"+st.fault, cursor+dur, map[string]string{"kind": st.fault})
+		}
+		attachBucket(att, st.bucket)
+		cursor += dur
+		if st.backoff > 0 {
+			parent.AddChild(&obs.Span{
+				Name: "backoff", Kind: obs.KindBackoff, Track: track,
+				Start: cursor, Duration: st.backoff,
+			})
+			cursor += st.backoff
+		}
+		if redispatch {
+			parent.AddChild(&obs.Span{
+				Name: "dispatch", Kind: obs.KindDispatch, Track: track,
+				Start: cursor, Duration: invokeDispatchLatency,
+			})
+			cursor += invokeDispatchLatency
+		}
+	}
+	return cursor
+}
+
+// addPhases lays the successful attempt's handler phases consecutively
+// from start. In eager mode the function polls S3 for its input after
+// initialization, so a wait span bridges the gap up to workStart before
+// the first work phase. The attempt's charges are distributed: each S3
+// request fee lands on its transfer phase, the rest (invocation fee,
+// non-deferred execution) stay on the attempt span.
+func addPhases(att *obs.Span, res *lambda.Result, start, workStart time.Duration, eager bool, bucket *obs.CostBucket) {
+	cursor := start
+	var phases []*obs.Span
+	waited := !eager
+	for _, ph := range res.Phases {
+		if !waited && workPhase(ph.Name) {
+			if workStart > cursor {
+				att.AddChild(&obs.Span{
+					Name: "wait-input", Kind: obs.KindWait, Track: att.Track,
+					Start: cursor, Duration: workStart - cursor,
+				})
+				cursor = workStart
+			}
+			waited = true
+		}
+		ps := att.AddChild(&obs.Span{
+			Name: ph.Name, Kind: obs.KindPhase, Track: att.Track,
+			Start: cursor, Duration: ph.Duration,
+		})
+		if ph.Bytes > 0 {
+			ps.SetAttr("bytes", strconv.FormatInt(ph.Bytes, 10))
+		}
+		phases = append(phases, ps)
+		cursor += ph.Duration
+	}
+
+	ri, wi := 0, 0
+	for _, e := range bucket.Events() {
+		var target *obs.Span
+		switch e.Category {
+		case "s3:get":
+			for ri < len(phases) && phases[ri].Name != "s3-read" {
+				ri++
+			}
+			if ri < len(phases) {
+				target = phases[ri]
+				ri++
+			}
+		case "s3:put":
+			for wi < len(phases) && phases[wi].Name != "s3-write" {
+				wi++
+			}
+			if wi < len(phases) {
+				target = phases[wi]
+				wi++
+			}
+		}
+		if target == nil {
+			target = att
+		}
+		target.CostEvents = append(target.CostEvents, e)
+	}
+}
+
+func workPhase(name string) bool {
+	switch name {
+	case "s3-read", "compute", "s3-write":
+		return true
+	}
+	return false
+}
+
+func attachBucket(s *obs.Span, b *obs.CostBucket) {
+	s.CostEvents = append(s.CostEvents, b.Events()...)
+}

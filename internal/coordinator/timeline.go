@@ -3,13 +3,16 @@ package coordinator
 import (
 	"fmt"
 	"strings"
-	"time"
+
+	"ampsinf/internal/obs"
 )
 
 // Timeline renders an ASCII Gantt chart of one job's per-lambda phases
-// (init, load, wait, read/compute/write) against simulated time, for the
-// CLI's observability. Eager-mode reports show the initialization
-// overlap; sequential reports show the strict chain.
+// (init, load, wait, read/compute/write, plus failed attempts and
+// backoff waits) against simulated time, for the CLI's observability.
+// It is a thin header around obs.Waterfall over the job's span tree —
+// start offsets come from the spans, the single source of truth, not
+// from re-derived billing arithmetic.
 func Timeline(rep *Report, width int) string {
 	if rep == nil || len(rep.PerLambda) == 0 {
 		return "(empty report)\n"
@@ -21,62 +24,13 @@ func Timeline(rep *Report, width int) string {
 	if total <= 0 {
 		return "(zero-length job)\n"
 	}
-	cols := func(d time.Duration) int {
-		c := int(float64(d) / float64(total) * float64(width))
-		if c < 0 {
-			c = 0
-		}
-		if c > width {
-			c = width
-		}
-		return c
+	if rep.Trace == nil {
+		return "(no trace)\n"
 	}
-
 	var b strings.Builder
 	fmt.Fprintf(&b, "job timeline (%s, %.2fs total, $%.6f)\n", rep.Mode, total.Seconds(), rep.Cost)
-	fmt.Fprintf(&b, "%-6s %s\n", "", legend())
-
-	// Reconstruct per-lambda start offsets the same way billing did.
-	var cursor time.Duration
-	for i, lr := range rep.PerLambda {
-		var start time.Duration
-		if rep.Mode == "eager" {
-			// Billed spans [dispatch, exit]; exit-of-previous = availability.
-			start = invokeDispatchLatency
-		} else {
-			start = cursor + invokeDispatchLatency
-		}
-		initLoad := lr.Init + lr.Load
-		work := lr.Read + lr.Compute + lr.Write
-		wait := lr.Billed - initLoad - work
-		if wait < 0 {
-			wait = 0
-		}
-		line := make([]byte, 0, width+8)
-		line = append(line, []byte(strings.Repeat(" ", cols(start)))...)
-		line = append(line, []byte(strings.Repeat("I", cols(lr.Init)))...)
-		line = append(line, []byte(strings.Repeat("L", cols(lr.Load)))...)
-		line = append(line, []byte(strings.Repeat(".", cols(wait)))...)
-		line = append(line, []byte(strings.Repeat("r", cols(lr.Read)))...)
-		line = append(line, []byte(strings.Repeat("C", cols(lr.Compute)))...)
-		line = append(line, []byte(strings.Repeat("w", cols(lr.Write)))...)
-		if len(line) > width {
-			line = line[:width]
-		}
-		fmt.Fprintf(&b, "λ%-5d %-*s  %4dMB %s\n", i, width, string(line), lr.MemoryMB, coldMark(lr.Cold))
-		cursor += invokeDispatchLatency + lr.Active
-	}
+	fmt.Fprintf(&b, "%-6s %s\n", "", obs.WaterfallLegend)
+	b.WriteString(obs.Waterfall(rep.Trace, width))
 	fmt.Fprintf(&b, "%-6s 0s%s%.2fs\n", "", strings.Repeat(" ", width-4), total.Seconds())
 	return b.String()
-}
-
-func legend() string {
-	return "I=init L=load .=wait r=read C=compute w=write"
-}
-
-func coldMark(cold bool) string {
-	if cold {
-		return "(cold)"
-	}
-	return "(warm)"
 }

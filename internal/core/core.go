@@ -24,6 +24,7 @@ import (
 	"ampsinf/internal/cloud/stage"
 	"ampsinf/internal/coordinator"
 	"ampsinf/internal/nn"
+	"ampsinf/internal/obs"
 	"ampsinf/internal/optimizer"
 	"ampsinf/internal/perf"
 	"ampsinf/internal/quant"
@@ -44,6 +45,13 @@ type Options struct {
 	// Faults installs a fault injector on the platform and S3 store the
 	// framework ends up with (nil = fault-free).
 	Faults *faults.Injector
+	// Trace installs the tracer as the meter's charge observer and
+	// threads it through deployments, so every job's span tree (with
+	// exact cost attribution) lands in Trace.Jobs() (see internal/obs).
+	Trace *obs.Tracer
+	// Metrics threads a metrics registry through the platform, store and
+	// coordinator (counters, gauges, histograms; see internal/obs).
+	Metrics *obs.Metrics
 }
 
 // Framework owns the platform bindings and runs the Optimizer +
@@ -53,6 +61,8 @@ type Framework struct {
 	store    stage.Store
 	meter    *billing.Meter
 	perf     perf.Params
+	tracer   *obs.Tracer
+	metrics  *obs.Metrics
 }
 
 // NewFramework builds a framework, creating any environment pieces not
@@ -87,7 +97,19 @@ func NewFramework(opts Options) *Framework {
 			s3s.SetInjector(opts.Faults)
 		}
 	}
-	return &Framework{platform: platform, store: store, meter: meter, perf: p}
+	if opts.Trace != nil {
+		meter.SetObserver(opts.Trace.RecordCost)
+	}
+	if opts.Metrics != nil {
+		platform.SetMetrics(opts.Metrics)
+		if s3s, ok := store.(*s3.Store); ok {
+			s3s.SetMetrics(opts.Metrics)
+		}
+	}
+	return &Framework{
+		platform: platform, store: store, meter: meter, perf: p,
+		tracer: opts.Trace, metrics: opts.Metrics,
+	}
 }
 
 // Meter returns the framework's billing meter.
@@ -175,7 +197,7 @@ func (f *Framework) Submit(model *nn.Model, weights nn.Weights, opts SubmitOptio
 	dep, err := coordinator.Deploy(coordinator.Config{
 		Platform: f.platform, Store: f.store, NamePrefix: prefix,
 		SkipCompute: opts.SkipCompute, QuantizeBits: opts.QuantizeBits,
-		Retry: opts.Retry,
+		Retry: opts.Retry, Tracer: f.tracer, Metrics: f.metrics,
 	}, model, weights, plan)
 	if err != nil {
 		return nil, fmt.Errorf("core: deploying %q: %w", model.Name, err)

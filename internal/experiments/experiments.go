@@ -21,8 +21,31 @@ import (
 	"ampsinf/internal/core"
 	"ampsinf/internal/nn"
 	"ampsinf/internal/nn/zoo"
+	"ampsinf/internal/obs"
 	"ampsinf/internal/perf"
 )
+
+// Package-level metrics registry: when set, every subsequently built
+// Env reports simulator and coordinator metrics into it, so a whole
+// experiment run can be snapshotted as one sorted-key JSON document.
+var (
+	metricsMu sync.Mutex
+	metricsRe *obs.Metrics
+)
+
+// SetMetrics installs (or, with nil, removes) the registry future Envs
+// report into.
+func SetMetrics(m *obs.Metrics) {
+	metricsMu.Lock()
+	defer metricsMu.Unlock()
+	metricsRe = m
+}
+
+func currentMetrics() *obs.Metrics {
+	metricsMu.Lock()
+	defer metricsMu.Unlock()
+	return metricsRe
+}
 
 // Env is one experiment's isolated simulated cloud.
 type Env struct {
@@ -36,17 +59,20 @@ type Env struct {
 
 // NewEnv builds a fresh environment with the calibrated defaults.
 func NewEnv() *Env {
+	mx := currentMetrics()
 	meter := &billing.Meter{}
 	platform := lambda.New(meter, perf.Default())
 	store := s3.New(s3.DefaultConfig(), meter)
+	engine := stepfn.NewEngine(platform, meter)
+	engine.Metrics = mx
 	return &Env{
 		Meter:    meter,
 		Platform: platform,
 		Store:    store,
 		Sage:     sagemaker.New(sagemaker.Config{}, meter),
-		StepFn:   stepfn.NewEngine(platform, meter),
+		StepFn:   engine,
 		FW: core.NewFramework(core.Options{
-			Platform: platform, Store: store, Meter: meter,
+			Platform: platform, Store: store, Meter: meter, Metrics: mx,
 		}),
 	}
 }

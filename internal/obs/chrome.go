@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// chromeEvent is one Chrome trace_event object. Field order is the
+// marshalled key order; Dur is a pointer so complete events always
+// carry a "dur" key, even for zero-length spans (Perfetto needs it).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const chromePid = 1
+
+// interJobGap separates back-to-back jobs on the exported timebase so
+// adjacent jobs remain visually distinct in Perfetto.
+const interJobGap = time.Millisecond
+
+func microseconds(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e3
+}
+
+// WriteChromeTrace exports the given job span trees as Chrome
+// trace-event JSON — loadable in Perfetto (ui.perfetto.dev) or
+// chrome://tracing. Each span track (the coordinator, each lambda
+// function) becomes one thread; jobs are laid out end-to-end on a
+// shared timebase. Output is deterministic: tracks are numbered in
+// first-appearance order, events are emitted in depth-first span
+// order, and all numbers derive from the simulated clock, so two runs
+// with the same seeds produce byte-identical files.
+func WriteChromeTrace(w io.Writer, jobs []*Span) error {
+	tids := make(map[string]int)
+	var order []string
+	for _, job := range jobs {
+		job.Walk(func(s *Span) {
+			if _, ok := tids[s.Track]; !ok {
+				tids[s.Track] = len(order) + 1
+				order = append(order, s.Track)
+			}
+		})
+	}
+
+	events := make([]chromeEvent, 0, 2*len(order))
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePid, Tid: 0,
+		Args: map[string]any{"name": "ampsinf"},
+	})
+	for _, track := range order {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: tids[track],
+			Args: map[string]any{"name": track},
+		})
+	}
+
+	var epoch time.Duration
+	for _, job := range jobs {
+		job.Walk(func(s *Span) {
+			dur := microseconds(s.Duration)
+			ev := chromeEvent{
+				Name: s.Name, Cat: s.Kind, Ph: "X",
+				Ts:  microseconds(epoch + s.Start),
+				Dur: &dur, Pid: chromePid, Tid: tids[s.Track],
+				Args: map[string]any{"cost_usd": s.Cost},
+			}
+			for k, v := range s.Attrs {
+				ev.Args[k] = v
+			}
+			events = append(events, ev)
+			for _, e := range s.Events {
+				iev := chromeEvent{
+					Name: e.Name, Cat: s.Kind, Ph: "i",
+					Ts: microseconds(epoch + e.At), Pid: chromePid, Tid: tids[s.Track],
+					S: "t",
+				}
+				if len(e.Attrs) > 0 {
+					iev.Args = make(map[string]any, len(e.Attrs))
+					for k, v := range e.Attrs {
+						iev.Args[k] = v
+					}
+				}
+				events = append(events, iev)
+			}
+		})
+		epoch += job.Duration + interJobGap
+	}
+
+	if _, err := io.WriteString(w, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	for i, ev := range events {
+		b, err := json.Marshal(ev) // map keys marshal sorted: deterministic
+		if err != nil {
+			return err
+		}
+		sep := ",\n"
+		if i == len(events)-1 {
+			sep = "\n"
+		}
+		if _, err := fmt.Fprintf(w, "%s%s", b, sep); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}
+
+// WriteSpans exports the job span trees as an indented JSON dump — the
+// lossless form of the trace (nested spans, cost events, attributes),
+// for tooling that wants more than the Chrome view.
+func WriteSpans(w io.Writer, jobs []*Span) error {
+	b, err := json.MarshalIndent(jobs, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

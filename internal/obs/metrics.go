@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// DurationBounds are the fixed histogram bounds (seconds) used for
+// simulated latencies, spanning S3 round-trips to the 900 s platform
+// timeout. Fixed bounds keep snapshots comparable across runs and
+// models.
+var DurationBounds = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60, 120, 300, 900,
+}
+
+// Histogram is a fixed-bound histogram. Counts has len(Bounds)+1
+// buckets: Counts[i] holds observations ≤ Bounds[i], the last bucket
+// overflows.
+type Histogram struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+}
+
+func (h *Histogram) observe(v float64) {
+	i := 0
+	for i < len(h.Bounds) && v > h.Bounds[i] {
+		i++
+	}
+	h.Counts[i]++
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if h.Count == 0 || v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+}
+
+// Metrics is a registry of counters, gauges and fixed-bound histograms
+// the simulators and the coordinator update as they run. Metric names
+// carry labels inline, Prometheus-style (`lambda_faults_total{kind="crash"}`),
+// and snapshots marshal with sorted keys, so output is bit-for-bit
+// reproducible for a deterministic run. All methods are nil-safe: a
+// nil *Metrics is a valid no-op registry, so instrumentation sites
+// never need a guard.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	totals   map[string]float64
+	gauges   map[string]float64
+	hists    map[string]*Histogram
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// Inc adds delta to the named integer counter.
+func (m *Metrics) Inc(name string, delta int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.counters == nil {
+		m.counters = make(map[string]int64)
+	}
+	m.counters[name] += delta
+}
+
+// Add accumulates v into the named float total (GB-seconds, dollars,
+// seconds of backoff).
+func (m *Metrics) Add(name string, v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.totals == nil {
+		m.totals = make(map[string]float64)
+	}
+	m.totals[name] += v
+}
+
+// Gauge sets the named gauge to v.
+func (m *Metrics) Gauge(name string, v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.gauges == nil {
+		m.gauges = make(map[string]float64)
+	}
+	m.gauges[name] = v
+}
+
+// Observe records v into the named histogram, creating it with the
+// given fixed bounds on first use (later calls reuse the original
+// bounds).
+func (m *Metrics) Observe(name string, bounds []float64, v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.hists == nil {
+		m.hists = make(map[string]*Histogram)
+	}
+	h, ok := m.hists[name]
+	if !ok {
+		h = &Histogram{
+			Bounds: append([]float64(nil), bounds...),
+			Counts: make([]int64, len(bounds)+1),
+		}
+		m.hists[name] = h
+	}
+	h.observe(v)
+}
+
+// Snapshot is a point-in-time copy of the registry, shaped for JSON.
+type Snapshot struct {
+	Counters   map[string]int64      `json:"counters"`
+	Totals     map[string]float64    `json:"totals"`
+	Gauges     map[string]float64    `json:"gauges"`
+	Histograms map[string]*Histogram `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state.
+func (m *Metrics) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Counters:   map[string]int64{},
+		Totals:     map[string]float64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]*Histogram{},
+	}
+	if m == nil {
+		return s
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, v := range m.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range m.totals {
+		s.Totals[k] = v
+	}
+	for k, v := range m.gauges {
+		s.Gauges[k] = v
+	}
+	for k, h := range m.hists {
+		cp := *h
+		cp.Bounds = append([]float64(nil), h.Bounds...)
+		cp.Counts = append([]int64(nil), h.Counts...)
+		s.Histograms[k] = &cp
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON. encoding/json
+// marshals map keys in sorted order, so the output is bit-for-bit
+// reproducible for a deterministic run.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(m.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

@@ -1,0 +1,332 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsSnapshotDeterministic(t *testing.T) {
+	m := NewMetrics()
+	m.Inc(`lambda_faults_total{kind="crash"}`, 2)
+	m.Inc("lambda_invocations_total", 7)
+	m.Add("lambda_gb_seconds_total", 1.25)
+	m.Gauge("s3_stored_bytes", 4096)
+	m.Observe("latency_seconds", DurationBounds, 0.42)
+	m.Observe("latency_seconds", DurationBounds, 3.0)
+
+	var a, b bytes.Buffer
+	if err := m.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two snapshots of the same registry differ")
+	}
+	if !strings.HasSuffix(a.String(), "\n") {
+		t.Fatal("snapshot must end with a newline")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(a.Bytes(), &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if snap.Counters[`lambda_faults_total{kind="crash"}`] != 2 {
+		t.Fatalf("counter lost: %+v", snap.Counters)
+	}
+	h := snap.Histograms["latency_seconds"]
+	if h == nil || h.Count != 2 || h.Min != 0.42 || h.Max != 3.0 {
+		t.Fatalf("histogram wrong: %+v", h)
+	}
+}
+
+func TestMetricsNilRegistryIsNoOp(t *testing.T) {
+	var m *Metrics
+	m.Inc("x", 1)
+	m.Add("y", 2)
+	m.Gauge("z", 3)
+	m.Observe("h", DurationBounds, 4)
+	s := m.Snapshot()
+	if len(s.Counters)+len(s.Totals)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	m := NewMetrics()
+	bounds := []float64{1, 10}
+	m.Observe("h", bounds, 1)    // exactly on the first bound → bucket 0
+	m.Observe("h", bounds, 5)    // bucket 1
+	m.Observe("h", bounds, 11)   // overflow bucket
+	m.Observe("h", bounds, 0.01) // bucket 0
+	h := m.Snapshot().Histograms["h"]
+	want := []int64{2, 1, 1}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Fatalf("counts = %v, want %v", h.Counts, want)
+		}
+	}
+	if h.Sum != 17.01 || h.Count != 4 {
+		t.Fatalf("sum/count = %v/%v", h.Sum, h.Count)
+	}
+}
+
+func TestSumCostsMatchesMeterFold(t *testing.T) {
+	// Events are attached out of charge order across spans; SumCosts
+	// must replay them by Seq and fold per category, in sorted-category
+	// order, exactly like billing.Meter.Total.
+	root := &Span{Name: "job", Duration: time.Second}
+	a := root.AddChild(&Span{Name: "a", Duration: time.Second})
+	b := root.AddChild(&Span{Name: "b", Duration: time.Second})
+	b.CostEvents = []CostEvent{
+		{Seq: 3, Category: "lambda:execution", Amount: 0.3},
+		{Seq: 1, Category: "s3:put", Amount: 0.1},
+	}
+	a.CostEvents = []CostEvent{
+		{Seq: 2, Category: "lambda:execution", Amount: 0.2},
+		{Seq: 4, Category: "s3:put", Amount: 0.4},
+	}
+	got := SumCosts(root)
+	// Per-category accumulation in seq order, then sorted-category sum.
+	want := (0.2 + 0.3) + (0.1 + 0.4)
+	if got != want {
+		t.Fatalf("SumCosts = %v, want %v", got, want)
+	}
+}
+
+func TestValidateTree(t *testing.T) {
+	ok := &Span{Name: "job", Duration: 10 * time.Second}
+	ok.AddChild(&Span{Name: "x", Track: "λ0", Start: 0, Duration: 4 * time.Second})
+	ok.AddChild(&Span{Name: "y", Track: "λ0", Start: 4 * time.Second, Duration: 6 * time.Second})
+	// Overlap on a different track is the eager schedule: allowed.
+	ok.AddChild(&Span{Name: "z", Track: "λ1", Start: 2 * time.Second, Duration: 5 * time.Second})
+	if err := ValidateTree(ok); err != nil {
+		t.Fatalf("valid tree rejected: %v", err)
+	}
+
+	esc := &Span{Name: "job", Duration: time.Second}
+	esc.AddChild(&Span{Name: "x", Start: 500 * time.Millisecond, Duration: time.Second})
+	if err := ValidateTree(esc); err == nil {
+		t.Fatal("child escaping its parent must be rejected")
+	}
+
+	lap := &Span{Name: "job", Duration: 10 * time.Second}
+	lap.AddChild(&Span{Name: "x", Track: "λ0", Start: 0, Duration: 4 * time.Second})
+	lap.AddChild(&Span{Name: "y", Track: "λ0", Start: 3 * time.Second, Duration: 4 * time.Second})
+	if err := ValidateTree(lap); err == nil {
+		t.Fatal("same-track sibling overlap must be rejected")
+	}
+
+	neg := &Span{Name: "job", Duration: -time.Second}
+	if err := ValidateTree(neg); err == nil {
+		t.Fatal("negative duration must be rejected")
+	}
+	if err := ValidateTree(nil); err == nil {
+		t.Fatal("nil tree must be rejected")
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.RecordCost("x", 1)
+	tr.BeginJob()
+	tr.EndJob(nil)
+	if b := tr.NewBucket(); b != nil {
+		t.Fatal("nil tracer must hand out nil buckets")
+	}
+	if prev := tr.SetSink(nil); prev != nil {
+		t.Fatal("nil tracer SetSink must return nil")
+	}
+	if jobs := tr.Jobs(); jobs != nil {
+		t.Fatal("nil tracer has no jobs")
+	}
+}
+
+func TestTracerBucketsCaptureSequencedCosts(t *testing.T) {
+	tr := NewTracer()
+	b1 := tr.NewBucket()
+	prev := tr.SetSink(b1)
+	tr.RecordCost("s3:put", 0.5)
+	tr.RecordCost("lambda:execution", 1.5)
+	b2 := tr.NewBucket()
+	tr.SetSink(b2)
+	tr.RecordCost("s3:put", 0.25)
+	tr.SetSink(prev)
+	tr.RecordCost("dropped", 99) // no sink: discarded
+
+	if got := b1.Total(); got != 2.0 {
+		t.Fatalf("bucket1 total = %v", got)
+	}
+	if got := b2.Total(); got != 0.25 {
+		t.Fatalf("bucket2 total = %v", got)
+	}
+	evs := append(b1.Events(), b2.Events()...)
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("sequence numbers not strictly increasing: %+v", evs)
+		}
+	}
+}
+
+func TestWaterfallGlyphs(t *testing.T) {
+	root := &Span{Name: "job", Kind: KindJob, Duration: 10 * time.Second}
+	up := root.AddChild(&Span{Name: "upload", Kind: KindUpload, Track: "input", Duration: time.Second})
+	up.AddChild(&Span{Name: "put", Kind: KindAttempt, Track: "input", Duration: time.Second})
+	inv := root.AddChild(&Span{Name: "invoke", Kind: KindInvoke, Track: "λ0", Duration: 10 * time.Second})
+	inv.SetAttr("memory_mb", "832")
+	inv.SetAttr("cold", "true")
+	att := inv.AddChild(&Span{Name: "attempt-1", Kind: KindAttempt, Track: "λ0", Duration: 10 * time.Second})
+	att.AddChild(&Span{Name: "coldstart", Kind: KindPhase, Track: "λ0", Start: 0, Duration: 2 * time.Second})
+	att.AddChild(&Span{Name: "load-weights", Kind: KindPhase, Track: "λ0", Start: 2 * time.Second, Duration: 2 * time.Second})
+	att.AddChild(&Span{Name: "s3-read", Kind: KindPhase, Track: "λ0", Start: 4 * time.Second, Duration: 2 * time.Second})
+	att.AddChild(&Span{Name: "compute", Kind: KindPhase, Track: "λ0", Start: 6 * time.Second, Duration: 2 * time.Second})
+	att.AddChild(&Span{Name: "s3-write", Kind: KindPhase, Track: "λ0", Start: 8 * time.Second, Duration: 2 * time.Second})
+
+	out := Waterfall(root, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 rows, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "input") || !strings.Contains(lines[0], "w") {
+		t.Fatalf("input row wrong: %q", lines[0])
+	}
+	row := lines[1]
+	if !strings.HasPrefix(row, "λ0") || !strings.HasSuffix(row, "832MB (cold)") {
+		t.Fatalf("lambda row wrong: %q", row)
+	}
+	for _, g := range []string{"I", "L", "r", "C", "w"} {
+		if !strings.Contains(row, g) {
+			t.Fatalf("glyph %s missing from %q", g, row)
+		}
+	}
+	// Glyphs must appear in phase order.
+	order := []byte{'I', 'L', 'r', 'C', 'w'}
+	last := -1
+	for _, g := range order {
+		i := strings.LastIndexByte(row[:len(row)-len("  832MB (cold)")], g)
+		if i <= last {
+			t.Fatalf("glyph %c out of order in %q", g, row)
+		}
+		last = i
+	}
+
+	if got := Waterfall(nil, 40); got != "(zero-length job)\n" {
+		t.Fatalf("nil waterfall = %q", got)
+	}
+	if got := Waterfall(&Span{}, 40); got != "(zero-length job)\n" {
+		t.Fatalf("empty waterfall = %q", got)
+	}
+}
+
+func TestWaterfallShortPhaseStaysVisible(t *testing.T) {
+	root := &Span{Name: "job", Kind: KindJob, Duration: 100 * time.Second}
+	inv := root.AddChild(&Span{Name: "invoke", Kind: KindInvoke, Track: "λ0", Duration: 100 * time.Second})
+	// 1 ms of compute in a 100 s job rounds to zero columns; it must
+	// still paint one.
+	inv.AddChild(&Span{Name: "compute", Kind: KindPhase, Track: "λ0", Start: 50 * time.Second, Duration: time.Millisecond})
+	if out := Waterfall(root, 40); !strings.Contains(out, "C") {
+		t.Fatalf("short phase vanished:\n%s", out)
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	root := &Span{Name: "job", Kind: KindJob, Track: "coordinator", Duration: 2 * time.Second, Cost: 0.5}
+	inv := root.AddChild(&Span{
+		Name: "part-0", Kind: KindInvoke, Track: "fn-0",
+		Start: 0, Duration: 2 * time.Second,
+	})
+	inv.AddChild(&Span{Name: "marker", Kind: KindPhase, Track: "fn-0", Start: time.Second, Duration: 0})
+	inv.AddEvent("fault", 500*time.Millisecond, map[string]string{"kind": "crash"})
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []*Span{root}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var xEvents, metaEvents, instants int
+	for _, ev := range doc.TraceEvents {
+		for _, key := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event missing %q: %v", key, ev)
+			}
+		}
+		switch ev["ph"] {
+		case "X":
+			xEvents++
+			if _, ok := ev["dur"]; !ok {
+				t.Fatalf("complete event without dur (zero-length spans need it too): %v", ev)
+			}
+			if _, ok := ev["ts"]; !ok {
+				t.Fatalf("complete event without ts: %v", ev)
+			}
+		case "M":
+			metaEvents++
+		case "i":
+			instants++
+			if ev["s"] != "t" {
+				t.Fatalf("instant event must be thread-scoped: %v", ev)
+			}
+		}
+	}
+	if xEvents != 3 {
+		t.Fatalf("want 3 complete events, got %d", xEvents)
+	}
+	if metaEvents != 3 { // process_name + 2 thread_names
+		t.Fatalf("want 3 metadata events, got %d", metaEvents)
+	}
+	if instants != 1 {
+		t.Fatalf("want 1 instant event, got %d", instants)
+	}
+
+	var again bytes.Buffer
+	if err := WriteChromeTrace(&again, []*Span{root}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("two exports of the same trace differ")
+	}
+}
+
+func TestChromeTraceJobsLaidOutEndToEnd(t *testing.T) {
+	j1 := &Span{Name: "job-1", Kind: KindJob, Track: "coordinator", Duration: time.Second}
+	j2 := &Span{Name: "job-2", Kind: KindJob, Track: "coordinator", Duration: time.Second}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []*Span{j1, j2}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var ts []float64
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			ts = append(ts, ev.Ts)
+		}
+	}
+	if len(ts) != 2 || ts[1] <= ts[0]+microseconds(time.Second) {
+		t.Fatalf("jobs not separated on the timebase: %v", ts)
+	}
+}
+
+func TestCountSpans(t *testing.T) {
+	root := &Span{Name: "a"}
+	root.AddChild(&Span{Name: "b"}).AddChild(&Span{Name: "c"})
+	if n := CountSpans([]*Span{root, {Name: "d"}}); n != 4 {
+		t.Fatalf("CountSpans = %d", n)
+	}
+}

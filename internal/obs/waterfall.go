@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// WaterfallLegend names the characters the waterfall paints.
+const WaterfallLegend = "I=init L=load .=wait r=read C=compute w=write X=failed b=backoff"
+
+// Waterfall renders a job span tree as an ASCII Gantt chart: one row
+// per top-level track (the input upload, then each lambda), phases
+// painted by kind against the job's total duration. It is the text
+// exporter behind coordinator.Timeline — offsets come straight from
+// the spans, never re-derived.
+func Waterfall(root *Span, width int) string {
+	if root == nil || root.Duration <= 0 {
+		return "(zero-length job)\n"
+	}
+	if width < 20 {
+		width = 60
+	}
+	total := root.Duration
+	cols := func(d time.Duration) int {
+		c := int(float64(d) / float64(total) * float64(width))
+		if c < 0 {
+			c = 0
+		}
+		if c > width {
+			c = width
+		}
+		return c
+	}
+
+	var b strings.Builder
+	lambdaIdx := 0
+	for _, child := range root.Children {
+		line := []byte(strings.Repeat(" ", width))
+		paintSpan(line, child, cols, width)
+		switch child.Kind {
+		case KindInvoke:
+			mem := child.Attrs["memory_mb"]
+			state := "(warm)"
+			if child.Attrs["cold"] == "true" {
+				state = "(cold)"
+			}
+			fmt.Fprintf(&b, "λ%-5d %-*s  %4sMB %s\n", lambdaIdx, width, string(line), mem, state)
+			lambdaIdx++
+		default:
+			fmt.Fprintf(&b, "%-6s %-*s\n", "input", width, string(line))
+		}
+	}
+	return b.String()
+}
+
+// paintSpan paints the leaves of a span subtree onto the row. Interior
+// spans (with children) delegate to their children; leaves paint their
+// own glyph. Nonzero-duration leaves get at least one column so short
+// phases stay visible.
+func paintSpan(line []byte, s *Span, cols func(time.Duration) int, width int) {
+	if len(s.Children) > 0 {
+		for _, c := range s.Children {
+			paintSpan(line, c, cols, width)
+		}
+		return
+	}
+	ch := glyph(s)
+	if ch == ' ' {
+		return
+	}
+	c0 := cols(s.Start)
+	c1 := cols(s.End())
+	forced := false
+	if c1 <= c0 && s.Duration > 0 {
+		// Short phases get one column so they stay visible — but only
+		// into blank cells, never over a naturally-sized neighbour.
+		c1 = c0 + 1
+		forced = true
+	}
+	for i := c0; i < c1 && i < width; i++ {
+		if forced && line[i] != ' ' {
+			continue
+		}
+		line[i] = ch
+	}
+}
+
+func glyph(s *Span) byte {
+	switch s.Kind {
+	case KindPhase:
+		switch s.Name {
+		case "load-weights":
+			return 'L'
+		case "s3-read":
+			return 'r'
+		case "compute":
+			return 'C'
+		case "s3-write":
+			return 'w'
+		default: // coldstart, overhead, deps-init
+			return 'I'
+		}
+	case KindWait:
+		return '.'
+	case KindBackoff:
+		return 'b'
+	case KindAttempt:
+		if s.Attrs["failed"] == "true" {
+			return 'X'
+		}
+		return 'w' // a leaf successful attempt: the input upload's PUT
+	case KindDispatch:
+		return ' '
+	}
+	return ' '
+}
