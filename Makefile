@@ -7,7 +7,7 @@ GO ?= go
 # e.g. BENCHTIME=1s for statistically steadier baselines.
 BENCHTIME ?= 1x
 
-.PHONY: verify test race fmt vet build fuzz bench
+.PHONY: verify test race fmt vet build fuzz bench cover
 
 verify: fmt vet build race
 
@@ -34,6 +34,15 @@ build:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson > BENCH_baseline.json
 	@echo "wrote BENCH_baseline.json"
+
+# Per-package coverage report. Fails if any internal package ships with
+# no test files at all — every subsystem must carry its own tests.
+cover:
+	@untested=$$($(GO) list -f '{{if and (eq (len .TestGoFiles) 0) (eq (len .XTestGoFiles) 0)}}{{.ImportPath}}{{end}}' ./internal/...); \
+	if [ -n "$$untested" ]; then \
+		echo "packages with no test files:" >&2; echo "$$untested" >&2; exit 1; \
+	fi
+	$(GO) test -cover ./...
 
 # Short fuzz pass over the tensor wire-format decoder.
 fuzz:

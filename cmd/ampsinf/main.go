@@ -10,6 +10,9 @@
 //	ampsinf infer   -model mobilenet [-slo 12s] [-images 3] [-sequential] [-real]
 //	                [-trace trace.json] [-metrics metrics.json] [-spans spans.json]
 //	ampsinf sweep   -model mobilenet [-trace trace.json] [-metrics metrics.json]
+//	ampsinf serve   -model mobilenet [-requests 100] [-pattern poisson|uniform|burst]
+//	                [-rate 5] [-limit 1000] [-sequential] [-full]
+//	                [-trace trace.json] [-metrics metrics.json] [-spans spans.json]
 package main
 
 import (
@@ -33,6 +36,7 @@ import (
 	"ampsinf/internal/obs"
 	"ampsinf/internal/optimizer"
 	"ampsinf/internal/perf"
+	"ampsinf/internal/serving"
 	"ampsinf/internal/tensor"
 	"ampsinf/internal/workload"
 )
@@ -56,6 +60,8 @@ func main() {
 		err = cmdInfer(os.Args[2:])
 	case "sweep":
 		err = cmdSweep(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -67,7 +73,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ampsinf <models|summary|plan|infer|sweep> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: ampsinf <models|summary|plan|infer|sweep|serve> [flags]")
 }
 
 func buildModel(name string) (*nn.Model, error) {
@@ -254,6 +260,133 @@ func writeFile(path string, write func(io.Writer) error) error {
 		return err
 	}
 	return f.Close()
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	model := fs.String("model", "mobilenet", "zoo model name")
+	slo := fs.Duration("slo", 0, "response-time SLO")
+	requests := fs.Int("requests", 100, "number of requests in the trace")
+	pattern := fs.String("pattern", "poisson", "arrival pattern: poisson, uniform or burst")
+	rate := fs.Float64("rate", 5, "poisson arrival rate (requests/second)")
+	window := fs.Duration("window", 30*time.Second, "uniform pattern: window the arrivals spread over")
+	burstSize := fs.Int("burst-size", 8, "burst pattern: simultaneous requests per burst")
+	gap := fs.Duration("gap", 5*time.Second, "burst pattern: gap between bursts")
+	seed := fs.Int64("seed", 7, "arrival and backoff-jitter seed")
+	limit := fs.Int("limit", 0, "account concurrency limit (0 = platform default)")
+	sequential := fs.Bool("sequential", false, "strictly sequential invocations per request")
+	real := fs.Bool("real", false, "run real forward passes (slow for big models)")
+	full := fs.Bool("full", false, "print one line per request, not just the aggregates")
+	faultRate := fs.Float64("fault-rate", 0, "inject platform faults at this overall rate (0..1)")
+	retries := fs.Int("retries", 0, "max attempts per operation under faults (0 = default policy when faults are on)")
+	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON (load in ui.perfetto.dev) to this file")
+	spansOut := fs.String("spans", "", "write the full span-tree JSON dump to this file")
+	metricsOut := fs.String("metrics", "", "write a metrics snapshot JSON to this file")
+	fs.Parse(args)
+
+	m, err := buildModel(*model)
+	if err != nil {
+		return err
+	}
+	w := nn.InitWeights(m, 1)
+	opts := core.Options{}
+	subOpts := core.SubmitOptions{SLO: *slo, SkipCompute: !*real}
+	if *faultRate > 0 || *retries > 1 {
+		opts.Faults = faults.New(faults.Uniform(*faultRate, *seed))
+		subOpts.Retry = coordinator.DefaultRetryPolicy()
+		subOpts.Retry.JitterSeed = *seed
+		if *retries > 0 {
+			subOpts.Retry.MaxAttempts = *retries
+		}
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" || *spansOut != "" {
+		tracer = obs.NewTracer()
+		opts.Trace = tracer
+	}
+	var mx *obs.Metrics
+	if *metricsOut != "" {
+		mx = obs.NewMetrics()
+		opts.Metrics = mx
+	}
+	fw := core.NewFramework(opts)
+	svc, err := fw.Submit(m, w, subOpts)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	if *limit > 0 {
+		fw.Platform().SetAccountConcurrency(*limit)
+	}
+	fmt.Printf("deployed %d partition(s), memories %v, account concurrency %d\n",
+		svc.Partitions(), svc.Plan.Memories(), fw.Platform().AccountConcurrency())
+
+	var arrivals []time.Duration
+	switch *pattern {
+	case "poisson":
+		arrivals = workload.PoissonArrivals(*requests, *rate, *seed)
+	case "uniform":
+		arrivals = workload.UniformArrivals(*requests, *window)
+	case "burst":
+		arrivals = workload.BurstArrivals(*requests, *burstSize, *gap)
+	default:
+		return fmt.Errorf("unknown arrival pattern %q", *pattern)
+	}
+	inputs := workload.Images(m, *requests, *seed)
+
+	rep, err := serving.Serve(serving.Config{
+		Deployment: svc.Deployment(),
+		Sequential: *sequential,
+		Throttle:   serving.ThrottlePolicy{JitterSeed: *seed},
+		Metrics:    mx,
+	}, inputs, arrivals)
+	if err != nil {
+		return err
+	}
+	if *full {
+		fmt.Print(rep.Render())
+	} else {
+		fmt.Print(rep.Summary())
+	}
+
+	fmt.Println("billing breakdown:")
+	bd := fw.Meter().Breakdown()
+	keys := make([]string, 0, len(bd))
+	for k := range bd {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-20s $%.6f\n", k, bd[k])
+	}
+
+	// Export the request-level span trees (queue waits + shifted job
+	// trees on the serving clock), not the raw per-job trees.
+	roots := rep.Traces()
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, func(w io.Writer) error {
+			return obs.WriteChromeTrace(w, roots)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace (%d requests, %d spans) to %s — load it in ui.perfetto.dev\n",
+			len(roots), obs.CountSpans(roots), *traceOut)
+	}
+	if *spansOut != "" {
+		if err := writeFile(*spansOut, func(w io.Writer) error {
+			return obs.WriteSpans(w, roots)
+		}); err != nil {
+			return err
+		}
+		fmt.Printf("wrote span dump to %s\n", *spansOut)
+	}
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, mx.WriteJSON); err != nil {
+			return err
+		}
+		fmt.Printf("wrote metrics snapshot to %s\n", *metricsOut)
+	}
+	return nil
 }
 
 func cmdSweep(args []string) error {

@@ -205,6 +205,13 @@ func main() {
 			}
 			return r.Table(), nil
 		}},
+		{"serving-scaling", func() (*experiments.Table, error) {
+			r, err := experiments.RunServingScaling()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
 	}
 
 	ran := 0

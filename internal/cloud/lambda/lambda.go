@@ -50,10 +50,11 @@ type FunctionConfig struct {
 	Timeout time.Duration
 }
 
-// Function is a deployed function with warm-container state.
+// Function is a deployed function with its warm-container pool.
 type Function struct {
-	cfg  FunctionConfig
-	warm bool
+	cfg    FunctionConfig
+	pool   []*container
+	nextID int
 }
 
 // Platform is a simulated Lambda region.
@@ -66,6 +67,13 @@ type Platform struct {
 	fns map[string]*Function
 	inj *faults.Injector
 	mx  *obs.Metrics
+
+	// Clocked serving state (see pool.go): the simulated clock, whether
+	// pooled/clocked semantics are on, and the account concurrency
+	// override (0 = quota default).
+	clocked     bool
+	now         time.Duration
+	concurrency int
 }
 
 // New creates a platform charging into meter with the given performance
@@ -115,15 +123,29 @@ func (pl *Platform) Perf() perf.Params { return pl.perf }
 // Meter returns the platform's billing meter.
 func (pl *Platform) Meter() *billing.Meter { return pl.meter }
 
-// ResetWarm discards the named function's warm container, so its next
-// invocation cold-starts (used to simulate concurrent invocations, which
-// each land on a fresh container).
+// ResetWarm discards the named function's idle warm containers, so its
+// next invocation cold-starts. Containers still executing on the
+// simulated clock survive — a mid-flight invocation cannot lose its
+// sandbox (crashed sandboxes are reaped individually via
+// discardContainer instead).
 func (pl *Platform) ResetWarm(name string) {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
-	if fn, ok := pl.fns[name]; ok {
-		fn.warm = false
+	fn, ok := pl.fns[name]
+	if !ok {
+		return
 	}
+	if !pl.clocked {
+		fn.pool = nil
+		return
+	}
+	kept := fn.pool[:0]
+	for _, c := range fn.pool {
+		if c.busyUntil > pl.now {
+			kept = append(kept, c)
+		}
+	}
+	fn.pool = kept
 }
 
 // ValidMemory reports whether memMB is an allocatable 2020 memory block.
@@ -199,6 +221,10 @@ type Result struct {
 	TmpPeak   int64
 	Phases    []Phase
 	MemoryMB  int
+	// ContainerID identifies the pool container that served the
+	// invocation, so orchestrators can extend or discard exactly that
+	// sandbox (see OccupyUntil).
+	ContainerID int
 	// InjectedFault names the fault the platform injected into this
 	// invocation ("" when it ran clean).
 	InjectedFault string
@@ -227,6 +253,13 @@ type InvokeOptions struct {
 // platform start latency; the handler then advances simulated time via
 // the Context. Exceeding the function timeout aborts the invocation
 // (billing the timeout), and /tmp overflow aborts with an error.
+//
+// The invocation lands on the lowest-numbered idle container of the
+// function's pool, or cold-starts a fresh one. In clocked mode (see
+// EnableClock) a cold start that would push the account past its
+// concurrent-execution limit is rejected with a 429 — a transient
+// faults.Error the caller's retry machinery can back off on — and
+// nothing bills.
 func (pl *Platform) Invoke(name string, payload []byte, opts InvokeOptions) (*Result, error) {
 	pl.mu.Lock()
 	fn, ok := pl.fns[name]
@@ -244,8 +277,13 @@ func (pl *Platform) Invoke(name string, payload []byte, opts InvokeOptions) (*Re
 		mx.Inc(`lambda_faults_total{kind="throttle"}`, 1)
 		return nil, &faults.Error{Kind: faults.Throttle, Op: "invoke", Target: name}
 	}
-	cold := !fn.warm
-	fn.warm = true
+	c, cold, throttled := fn.acquireLocked(pl)
+	if throttled {
+		pl.mu.Unlock()
+		mx.Inc(`lambda_throttles_total{reason="concurrency"}`, 1)
+		return nil, &faults.Error{Kind: faults.Throttle, Op: "invoke", Target: name}
+	}
+	now := pl.now
 	cfg := fn.cfg
 	pl.mu.Unlock()
 
@@ -266,13 +304,15 @@ func (pl *Platform) Invoke(name string, payload []byte, opts InvokeOptions) (*Re
 	pl.meter.Add("lambda:invocations", pricing.LambdaInvocation)
 
 	res := &Result{
-		Response:  resp,
-		Duration:  ctx.elapsed,
-		ColdStart: cold,
-		TmpPeak:   ctx.tmpPeak,
-		Phases:    ctx.phases,
-		MemoryMB:  cfg.MemoryMB,
+		Response:    resp,
+		Duration:    ctx.elapsed,
+		ColdStart:   cold,
+		TmpPeak:     ctx.tmpPeak,
+		Phases:      ctx.phases,
+		MemoryMB:    cfg.MemoryMB,
+		ContainerID: c.id,
 	}
+	discarded := false
 	if ctx.timedOut {
 		res.Duration = cfg.Timeout
 		herr = fmt.Errorf("lambda: function %q timed out after %v", name, cfg.Timeout)
@@ -286,7 +326,8 @@ func (pl *Platform) Invoke(name string, payload []byte, opts InvokeOptions) (*Re
 			res.InjectedFault = fault.String()
 			res.Response = nil
 			herr = &faults.Error{Kind: faults.Crash, Op: "invoke", Target: name}
-			pl.ResetWarm(name) // the crashed container is discarded
+			pl.discardContainer(name, c.id) // only the crashed container is lost
+			discarded = true
 		case faults.Timeout:
 			res.InjectedFault = fault.String()
 			res.Response = nil
@@ -296,14 +337,18 @@ func (pl *Platform) Invoke(name string, payload []byte, opts InvokeOptions) (*Re
 			}
 			res.Duration = hung
 			herr = &faults.Error{Kind: faults.Timeout, Op: "invoke", Target: name}
-			pl.ResetWarm(name) // the wedged container is discarded
+			pl.discardContainer(name, c.id) // only the wedged container is lost
+			discarded = true
 		}
+	}
+	if !discarded {
+		pl.finishContainer(name, c.id, now+res.Duration)
 	}
 	res.BilledDuration = roundUp(res.Duration, pl.quota.BillingGranularity)
 	if !opts.DeferBilling {
-		c := pl.quota.ExecutionCost(cfg.MemoryMB, res.Duration)
-		pl.meter.Add("lambda:execution", c)
-		res.Cost = c + pricing.LambdaInvocation
+		ec := pl.quota.ExecutionCost(cfg.MemoryMB, res.Duration)
+		pl.meter.Add("lambda:execution", ec)
+		res.Cost = ec + pricing.LambdaInvocation
 		mx.Add("lambda_gb_seconds_total", gbSeconds(cfg.MemoryMB, res.Duration))
 	} else {
 		res.Cost = pricing.LambdaInvocation

@@ -1,0 +1,192 @@
+package lambda
+
+import (
+	"time"
+
+	"ampsinf/internal/cloud/pricing"
+)
+
+// container is one execution sandbox of a function. A function keeps a
+// pool of them: each tracks when it finishes its current invocation on
+// the simulated clock, so overlapping jobs land on separate containers
+// while idle warm ones are reused.
+type container struct {
+	id int
+	// busyUntil is the simulated-clock instant the container finishes
+	// its current invocation. Containers count as busy from acquisition,
+	// so in-flight accounting is conservative for pipelines whose later
+	// stages begin after the job starts.
+	busyUntil time.Duration
+}
+
+// executing marks a container whose invocation is still running; Invoke
+// replaces it with the real end time once the handler returns.
+const executing = time.Duration(1<<62 - 1)
+
+// EnableClock switches the platform into clocked serving mode: container
+// pools grow on demand (an invocation issued while every warm container
+// is busy cold-starts a fresh one), the account concurrency limit is
+// enforced with 429 throttles, and idle/busy decisions follow the
+// simulated clock advanced via AdvanceTo. Without the clock the platform
+// keeps its single-container-stream semantics: invocations of one
+// function are assumed sequential and always reuse the warm container.
+func (pl *Platform) EnableClock() {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.clocked = true
+}
+
+// AdvanceTo moves the simulated clock forward to t (the clock never goes
+// backwards; earlier instants are ignored).
+func (pl *Platform) AdvanceTo(t time.Duration) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if t > pl.now {
+		pl.now = t
+	}
+}
+
+// Now returns the current simulated-clock reading.
+func (pl *Platform) Now() time.Duration {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	return pl.now
+}
+
+// SetAccountConcurrency overrides the account-wide concurrent-execution
+// limit (0 restores the quota's default, 1,000 on the 2020 platform).
+func (pl *Platform) SetAccountConcurrency(n int) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.concurrency = n
+}
+
+// AccountConcurrency returns the effective concurrent-execution limit.
+func (pl *Platform) AccountConcurrency() int {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	return pl.concurrencyLocked()
+}
+
+func (pl *Platform) concurrencyLocked() int {
+	if pl.concurrency > 0 {
+		return pl.concurrency
+	}
+	if pl.quota.AccountConcurrency > 0 {
+		return pl.quota.AccountConcurrency
+	}
+	return pricing.LambdaAccountConcurrency
+}
+
+// InFlightAt counts the containers executing at simulated time t across
+// every function — the quantity the account concurrency limit caps.
+func (pl *Platform) InFlightAt(t time.Duration) int {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	return pl.inFlightLocked(t)
+}
+
+func (pl *Platform) inFlightLocked(t time.Duration) int {
+	n := 0
+	for _, fn := range pl.fns {
+		for _, c := range fn.pool {
+			if c.busyUntil > t {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// PoolSize reports how many containers (idle or busy) the named function
+// currently keeps.
+func (pl *Platform) PoolSize(name string) int {
+	pl.mu.RLock()
+	defer pl.mu.RUnlock()
+	if fn, ok := pl.fns[name]; ok {
+		return len(fn.pool)
+	}
+	return 0
+}
+
+// acquireLocked hands out a container for one invocation: the
+// lowest-numbered idle warm container when one exists, otherwise a fresh
+// cold container — subject, in clocked mode, to the account concurrency
+// limit. Callers hold pl.mu.
+func (fn *Function) acquireLocked(pl *Platform) (c *container, cold, throttled bool) {
+	for _, cc := range fn.pool {
+		if !pl.clocked || cc.busyUntil <= pl.now {
+			if c == nil || cc.id < c.id {
+				c = cc
+			}
+		}
+	}
+	if c != nil {
+		c.busyUntil = executing
+		return c, false, false
+	}
+	if pl.clocked && pl.inFlightLocked(pl.now) >= pl.concurrencyLocked() {
+		return nil, false, true
+	}
+	c = &container{id: fn.nextID, busyUntil: executing}
+	fn.nextID++
+	fn.pool = append(fn.pool, c)
+	return c, true, false
+}
+
+// finishContainer settles a container's busy window once its invocation
+// returned.
+func (pl *Platform) finishContainer(name string, id int, until time.Duration) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	fn, ok := pl.fns[name]
+	if !ok {
+		return
+	}
+	for _, c := range fn.pool {
+		if c.id == id {
+			c.busyUntil = until
+			return
+		}
+	}
+}
+
+// OccupyUntil extends one container's busy window to an absolute
+// simulated-clock instant. The coordinator uses it after settling an
+// overlapped (eager) schedule, whose true per-container lifetimes —
+// input-polling waits included — exceed the handler-active durations the
+// platform observed.
+func (pl *Platform) OccupyUntil(name string, containerID int, until time.Duration) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	fn, ok := pl.fns[name]
+	if !ok {
+		return
+	}
+	for _, c := range fn.pool {
+		if c.id == containerID {
+			if c.busyUntil != executing && until > c.busyUntil {
+				c.busyUntil = until
+			}
+			return
+		}
+	}
+}
+
+// discardContainer removes exactly one container from a function's pool
+// (crashed or wedged sandboxes are reaped individually; the function's
+// other containers — idle or mid-flight — are untouched).
+func (pl *Platform) discardContainer(name string, id int) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	fn, ok := pl.fns[name]
+	if !ok {
+		return
+	}
+	for i, c := range fn.pool {
+		if c.id == id {
+			fn.pool = append(fn.pool[:i], fn.pool[i+1:]...)
+			return
+		}
+	}
+}

@@ -33,6 +33,11 @@ const (
 
 	// LambdaBillingGranularity: 2020 Lambda billed in 100 ms increments.
 	LambdaBillingGranularity = 100 * time.Millisecond
+
+	// LambdaAccountConcurrency is the default account-level concurrent-
+	// execution limit (1,000 in 2020); invocations beyond it are rejected
+	// with a 429 TooManyRequestsException.
+	LambdaAccountConcurrency = 1000
 )
 
 // MemoryBlocks returns every allocatable Lambda memory size in MB, from
@@ -61,6 +66,9 @@ type Quota struct {
 	// inference handler cannot exploit more than one vCPU, so the share
 	// curve is quota-independent.)
 	BillingGranularity time.Duration
+	// AccountConcurrency is the account-wide concurrent-execution limit;
+	// 0 falls back to the 2020 default of 1,000.
+	AccountConcurrency int
 }
 
 // Quota2020 returns the limits the paper's experiments ran under.
@@ -71,6 +79,7 @@ func Quota2020() Quota {
 		DeployLimitMB: LambdaDeployLimitMB, TmpLimitMB: LambdaTmpLimitMB,
 		MaxLayers: LambdaMaxLayers, Timeout: LambdaTimeout,
 		BillingGranularity: LambdaBillingGranularity,
+		AccountConcurrency: LambdaAccountConcurrency,
 	}
 }
 
@@ -83,6 +92,7 @@ func Quota2021() Quota {
 		DeployLimitMB: LambdaDeployLimitMB, TmpLimitMB: LambdaTmpLimitMB,
 		MaxLayers: LambdaMaxLayers, Timeout: LambdaTimeout,
 		BillingGranularity: time.Millisecond,
+		AccountConcurrency: LambdaAccountConcurrency,
 	}
 }
 

@@ -272,6 +272,11 @@ func (d *Deployment) Teardown() {
 // Partitions returns the number of deployed partitions.
 func (d *Deployment) Partitions() int { return len(d.parts) }
 
+// Platform returns the platform the deployment serves on, so
+// orchestrators above the coordinator (e.g. internal/serving) can drive
+// the simulated clock and inspect container pools.
+func (d *Deployment) Platform() *lambda.Platform { return d.cfg.Platform }
+
 // FunctionNames returns the deployed function names in pipeline order.
 func (d *Deployment) FunctionNames() []string {
 	names := make([]string, len(d.parts))

@@ -162,10 +162,15 @@ func (d *Deployment) run(input *tensor.Tensor, eager bool) (*Report, error) {
 	if eager {
 		d.settleEager(rep, results, infos, upDur, storedBefore, partBuckets)
 	} else {
+		now := d.cfg.Platform.Now()
 		rep.Completion = upDur
 		for i, res := range results {
 			info := infos[i]
 			rep.Completion += info.delay() + invokeDispatchLatency + res.Duration
+			// The container's real busy window ends when its turn in the
+			// sequential chain does, not when its own handler alone would
+			// (the platform settled it at job start + handler duration).
+			d.cfg.Platform.OccupyUntil(d.parts[i].fnName, res.ContainerID, now+rep.Completion)
 			partBuckets[i] = tr.NewBucket()
 			p := tr.SetSink(partBuckets[i])
 			d.cfg.Store.ChargeStorage(storedBefore[i], res.Duration)
@@ -252,6 +257,10 @@ func (d *Deployment) settleEager(rep *Report, results []*lambda.Result, infos []
 		lr.BackoffWait = info.backoff
 		lr.Wasted = info.wasted
 		rep.PerLambda = append(rep.PerLambda, lr)
+		// The container's true lifetime spans dispatch to exit — the
+		// input-polling wait included — which is longer than the
+		// handler-active window the platform recorded at invoke time.
+		d.cfg.Platform.OccupyUntil(d.parts[i].fnName, res.ContainerID, d.cfg.Platform.Now()+exit)
 		avail = exit
 	}
 	rep.Completion = avail
@@ -285,7 +294,9 @@ func (d *Deployment) RunBatchSequential(inputs []*tensor.Tensor) (*BatchReport, 
 // RunBatchParallel serves each input in its own concurrently-running
 // pipeline (fresh containers per job, as parallel invocations cannot
 // share a warm container): completion is the maximum per-image
-// completion, cost the sum.
+// completion, cost the sum. ResetWarm discards only idle containers —
+// on a clocked platform a mid-flight sandbox keeps executing; here the
+// jobs are replayed one at a time, so each starts from a cold pool.
 func (d *Deployment) RunBatchParallel(inputs []*tensor.Tensor) (*BatchReport, error) {
 	br := &BatchReport{Mode: "batch-parallel"}
 	for i, in := range inputs {

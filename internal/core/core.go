@@ -250,6 +250,11 @@ func (s *Service) ColdStart() {
 	}
 }
 
+// Deployment exposes the underlying coordinator deployment, so
+// concurrent serving schedulers (internal/serving) can drive it on the
+// shared platform directly.
+func (s *Service) Deployment() *coordinator.Deployment { return s.deployment }
+
 // Close tears the deployment down.
 func (s *Service) Close() { s.deployment.Teardown() }
 

@@ -330,3 +330,49 @@ func TestCountSpans(t *testing.T) {
 		t.Fatalf("CountSpans = %d", n)
 	}
 }
+
+func TestShiftRebasesTreeAndEvents(t *testing.T) {
+	root := &Span{Name: "job", Start: 0, Duration: 2 * time.Second}
+	c := root.AddChild(&Span{Name: "c", Start: 500 * time.Millisecond, Duration: time.Second})
+	c.AddEvent("fault:crash", 700*time.Millisecond, nil)
+
+	Shift(root, 3*time.Second)
+	if root.Start != 3*time.Second || root.End() != 5*time.Second {
+		t.Fatalf("root shifted to [%v, %v)", root.Start, root.End())
+	}
+	if c.Start != 3500*time.Millisecond || c.Duration != time.Second {
+		t.Fatalf("child shifted to [%v, +%v)", c.Start, c.Duration)
+	}
+	if c.Events[0].At != 3700*time.Millisecond {
+		t.Fatalf("event shifted to %v", c.Events[0].At)
+	}
+	if err := ValidateTree(root); err != nil {
+		t.Fatalf("shifted tree invalid: %v", err)
+	}
+}
+
+func TestSumCostsAllMatchesSingleTreeFold(t *testing.T) {
+	// Splitting one meter's events across two trees must fold to the
+	// same total as holding them all in one tree: replay is by global
+	// Seq, not per tree.
+	one := &Span{Name: "a", Duration: time.Second}
+	one.CostEvents = []CostEvent{
+		{Seq: 1, Category: "s3:put", Amount: 0.1},
+		{Seq: 4, Category: "lambda:execution", Amount: 0.4},
+	}
+	two := &Span{Name: "b", Duration: time.Second}
+	two.CostEvents = []CostEvent{
+		{Seq: 2, Category: "lambda:execution", Amount: 0.2},
+		{Seq: 3, Category: "s3:put", Amount: 0.3},
+	}
+	merged := &Span{Name: "all", Duration: time.Second}
+	merged.CostEvents = append(append([]CostEvent(nil), one.CostEvents...), two.CostEvents...)
+
+	got := SumCostsAll([]*Span{one, two})
+	if want := SumCosts(merged); got != want {
+		t.Fatalf("SumCostsAll = %v, want %v", got, want)
+	}
+	if SumCostsAll(nil) != 0 {
+		t.Fatal("SumCostsAll(nil) != 0")
+	}
+}

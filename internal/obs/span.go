@@ -108,6 +108,19 @@ func CountSpans(roots []*Span) int {
 	return n
 }
 
+// Shift rebases a span tree by delta: every span start and event
+// offset moves together, so a tree built with its job's start as time
+// zero can be placed at an absolute instant on a longer serving
+// timeline without disturbing any internal geometry.
+func Shift(root *Span, delta time.Duration) {
+	root.Walk(func(s *Span) {
+		s.Start += delta
+		for i := range s.Events {
+			s.Events[i].At += delta
+		}
+	})
+}
+
 // SumCosts returns the total cost attributed across the tree, computed
 // exactly the way billing.Meter.Total computes it: events are replayed
 // in their global charge order, accumulated per category, and the
@@ -115,8 +128,19 @@ func CountSpans(roots []*Span) int {
 // run against a meter that started empty, the result equals
 // Report.Cost bit-for-bit — the cost-attribution invariant.
 func SumCosts(root *Span) float64 {
+	return SumCostsAll([]*Span{root})
+}
+
+// SumCostsAll totals cost across several span trees with the same
+// meter-replay summation as SumCosts. For the trees of every job served
+// against one shared meter that started empty, the result equals
+// Meter.Total bit-for-bit — the serving-wide cost-attribution
+// invariant.
+func SumCostsAll(roots []*Span) float64 {
 	var evs []CostEvent
-	root.Walk(func(s *Span) { evs = append(evs, s.CostEvents...) })
+	for _, root := range roots {
+		root.Walk(func(s *Span) { evs = append(evs, s.CostEvents...) })
+	}
 	sort.Slice(evs, func(i, j int) bool { return evs[i].Seq < evs[j].Seq })
 	perCat := make(map[string]float64)
 	cats := make([]string, 0, 8)

@@ -1,0 +1,396 @@
+// Package serving drives concurrent multi-request inference through a
+// deployed pipeline on the simulated clock — the serving regime the
+// paper's single-inference evaluation stops short of. Requests arrive
+// on a workload trace (Poisson, uniform, bursts), each is admitted
+// against the account-level concurrent-execution limit, and admitted
+// jobs run through the coordinator on one shared platform and billing
+// meter while their container pools grow, drain and are reused on the
+// discrete-event timeline. Requests that would exceed the limit are
+// throttled and retried with seeded equal-jitter exponential backoff,
+// so the whole layer is deterministic: same deployment, seed and trace
+// produce a byte-identical report.
+package serving
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"ampsinf/internal/coordinator"
+	"ampsinf/internal/obs"
+	"ampsinf/internal/tensor"
+	"ampsinf/internal/workload"
+)
+
+// ThrottlePolicy tunes scheduler-side handling of account-concurrency
+// throttles: a request that cannot be admitted backs off and retries.
+// The zero value uses the defaults below.
+type ThrottlePolicy struct {
+	// MaxAttempts caps admission attempts per request (default 10).
+	MaxAttempts int
+	// BaseBackoff is the wait before the first re-admission attempt
+	// (default 100 ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 10 s).
+	MaxBackoff time.Duration
+	// Multiplier grows the backoff per retry (default 2).
+	Multiplier float64
+	// JitterSeed seeds the deterministic equal-jitter stream (0 behaves
+	// as seed 1).
+	JitterSeed int64
+}
+
+func (p ThrottlePolicy) attempts() int {
+	if p.MaxAttempts > 0 {
+		return p.MaxAttempts
+	}
+	return 10
+}
+
+// Config wires a serving run to its deployment.
+type Config struct {
+	// Deployment is the deployed pipeline every request runs through.
+	Deployment *coordinator.Deployment
+	// Sequential serves each job with the strictly sequential schedule
+	// instead of the default overlapped (eager) one.
+	Sequential bool
+	// Throttle tunes admission backoff.
+	Throttle ThrottlePolicy
+	// Metrics, when set, receives serving-level counters and histograms.
+	Metrics *obs.Metrics
+}
+
+// JobResult reports one served request.
+type JobResult struct {
+	Index   int
+	Arrival time.Duration
+	// Start is when the request was admitted and began executing; the
+	// gap from Arrival is queueing delay (throttle backoff included).
+	Start time.Duration
+	Done  time.Duration
+	// Queue = Start - Arrival, Latency = Done - Arrival.
+	Queue   time.Duration
+	Latency time.Duration
+	// Cost is the request's marginal charge on the shared meter.
+	Cost float64
+	// Throttles counts admissions rejected by the concurrency limit
+	// before this request got in; ThrottleWait is the backoff it waited.
+	Throttles    int
+	ThrottleWait time.Duration
+	ColdStarts   int
+	Retries      int
+	Faults       int
+	// Trace is the request's span tree on the absolute serving clock:
+	// a request root containing the queueing wait and the shifted
+	// coordinator job tree.
+	Trace *obs.Span
+}
+
+// Report aggregates one serving run.
+type Report struct {
+	Mode string
+	Jobs []JobResult
+	// Makespan is the simulated time from the first arrival to the last
+	// response; Throughput is completed requests per simulated second.
+	Makespan   time.Duration
+	Throughput float64
+	AvgLatency time.Duration
+	P50Latency time.Duration
+	P90Latency time.Duration
+	P95Latency time.Duration
+	P99Latency time.Duration
+	MaxLatency time.Duration
+	AvgQueue   time.Duration
+	MaxQueue   time.Duration
+	// Throttles are scheduler-level admission rejections by the account
+	// concurrency limit (each one was retried after a backoff).
+	Throttles  int
+	ColdStarts int
+	Retries    int
+	Faults     int
+	// PeakInFlight is the most containers observed executing at any
+	// request's start instant.
+	PeakInFlight int
+	TotalCost    float64
+	CostPerJob   float64
+}
+
+// Traces returns every job's span tree in arrival order — the input
+// obs.SumCostsAll needs to reproduce the shared meter's total.
+func (r *Report) Traces() []*obs.Span {
+	roots := make([]*obs.Span, len(r.Jobs))
+	for i := range r.Jobs {
+		roots[i] = r.Jobs[i].Trace
+	}
+	return roots
+}
+
+// pending is one request waiting to run: its next admission instant and
+// how many times the concurrency limit has already turned it away.
+type pending struct {
+	idx      int
+	readyAt  time.Duration
+	attempts int
+	wait     time.Duration
+	waits    []time.Duration
+}
+
+// Serve runs inputs through the deployment: request i arrives at
+// arrivals[i] (non-decreasing offsets from time zero). The platform is
+// switched into clocked mode; requests are admitted earliest-ready
+// first (ties by index), throttled requests re-enter the queue after a
+// backoff, and each admitted job executes through the coordinator with
+// its containers occupied until their true lifetimes end. One shared
+// meter bills everything, so Report costs are marginal charges on it.
+func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Report, error) {
+	dep := cfg.Deployment
+	if dep == nil {
+		return nil, fmt.Errorf("serving: config needs a deployment")
+	}
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("serving: empty trace")
+	}
+	if len(arrivals) != len(inputs) {
+		return nil, fmt.Errorf("serving: %d arrivals for %d inputs", len(arrivals), len(inputs))
+	}
+	for i := 1; i < len(arrivals); i++ {
+		if arrivals[i] < arrivals[i-1] {
+			return nil, fmt.Errorf("serving: arrivals not sorted at %d", i)
+		}
+	}
+	pl := dep.Platform()
+	pl.EnableClock()
+	width := dep.Partitions()
+	limit := pl.AccountConcurrency()
+	mx := cfg.Metrics
+
+	seed := cfg.Throttle.JitterSeed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	rep := &Report{Mode: "eager", Jobs: make([]JobResult, len(inputs))}
+	if cfg.Sequential {
+		rep.Mode = "sequential"
+	}
+
+	queue := make([]*pending, len(inputs))
+	for i := range inputs {
+		queue[i] = &pending{idx: i, readyAt: arrivals[i]}
+	}
+	for len(queue) > 0 {
+		// Earliest-ready request first; ties break by arrival index so
+		// the event order — and with it the whole run — is deterministic.
+		sel := 0
+		for j := 1; j < len(queue); j++ {
+			if queue[j].readyAt < queue[sel].readyAt ||
+				(queue[j].readyAt == queue[sel].readyAt && queue[j].idx < queue[sel].idx) {
+				sel = j
+			}
+		}
+		p := queue[sel]
+		queue = append(queue[:sel], queue[sel+1:]...)
+
+		pl.AdvanceTo(p.readyAt)
+		now := pl.Now()
+
+		if pl.InFlightAt(now)+width > limit {
+			// Admission would push the account past its concurrency
+			// limit: the request is throttled (429) and backs off.
+			p.attempts++
+			rep.Throttles++
+			mx.Inc("serving_throttles_total", 1)
+			if p.attempts >= cfg.Throttle.attempts() {
+				return nil, fmt.Errorf("serving: request %d throttled %d times (limit %d, width %d)",
+					p.idx, p.attempts, limit, width)
+			}
+			bo := backoff(cfg.Throttle, p.attempts, rng)
+			p.wait += bo
+			p.waits = append(p.waits, bo)
+			p.readyAt = now + bo
+			queue = append(queue, p)
+			continue
+		}
+
+		before := pl.Meter().Total()
+		var jrep *coordinator.Report
+		var err error
+		if cfg.Sequential {
+			jrep, err = dep.RunSequential(inputs[p.idx])
+		} else {
+			jrep, err = dep.RunEager(inputs[p.idx])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("serving: request %d: %w", p.idx, err)
+		}
+
+		jr := &rep.Jobs[p.idx]
+		jr.Index = p.idx
+		jr.Arrival = arrivals[p.idx]
+		jr.Start = now
+		jr.Done = now + jrep.Completion
+		jr.Queue = now - arrivals[p.idx]
+		jr.Latency = jr.Done - arrivals[p.idx]
+		jr.Cost = pl.Meter().Total() - before
+		jr.Throttles = p.attempts
+		jr.ThrottleWait = p.wait
+		jr.Retries = jrep.Retries
+		jr.Faults = jrep.FaultsInjected
+		for _, lr := range jrep.PerLambda {
+			if lr.Cold {
+				jr.ColdStarts++
+			}
+		}
+		jr.Trace = requestSpan(jr, p.waits, jrep.Trace)
+
+		if inFlight := pl.InFlightAt(now); inFlight > rep.PeakInFlight {
+			rep.PeakInFlight = inFlight
+		}
+		if jr.Done > rep.Makespan {
+			rep.Makespan = jr.Done
+		}
+		mx.Inc("serving_jobs_total", 1)
+		mx.Observe("serving_queue_seconds", obs.DurationBounds, jr.Queue.Seconds())
+		mx.Observe("serving_latency_seconds", obs.DurationBounds, jr.Latency.Seconds())
+		mx.Add("serving_cost_usd_total", jr.Cost)
+	}
+
+	summarize(rep)
+	mx.Gauge("serving_peak_in_flight", float64(rep.PeakInFlight))
+	return rep, nil
+}
+
+// backoff draws the equal-jitter wait before re-admission attempt n
+// (1-based): half the exponential window deterministic, half from the
+// seeded stream.
+func backoff(p ThrottlePolicy, n int, rng *rand.Rand) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = 10 * time.Second
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	w := float64(base)
+	for i := 1; i < n; i++ {
+		w *= mult
+		if w >= float64(max) {
+			w = float64(max)
+			break
+		}
+	}
+	return time.Duration(w/2 + rng.Float64()*w/2)
+}
+
+// requestSpan wraps one job's coordinator trace in a request-level span
+// on the absolute serving clock: the root covers arrival to response,
+// a queue-wait child attributes the admission delay (throttle backoffs
+// laid out as its children), and the job tree — built with job start as
+// time zero — is shifted to its true start.
+func requestSpan(jr *JobResult, waits []time.Duration, job *obs.Span) *obs.Span {
+	root := &obs.Span{
+		Name: fmt.Sprintf("request-%d", jr.Index), Kind: obs.KindJob, Track: "serving",
+		Start: jr.Arrival, Duration: jr.Latency,
+	}
+	root.SetAttr("arrival", jr.Arrival.String())
+	root.SetAttr("throttles", strconv.Itoa(jr.Throttles))
+	if jr.Queue > 0 {
+		q := root.AddChild(&obs.Span{
+			Name: "queue-wait", Kind: obs.KindWait, Track: "serving",
+			Start: jr.Arrival, Duration: jr.Queue,
+		})
+		q.SetAttr("throttles", strconv.Itoa(jr.Throttles))
+		// Backoffs sit at the tail of the wait: the request was turned
+		// away at each re-admission instant and slept until the next.
+		cursor := jr.Start
+		for i := len(waits) - 1; i >= 0; i-- {
+			cursor -= waits[i]
+		}
+		for i, w := range waits {
+			b := q.AddChild(&obs.Span{
+				Name: "throttle-backoff", Kind: obs.KindBackoff, Track: "serving",
+				Start: cursor, Duration: w,
+			})
+			b.SetAttr("attempt", strconv.Itoa(i+1))
+			b.AddEvent("fault:throttle", cursor, map[string]string{"kind": "throttle"})
+			cursor += w
+		}
+	}
+	if job != nil {
+		obs.Shift(job, jr.Start)
+		root.AddChild(job)
+	}
+	return root
+}
+
+// summarize fills the report's aggregates from its per-job results.
+func summarize(rep *Report) {
+	lats := make([]time.Duration, 0, len(rep.Jobs))
+	var latSum, qSum time.Duration
+	for i := range rep.Jobs {
+		jr := &rep.Jobs[i]
+		lats = append(lats, jr.Latency)
+		latSum += jr.Latency
+		qSum += jr.Queue
+		if jr.Latency > rep.MaxLatency {
+			rep.MaxLatency = jr.Latency
+		}
+		if jr.Queue > rep.MaxQueue {
+			rep.MaxQueue = jr.Queue
+		}
+		rep.ColdStarts += jr.ColdStarts
+		rep.Retries += jr.Retries
+		rep.Faults += jr.Faults
+		rep.TotalCost += jr.Cost
+	}
+	n := time.Duration(len(rep.Jobs))
+	rep.AvgLatency = latSum / n
+	rep.AvgQueue = qSum / n
+	rep.P50Latency = workload.Percentile(lats, 50)
+	rep.P90Latency = workload.Percentile(lats, 90)
+	rep.P95Latency = workload.Percentile(lats, 95)
+	rep.P99Latency = workload.Percentile(lats, 99)
+	rep.CostPerJob = rep.TotalCost / float64(len(rep.Jobs))
+	if rep.Makespan > 0 {
+		rep.Throughput = float64(len(rep.Jobs)) / rep.Makespan.Seconds()
+	}
+}
+
+// Summary formats the report's aggregates deterministically.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	r.writeSummary(&b)
+	return b.String()
+}
+
+// Render formats the full report — aggregates plus one line per request
+// — deterministically: same run, same bytes.
+func (r *Report) Render() string {
+	var b strings.Builder
+	r.writeSummary(&b)
+	for i := range r.Jobs {
+		jr := &r.Jobs[i]
+		fmt.Fprintf(&b, "  req %4d: arrive %v start %v done %v queue %v latency %v throttles %d cost $%.8f\n",
+			jr.Index, jr.Arrival, jr.Start, jr.Done, jr.Queue, jr.Latency, jr.Throttles, jr.Cost)
+	}
+	return b.String()
+}
+
+func (r *Report) writeSummary(b *strings.Builder) {
+	fmt.Fprintf(b, "serving: %d requests, mode %s\n", len(r.Jobs), r.Mode)
+	fmt.Fprintf(b, "  makespan %v, throughput %.4f req/s\n", r.Makespan, r.Throughput)
+	fmt.Fprintf(b, "  latency avg %v p50 %v p90 %v p95 %v p99 %v max %v\n",
+		r.AvgLatency, r.P50Latency, r.P90Latency, r.P95Latency, r.P99Latency, r.MaxLatency)
+	fmt.Fprintf(b, "  queueing avg %v max %v\n", r.AvgQueue, r.MaxQueue)
+	fmt.Fprintf(b, "  throttles %d, cold starts %d, retries %d, faults %d, peak in-flight %d\n",
+		r.Throttles, r.ColdStarts, r.Retries, r.Faults, r.PeakInFlight)
+	fmt.Fprintf(b, "  cost total $%.6f, per request $%.8f\n", r.TotalCost, r.CostPerJob)
+}

@@ -7,15 +7,21 @@ import (
 	"time"
 )
 
+// maxOffset caps arrival offsets so float accumulation can never
+// overflow the time.Duration range (keeping every trace non-negative
+// and sorted even at degenerate rates like 5e-324 requests/second).
+const maxOffset = time.Duration(1) << 62
+
 // PoissonArrivals generates n arrival offsets from time zero with
 // exponentially distributed inter-arrival gaps at the given rate
 // (requests per second), deterministic in seed. Offsets are returned in
-// non-decreasing order.
+// non-decreasing order. Non-positive (or NaN) rates fall back to one
+// request per second.
 func PoissonArrivals(n int, ratePerSec float64, seed int64) []time.Duration {
 	if n <= 0 {
 		return nil
 	}
-	if ratePerSec <= 0 {
+	if !(ratePerSec > 0) { // also catches NaN
 		ratePerSec = 1
 	}
 	rng := rand.New(rand.NewSource(seed))
@@ -23,31 +29,50 @@ func PoissonArrivals(n int, ratePerSec float64, seed int64) []time.Duration {
 	t := 0.0
 	for i := range out {
 		t += rng.ExpFloat64() / ratePerSec
-		out[i] = time.Duration(t * float64(time.Second))
+		if ns := t * float64(time.Second); ns < float64(maxOffset) {
+			out[i] = time.Duration(ns)
+		} else {
+			out[i] = maxOffset
+		}
 	}
 	return out
 }
 
-// UniformArrivals spreads n arrivals evenly across the window.
+// UniformArrivals spreads n arrivals evenly across the window. A
+// non-positive window degenerates to n simultaneous arrivals at zero.
 func UniformArrivals(n int, window time.Duration) []time.Duration {
 	if n <= 0 {
 		return nil
 	}
+	if window < 0 {
+		window = 0
+	}
+	// Stepping by window/n (instead of multiplying window by i) keeps
+	// every offset within [0, window] without int64 overflow.
+	step := window / time.Duration(n)
 	out := make([]time.Duration, n)
 	for i := range out {
-		out[i] = window * time.Duration(i) / time.Duration(n)
+		out[i] = step * time.Duration(i)
 	}
 	return out
 }
 
 // BurstArrivals produces bursts of burstSize simultaneous requests every
-// gap, n requests total.
+// gap, n requests total. Non-positive burst sizes behave as 1; negative
+// gaps as 0.
 func BurstArrivals(n, burstSize int, gap time.Duration) []time.Duration {
 	if n <= 0 {
 		return nil
 	}
 	if burstSize <= 0 {
 		burstSize = 1
+	}
+	if gap < 0 {
+		gap = 0
+	}
+	bursts := (n - 1) / burstSize
+	if bursts > 0 && gap > maxOffset/time.Duration(bursts) {
+		gap = maxOffset / time.Duration(bursts)
 	}
 	out := make([]time.Duration, n)
 	for i := range out {
