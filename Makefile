@@ -7,7 +7,7 @@ GO ?= go
 # e.g. BENCHTIME=1s for statistically steadier baselines.
 BENCHTIME ?= 1x
 
-.PHONY: verify test race fmt vet build fuzz bench cover
+.PHONY: verify test race fmt vet build fuzz bench bench-diff cover
 
 verify: fmt vet build race
 
@@ -34,6 +34,12 @@ build:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson > BENCH_baseline.json
 	@echo "wrote BENCH_baseline.json"
+
+# Re-run every benchmark and print the per-benchmark ns/op and B/op
+# delta against the committed baseline. Informational: wall-clock noise
+# varies by machine, so this never fails the build.
+bench-diff:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -diff BENCH_baseline.json
 
 # Per-package coverage report. Fails if any internal package ships with
 # no test files at all — every subsystem must carry its own tests.

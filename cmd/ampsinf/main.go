@@ -36,6 +36,7 @@ import (
 	"ampsinf/internal/obs"
 	"ampsinf/internal/optimizer"
 	"ampsinf/internal/perf"
+	"ampsinf/internal/prof"
 	"ampsinf/internal/serving"
 	"ampsinf/internal/tensor"
 	"ampsinf/internal/workload"
@@ -80,6 +81,25 @@ func buildModel(name string) (*nn.Model, error) {
 	return zoo.Build(name, 0)
 }
 
+// profileFlags registers -cpuprofile/-memprofile on fs. The returned
+// start function runs after fs.Parse; its stop function must be
+// deferred so the profiles flush on exit.
+func profileFlags(fs *flag.FlagSet) func() (func(), error) {
+	cpu := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	mem := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
+	return func() (func(), error) {
+		stop, err := prof.Start(*cpu, *mem)
+		if err != nil {
+			return nil, err
+		}
+		return func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "ampsinf:", err)
+			}
+		}, nil
+	}
+}
+
 func cmdSummary(args []string) error {
 	fs := flag.NewFlagSet("summary", flag.ExitOnError)
 	model := fs.String("model", "mobilenet", "zoo model name")
@@ -100,7 +120,13 @@ func cmdPlan(args []string) error {
 	slo := fs.Duration("slo", 0, "response-time SLO (0 = cost-optimal)")
 	maxLambdas := fs.Int("max-lambdas", 16, "partition cap (K)")
 	useBnB := fs.Bool("bnb", false, "use the QCR+branch-and-bound MIQP path")
+	startProf := profileFlags(fs)
 	fs.Parse(args)
+	stopProf, err := startProf()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	m, err := buildModel(*model)
 	if err != nil {
@@ -141,7 +167,13 @@ func cmdInfer(args []string) error {
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON (load in ui.perfetto.dev) to this file")
 	spansOut := fs.String("spans", "", "write the full span-tree JSON dump to this file")
 	metricsOut := fs.String("metrics", "", "write a metrics snapshot JSON to this file")
+	startProf := profileFlags(fs)
 	fs.Parse(args)
+	stopProf, err := startProf()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	m, err := buildModel(*model)
 	if err != nil {
@@ -282,7 +314,13 @@ func cmdServe(args []string) error {
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON (load in ui.perfetto.dev) to this file")
 	spansOut := fs.String("spans", "", "write the full span-tree JSON dump to this file")
 	metricsOut := fs.String("metrics", "", "write a metrics snapshot JSON to this file")
+	startProf := profileFlags(fs)
 	fs.Parse(args)
+	stopProf, err := startProf()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 
 	m, err := buildModel(*model)
 	if err != nil {
@@ -394,7 +432,13 @@ func cmdSweep(args []string) error {
 	model := fs.String("model", "mobilenet", "zoo model name (must fit one lambda)")
 	traceOut := fs.String("trace", "", "serve one job per memory block and write a Chrome trace-event JSON to this file")
 	metricsOut := fs.String("metrics", "", "serve one job per memory block and write a metrics snapshot JSON to this file")
+	startProf := profileFlags(fs)
 	fs.Parse(args)
+	stopProf, err := startProf()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	m, err := buildModel(*model)
 	if err != nil {
 		return err

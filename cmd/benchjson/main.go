@@ -4,15 +4,24 @@
 // name, sorted, with every reported metric — ns/op, B/op, allocs/op
 // and custom b.ReportMetric units alike — in a sorted metrics map.
 //
+// With -diff it instead compares the fresh run on stdin against a
+// committed baseline JSON and prints a per-benchmark Δ% table for
+// ns/op and B/op (`make bench-diff` wires this against
+// BENCH_baseline.json).
+//
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH_baseline.json
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -diff BENCH_baseline.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -36,6 +45,9 @@ type Doc struct {
 }
 
 func main() {
+	diffBase := flag.String("diff", "", "compare stdin against this baseline JSON instead of emitting JSON")
+	flag.Parse()
+
 	doc, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -45,12 +57,87 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
+	if *diffBase != "" {
+		base, err := readBaseline(*diffBase)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		writeDiff(os.Stdout, base, doc)
+		return
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+func readBaseline(path string) (*Doc, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var doc Doc
+	if err := json.NewDecoder(f).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// writeDiff prints one line per benchmark of the fresh run, with the
+// baseline → current value and Δ% for ns/op and B/op. Benchmarks
+// missing from either side are reported, never silently dropped.
+func writeDiff(w io.Writer, base, cur *Doc) {
+	baseline := make(map[string]Result, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseline[r.Pkg+" "+r.Name] = r
+	}
+	seen := make(map[string]bool, len(cur.Benchmarks))
+	for _, r := range cur.Benchmarks {
+		key := r.Pkg + " " + r.Name
+		seen[key] = true
+		old, ok := baseline[key]
+		if !ok {
+			fmt.Fprintf(w, "%-64s (not in baseline)\n", key)
+			continue
+		}
+		fmt.Fprintf(w, "%-64s %s  %s\n", key,
+			deltaCell("ns/op", old.Metrics, r.Metrics),
+			deltaCell("B/op", old.Metrics, r.Metrics))
+	}
+	// Stable order for vanished benchmarks (cur is already sorted).
+	var gone []string
+	for _, r := range base.Benchmarks {
+		if key := r.Pkg + " " + r.Name; !seen[key] {
+			gone = append(gone, key)
+		}
+	}
+	sort.Strings(gone)
+	for _, key := range gone {
+		fmt.Fprintf(w, "%-64s (missing from this run)\n", key)
+	}
+}
+
+// deltaCell formats one metric as "unit old→new (Δ%)"; a missing metric
+// on either side renders as n/a.
+func deltaCell(unit string, old, cur map[string]float64) string {
+	ov, okOld := old[unit]
+	cv, okCur := cur[unit]
+	if !okOld || !okCur {
+		return fmt.Sprintf("%s n/a", unit)
+	}
+	if ov == 0 {
+		return fmt.Sprintf("%s %.0f→%.0f", unit, ov, cv)
+	}
+	pct := (cv - ov) / ov * 100
+	sign := "+"
+	if pct < 0 {
+		sign = "-"
+	}
+	return fmt.Sprintf("%s %.0f→%.0f (%s%.1f%%)", unit, ov, cv, sign, math.Abs(pct))
 }
 
 func parse(sc *bufio.Scanner) (*Doc, error) {

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+goarch: amd64
+pkg: example.com/pkg
+BenchmarkFast-4   100   2000 ns/op   512 B/op   4 allocs/op
+BenchmarkSlow-4    10   9000 ns/op   256 B/op   2 allocs/op
+PASS
+`
+
+func parseText(t *testing.T, text string) *Doc {
+	t.Helper()
+	doc, err := parse(bufio.NewScanner(strings.NewReader(text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestParseBenchLines(t *testing.T) {
+	doc := parseText(t, benchText)
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	r := doc.Benchmarks[0]
+	if r.Pkg != "example.com/pkg" || r.Name != "BenchmarkFast" {
+		t.Fatalf("unexpected first result %+v", r)
+	}
+	if r.Metrics["ns/op"] != 2000 || r.Metrics["B/op"] != 512 || r.Metrics["allocs/op"] != 4 {
+		t.Fatalf("unexpected metrics %v", r.Metrics)
+	}
+}
+
+func TestWriteDiff(t *testing.T) {
+	base := parseText(t, benchText)
+	cur := parseText(t, `pkg: example.com/pkg
+BenchmarkFast-4   100   1000 ns/op   128 B/op   4 allocs/op
+BenchmarkNew-4    100   5000 ns/op   64 B/op   1 allocs/op
+PASS
+`)
+	var sb strings.Builder
+	writeDiff(&sb, base, cur)
+	out := sb.String()
+	for _, want := range []string{
+		"BenchmarkFast",
+		"ns/op 2000→1000 (-50.0%)",
+		"B/op 512→128 (-75.0%)",
+		"BenchmarkNew",
+		"(not in baseline)",
+		"BenchmarkSlow",
+		"(missing from this run)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDeltaCellMissingMetric(t *testing.T) {
+	if got := deltaCell("ns/op", map[string]float64{}, map[string]float64{"ns/op": 1}); got != "ns/op n/a" {
+		t.Fatalf("got %q", got)
+	}
+	if got := deltaCell("B/op", map[string]float64{"B/op": 100}, map[string]float64{"B/op": 125}); got != "B/op 100→125 (+25.0%)" {
+		t.Fatalf("got %q", got)
+	}
+}

@@ -4,11 +4,13 @@
 // Usage:
 //
 //	experiments [-only <id>] [-metrics <file>]
+//	            [-cpuprofile <file>] [-memprofile <file>]
 //
 // where <id> is e.g. "table1", "figure9". Without -only, everything runs
 // in paper order. With -metrics, a sorted-key JSON snapshot of every
 // simulator and coordinator metric accumulated across the run is
-// written to <file> ("-" for stdout) after the tables.
+// written to <file> ("-" for stdout) after the tables. The profile
+// flags capture pprof CPU/heap profiles of the run.
 package main
 
 import (
@@ -19,12 +21,22 @@ import (
 
 	"ampsinf/internal/experiments"
 	"ampsinf/internal/obs"
+	"ampsinf/internal/prof"
 )
 
 func main() {
 	only := flag.String("only", "", "run a single experiment (e.g. table1, figure9)")
 	metricsOut := flag.String("metrics", "", `write a metrics snapshot JSON to this file ("-" = stdout)`)
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	var mx *obs.Metrics
 	if *metricsOut != "" {

@@ -62,6 +62,28 @@ func Solve(pr *Problem, opts Options) (*Solution, error) {
 
 	s := &solver{orig: pr, conv: conv, maxNodes: opts.MaxNodes}
 	s.best = math.Inf(1)
+	s.relax = make([]float64, pr.N)
+	s.grad = make([]float64, pr.N)
+	s.xtmp = make([]float64, pr.N)
+	// The projected-gradient step 1/(2·λmax bound) depends only on the
+	// convexified Q, which never changes during the search — compute it
+	// once instead of per node.
+	s.step = 1.0
+	if conv.Q != nil {
+		lip := 0.0
+		for i := range conv.Q {
+			r := 0.0
+			for j := range conv.Q[i] {
+				r += math.Abs(conv.Q[i][j])
+			}
+			if v := 2 * r; v > lip {
+				lip = v
+			}
+		}
+		if lip > 0 {
+			s.step = 1 / lip
+		}
+	}
 	fixed := make([]int8, pr.N) // -1 free, 0, 1
 	for i := range fixed {
 		fixed[i] = -1
@@ -92,6 +114,14 @@ type solver struct {
 	bestX      []float64
 	nodes      int
 	maxNodes   int
+	step       float64 // projected-gradient step, 1/Lipschitz
+	// Per-node scratch. relax is only read between a node's own
+	// lowerBound call and its first recursive branch, so one shared
+	// buffer serves the whole depth-first search; xtmp holds complete
+	// assignments, copied into bestX only on incumbent improvement.
+	relax []float64
+	grad  []float64
+	xtmp  []float64
 }
 
 func (s *solver) branch(fixed []int8) {
@@ -122,7 +152,7 @@ func (s *solver) branch(fixed []int8) {
 		}
 	}
 	if complete {
-		x := make([]float64, len(fixed))
+		x := s.xtmp
 		for j, f := range fixed {
 			x[j] = float64(f)
 		}
@@ -132,7 +162,7 @@ func (s *solver) branch(fixed []int8) {
 		obj := s.orig.Objective(x)
 		if obj < s.best {
 			s.best = obj
-			s.bestX = x
+			s.bestX = append(s.bestX[:0], x...)
 		}
 		return
 	}
@@ -200,8 +230,7 @@ func rowRangeHi(a []float64, fixed []int8) float64 {
 // every completion of fixed. It also returns the relaxation point for
 // branching guidance.
 func (s *solver) lowerBound(fixed []int8) (float64, []float64) {
-	n := s.conv.N
-	x := make([]float64, n)
+	x := s.relax
 	for j := range x {
 		if fixed[j] >= 0 {
 			x[j] = float64(fixed[j])
@@ -223,22 +252,8 @@ func (s *solver) lowerBound(fixed []int8) (float64, []float64) {
 		}
 		return s.conv.Objective(x), x
 	}
-	// Lipschitz constant of the gradient: 2·λmax(Q) ≤ 2·(max Gershgorin).
-	lip := 0.0
-	for i := range s.conv.Q {
-		r := 0.0
-		for j := range s.conv.Q[i] {
-			r += math.Abs(s.conv.Q[i][j])
-		}
-		if v := 2 * r; v > lip {
-			lip = v
-		}
-	}
-	step := 1.0
-	if lip > 0 {
-		step = 1 / lip
-	}
-	grad := make([]float64, n)
+	step := s.step
+	grad := s.grad
 	for it := 0; it < 300; it++ {
 		moved := 0.0
 		for i := range grad {

@@ -3,6 +3,8 @@ package optimizer
 import (
 	"testing"
 	"time"
+
+	"ampsinf/internal/cloud/pricing"
 )
 
 // The paper reports the optimizer overhead as "within a few seconds on a
@@ -48,6 +50,45 @@ func BenchmarkOptimizeWithBindingSLO(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkOptimizeQuota2021Stride1 plans ResNet50 on the fine-grained
+// December-2020 quota grid (10,240 MB in 1 MB steps → ~10k memory
+// blocks) with a binding SLO, the worst case the ROADMAP's Figure-10
+// sweep extension hits: every λ-bisection step re-solves the per-span
+// block selection over the full grid.
+func BenchmarkOptimizeQuota2021Stride1(b *testing.B) {
+	req := stride1Request(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := New(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := o.Optimize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// stride1Request builds the ~10k-block request with an SLO 12% under the
+// cost-optimal plan's response time, so Optimize has to bisect λ.
+func stride1Request(b *testing.B) Request {
+	b.Helper()
+	req := request("resnet50")
+	q := pricing.Quota2021()
+	req.Quota = &q
+	req.SearchStrideMB = 1
+	o, err := New(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, err := o.OptimizeCostOnly()
+	if err != nil {
+		b.Fatal(err)
+	}
+	req.SLO = time.Duration(float64(base.EstTime) * 0.88)
+	return req
 }
 
 func BenchmarkOptimizeBnBPath(b *testing.B) {

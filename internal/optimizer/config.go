@@ -29,8 +29,8 @@ func (o *Optimizer) PlanForConfig(segBounds []int, memories []int) (*Plan, error
 		if a >= b {
 			return nil, fmt.Errorf("optimizer: empty partition %d", i)
 		}
-		sc := o.table[a][b]
-		if sc.allow == nil {
+		sc := &o.table[a][b]
+		if !sc.capsOK {
 			return nil, fmt.Errorf("optimizer: partition %d (segments [%d, %d)) violates the platform limits", i, a, b)
 		}
 		j := -1
@@ -43,7 +43,7 @@ func (o *Optimizer) PlanForConfig(segBounds []int, memories []int) (*Plan, error
 		if j < 0 {
 			return nil, fmt.Errorf("optimizer: %d MB is not a valid memory block", mem)
 		}
-		if !sc.allow[j] {
+		if _, _, ok := o.blockTimeCost(sc, j); !ok {
 			return nil, fmt.Errorf("optimizer: %d MB is infeasible for partition %d (working set or timeout)", mem, i)
 		}
 		res.memIdx = append(res.memIdx, j)
@@ -57,13 +57,13 @@ func (o *Optimizer) FeasibleMemories(a, b int) []int {
 	if a < 0 || b > len(o.segs) || a >= b {
 		return nil
 	}
-	sc := o.table[a][b]
-	if sc.allow == nil {
+	sc := &o.table[a][b]
+	if !sc.capsOK {
 		return nil
 	}
 	var out []int
-	for j, ok := range sc.allow {
-		if ok {
+	for j := range o.blocks {
+		if _, _, ok := o.blockTimeCost(sc, j); ok {
 			out = append(out, o.blocks[j])
 		}
 	}
@@ -82,13 +82,14 @@ func (o *Optimizer) SpanFeasible(a, b int) bool {
 // SpanEstimate returns (T_i, S_i) for segments [a, b) at the given block,
 // excluding the position-dependent storage term.
 func (o *Optimizer) SpanEstimate(a, b, memMB int) (time.Duration, float64, error) {
-	sc := o.table[a][b]
+	sc := &o.table[a][b]
 	for j, block := range o.blocks {
 		if block == memMB {
-			if sc.allow == nil || !sc.allow[j] {
+			t, cost, ok := o.blockTimeCost(sc, j)
+			if !ok {
 				return 0, 0, fmt.Errorf("optimizer: %d MB infeasible for span [%d, %d)", memMB, a, b)
 			}
-			return sc.times[j], sc.costs[j], nil
+			return t, cost, nil
 		}
 	}
 	return 0, 0, fmt.Errorf("optimizer: invalid block %d MB", memMB)

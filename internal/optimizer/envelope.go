@@ -1,0 +1,73 @@
+package optimizer
+
+// The per-lambda subproblem min_j cost_j + λ·time_j over the allowed
+// memory blocks is a minimization of linear functions of λ: block j is
+// the line f_j(λ) = cost_j + sec_j·λ. Instead of rescanning all L blocks
+// for every λ the bisection visits (the pre-overhaul planner's dominant
+// cost on the 10k-block 2021 grid), each span precomputes the lower
+// envelope of its lines once and answers any λ ≥ 0 by binary search.
+//
+// Byte-identity with the exact scan is preserved by construction:
+//
+//   - envelope entries keep the block index, the exact cost_j float and
+//     the exact times_j.Seconds() float the scan would use, and the
+//     query evaluates the very same expression cost + λ·sec;
+//   - entries stay ordered by ascending block index and the query
+//     returns the leftmost minimum of the (convex) value sequence, which
+//     mirrors the scan's lowest-index tie-break;
+//   - lines are removed only when strictly above the envelope (collinear
+//     ties are kept), so every scan argmin candidate remains present;
+//   - λ = 0 — where exact cost ties between blocks are genuinely
+//     possible (cost is memory × billed time, and e.g. 512 MB × 200 ms
+//     equals 1024 MB × 100 ms bit-for-bit) — bypasses the envelope
+//     entirely: solveSpan records the scan's own λ=0 argmin.
+//
+// A property test drives the envelope against the retained exact scan
+// across randomized multipliers.
+
+// envPoint is one line of a span's lower envelope.
+type envPoint struct {
+	j    int     // index into Optimizer.blocks
+	sec  float64 // times[j].Seconds(), the line's slope in λ
+	cost float64 // costs[j], the line's intercept
+}
+
+// envPush appends a candidate line, popping previous lines that the new
+// one makes strictly unnecessary. Lines arrive with strictly decreasing
+// slope (ascending block index ⇒ more memory ⇒ strictly faster after
+// time-plateau dedup), the precondition for the O(1) amortized hull
+// update. With s1 > s2 > s3, the middle line is strictly unnecessary iff
+// the new line overtakes line 1 strictly before line 2 does:
+// (c3−c1)(s1−s2) < (c2−c1)(s1−s3), both factors on the slope side
+// positive. Ties (collinear lines) are kept so exact-equality argmins
+// stay available to the leftmost-minimum query.
+func envPush(env []envPoint, pt envPoint) []envPoint {
+	for len(env) >= 2 {
+		l1, l2 := env[len(env)-2], env[len(env)-1]
+		if (pt.cost-l1.cost)*(l1.sec-l2.sec) < (l2.cost-l1.cost)*(l1.sec-pt.sec) {
+			env = env[:len(env)-1]
+			continue
+		}
+		break
+	}
+	return append(env, pt)
+}
+
+// envQuery returns the block index and objective value minimizing
+// cost + λ·sec over the envelope, for λ > 0. The value sequence along
+// the envelope is convex in the entry order, so the leftmost minimum is
+// found by binary search on the first non-negative forward difference;
+// leftmost resolves exact value ties to the smallest block index, the
+// scan's tie-break.
+func envQuery(env []envPoint, lambda float64) (int, float64) {
+	lo, hi := 0, len(env)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if env[mid].cost+lambda*env[mid].sec <= env[mid+1].cost+lambda*env[mid+1].sec {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return env[lo].j, env[lo].cost + lambda*env[lo].sec
+}

@@ -1,0 +1,184 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"ampsinf/internal/cloud/pricing"
+	"ampsinf/internal/nn/zoo"
+	"ampsinf/internal/perf"
+)
+
+// The hot-path overhaul (prefix-sum profiling, parallel table build,
+// lower-envelope block selection, scratch reuse) claims byte-identical
+// plans, not approximately equal ones. These tests drive the fast path
+// against the retained reference implementation across models, quotas,
+// SLO tightness and solver modes, demanding reflect.DeepEqual — any
+// float that drifts by one ulp fails.
+
+func equivRequest(t *testing.T, model string, quota2021 bool, useBnB bool) Request {
+	t.Helper()
+	m, err := zoo.Build(model, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Request{Model: m, Perf: perf.Default(), UseBnB: useBnB}
+	if quota2021 {
+		q := pricing.Quota2021()
+		req.Quota = &q
+	}
+	return req
+}
+
+func comparePlans(t *testing.T, base Request, fractions []float64, tag string) {
+	t.Helper()
+	ref, err := newReference(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costOnly, refErr := ref.OptimizeCostOnly()
+	if refErr != nil {
+		// Both paths must agree that the model has no feasible plan.
+		fastO, err := New(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, fastErr := fastO.OptimizeCostOnly(); fastErr == nil {
+			t.Fatalf("%s: reference infeasible (%v) but fast path found a plan", tag, refErr)
+		}
+		return
+	}
+	for _, frac := range fractions {
+		req := base
+		req.SLO = time.Duration(float64(costOnly.EstTime) * frac)
+		fastO, err := New(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refO, err := newReference(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err1 := fastO.Optimize()
+		slow, err2 := refO.Optimize()
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s frac=%.2f: errors diverge: %v vs %v", tag, frac, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if !reflect.DeepEqual(fast, slow) {
+			t.Errorf("%s frac=%.2f: plans differ\nfast: %+v\nref:  %+v", tag, frac, fast, slow)
+		}
+	}
+}
+
+func TestFastMatchesReferencePlans(t *testing.T) {
+	models := []string{"tinycnn", "linearnet", "tinytransformer", "vgg16", "resnet50"}
+	// SLO as a fraction of the cost-optimal plan's time: 0 disables the
+	// SLO, mid-range fractions force the bisection, and a near-zero
+	// fraction drives the unattainable branch (MeetsSLO = false).
+	fractions := []float64{0, 0.95, 0.7, 0.45, 0.01}
+	for _, model := range models {
+		for _, quota2021 := range []bool{false, true} {
+			base := equivRequest(t, model, quota2021, false)
+			comparePlans(t, base, fractions, fmt.Sprintf("%s quota2021=%v", model, quota2021))
+		}
+	}
+}
+
+func TestFastMatchesReferencePlansBnB(t *testing.T) {
+	// The branch-and-bound oracle costs a full QCR solve per (span, λ)
+	// pair on both paths, so the BnB matrix stays small: tiny models on
+	// a coarsened 2020 grid (the equivalence argument is independent of
+	// block count), one SLO that exercises the bisection.
+	for _, model := range []string{"tinycnn", "linearnet"} {
+		base := equivRequest(t, model, false, true)
+		base.SearchStrideMB = 256
+		comparePlans(t, base, []float64{0, 0.7}, model+" bnb")
+	}
+}
+
+func TestFastMatchesReferenceConfigAPIs(t *testing.T) {
+	// The fast path drops the dense per-block tables, so the config
+	// helpers re-derive block values on demand; they must agree with the
+	// reference's stored tables bit-for-bit.
+	for _, quota2021 := range []bool{false, true} {
+		req := equivRequest(t, "vgg16", quota2021, false)
+		fastO, err := New(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refO, err := newReference(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		S := len(fastO.Segments())
+		for a := 0; a < S; a++ {
+			for b := a + 1; b <= S; b++ {
+				if got, want := fastO.SpanFeasible(a, b), refO.SpanFeasible(a, b); got != want {
+					t.Fatalf("SpanFeasible(%d,%d): %v vs %v", a, b, got, want)
+				}
+				fm, rm := fastO.FeasibleMemories(a, b), refO.FeasibleMemories(a, b)
+				if !reflect.DeepEqual(fm, rm) {
+					t.Fatalf("FeasibleMemories(%d,%d): %v vs %v", a, b, fm, rm)
+				}
+				for _, mem := range fm {
+					t1, c1, err1 := fastO.SpanEstimate(a, b, mem)
+					t2, c2, err2 := refO.SpanEstimate(a, b, mem)
+					if err1 != nil || err2 != nil || t1 != t2 || c1 != c2 {
+						t.Fatalf("SpanEstimate(%d,%d,%d): (%v,%v,%v) vs (%v,%v,%v)",
+							a, b, mem, t1, c1, err1, t2, c2, err2)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestEnvelopeMatchesExactScan(t *testing.T) {
+	// For every feasible span and a sweep of randomized multipliers, the
+	// envelope query must return exactly the block index and objective
+	// value of the reference's full scan (fresh objective slice +
+	// lowest-index argmin).
+	rng := rand.New(rand.NewSource(7))
+	for _, model := range []string{"tinycnn", "vgg16", "resnet50"} {
+		for _, quota2021 := range []bool{false, true} {
+			req := equivRequest(t, model, quota2021, false)
+			fastO, err := New(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refO, err := newReference(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			S := len(fastO.Segments())
+			lambdas := []float64{0, 1e-9, 1e-6, 1e-3, 0.1, 5, 1e3}
+			for i := 0; i < 40; i++ {
+				lambdas = append(lambdas, math.Exp(rng.Float64()*30-12))
+			}
+			for a := 0; a < S; a++ {
+				for b := a + 1; b <= S; b++ {
+					fsc := &fastO.table[a][b]
+					rsc := refO.table[a][b]
+					if !fsc.feasible {
+						continue
+					}
+					for _, lambda := range lambdas {
+						gj, gv := fastO.selectBlock(fsc, lambda)
+						wj, wv := refO.selectBlockRef(rsc, lambda)
+						if gj != wj || gv != wv {
+							t.Fatalf("%s quota2021=%v span [%d,%d) λ=%g: envelope (%d, %v) vs scan (%d, %v)",
+								model, quota2021, a, b, lambda, gj, gv, wj, wv)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -18,15 +18,26 @@
 // making the objective additive per partition so the optimal cut for each
 // λ is found exactly by dynamic programming over segment boundaries. An
 // outer bisection drives λ to the smallest feasible plan cost.
+//
+// The hot path is engineered around three precomputations whose outputs
+// are byte-identical to the direct formulation (DESIGN.md §10): O(1)
+// prefix-sum span profiling (perf.SpanProfiler), a parallel span-table
+// build over the independent (a, b) cells, and a per-span lower envelope
+// of the (time, cost) block frontier answering any λ in O(log L) instead
+// of an O(L) rescan. A retained reference implementation of the original
+// single-threaded scans backs the equivalence property tests.
 package optimizer
 
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ampsinf/internal/cloud/pricing"
-	"ampsinf/internal/miqp"
 	"ampsinf/internal/nn"
 	"ampsinf/internal/perf"
 )
@@ -145,29 +156,67 @@ func (p *Plan) Memories() []int {
 
 // spanChoice is the solved per-lambda subproblem for one candidate span.
 type spanChoice struct {
+	// capsOK reports that the span passes the λ-independent constraints
+	// (4)–(6): deployment size, temporary storage and the layer cap.
+	capsOK bool
+	// feasible additionally requires at least one allowed memory block.
 	feasible bool
-	memIdx   int // index into blocks
+	memIdx   int // λ=0 optimal index into blocks, or -1
 	time     time.Duration
 	cost     float64 // S_i without the position-dependent storage term
-	// perBlock retains (time, cost) for every feasible block so the
-	// Lagrangian re-weighting can re-select without re-profiling.
+	// Span invariants for on-demand per-block evaluation (fast path):
+	// working-set floor (Eq. 7), S3 transfer time and the WeightScale-
+	// adjusted profile.
+	minMem   int
+	transfer time.Duration
+	prof     perf.SegmentProfile
+	// env is the lower envelope of (time, cost) over allowed blocks; the
+	// Lagrangian re-weighting re-selects without re-profiling (fast path,
+	// scan mode).
+	env []envPoint
+	// Dense per-block tables, retained by the reference path and by BnB
+	// mode (the branch-and-bound oracle consumes the explicit block set).
 	times []time.Duration
 	costs []float64
 	allow []bool
 }
 
 // Optimizer precomputes span tables for one model and answers Optimize
-// calls. Create with New.
+// calls. Create with New. An Optimizer reuses internal scratch buffers
+// across bisection steps, so a single instance must not be used from
+// multiple goroutines concurrently (constructing one Optimizer per
+// Optimize call, as the package-level Optimize does, is always safe).
 type Optimizer struct {
-	req    Request
-	segs   []nn.Segment
-	blocks []int
+	req      Request
+	segs     []nn.Segment
+	blocks   []int
+	profiler *perf.SpanProfiler
+	// reference routes every solve through the retained pre-overhaul
+	// implementation; equivalence tests assert byte-identical plans.
+	reference bool
 	// table[a][b] is the per-lambda data for the span [a, b).
 	table [][]spanChoice
+	// DP scratch reused across solveForLambda calls (fast path).
+	dpBest   [][]float64
+	dpPrev   [][]int
+	dpChoice [][]int
+	// Scratch for the BnB problem construction, reused across λ steps.
+	bnb bnbScratch
 }
 
 // New profiles the model and precomputes the per-span decision tables.
 func New(req Request) (*Optimizer, error) {
+	return newOptimizer(req, false)
+}
+
+// newReference builds an Optimizer that solves everything through the
+// retained reference (pre-overhaul) path. Tests compare its plans
+// byte-for-byte against New's.
+func newReference(req Request) (*Optimizer, error) {
+	return newOptimizer(req, true)
+}
+
+func newOptimizer(req Request, reference bool) (*Optimizer, error) {
 	if req.Model == nil {
 		return nil, fmt.Errorf("optimizer: nil model")
 	}
@@ -176,34 +225,95 @@ func New(req Request) (*Optimizer, error) {
 	if len(segs) == 0 {
 		return nil, fmt.Errorf("optimizer: model %q has no segments", req.Model.Name)
 	}
-	o := &Optimizer{req: req, segs: segs, blocks: req.Quota.SearchBlocks(req.SearchStrideMB)}
+	o := &Optimizer{
+		req: req, segs: segs,
+		blocks:    req.Quota.SearchBlocks(req.SearchStrideMB),
+		profiler:  perf.NewSpanProfiler(req.Model, segs),
+		reference: reference,
+	}
+	if reference {
+		o.buildTableRef()
+		return o, nil
+	}
 	o.buildTable()
+	S := len(segs)
+	K := req.MaxLambdas
+	if K > S {
+		K = S
+	}
+	o.dpBest = make([][]float64, S+1)
+	o.dpPrev = make([][]int, S+1)
+	o.dpChoice = make([][]int, S+1)
+	for b := 0; b <= S; b++ {
+		o.dpBest[b] = make([]float64, K+1)
+		o.dpPrev[b] = make([]int, K+1)
+		o.dpChoice[b] = make([]int, K+1)
+	}
 	return o, nil
 }
 
 // Segments exposes the model's atomic segments.
 func (o *Optimizer) Segments() []nn.Segment { return o.segs }
 
+// buildTable solves every candidate span. The cells are mutually
+// independent — solveSpan reads only immutable state (request, blocks,
+// profiler) and each result is written to its own fixed index — so the
+// build fans out over a GOMAXPROCS-sized worker pool and the table is
+// identical to a serial build regardless of scheduling.
 func (o *Optimizer) buildTable() {
 	S := len(o.segs)
 	o.table = make([][]spanChoice, S)
 	for a := 0; a < S; a++ {
 		o.table[a] = make([]spanChoice, S+1)
+	}
+	type cell struct{ a, b int }
+	cells := make([]cell, 0, S*(S+1)/2)
+	for a := 0; a < S; a++ {
 		for b := a + 1; b <= S; b++ {
-			o.table[a][b] = o.solveSpan(a, b)
+			cells = append(cells, cell{a, b})
 		}
 	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers <= 1 {
+		for _, c := range cells {
+			o.table[c.a][c.b] = o.solveSpan(c.a, c.b)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				c := cells[i]
+				o.table[c.a][c.b] = o.solveSpan(c.a, c.b)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // solveSpan evaluates a candidate partition covering segments [a, b):
 // feasibility (Eqs. 4–7), per-block T_i and S_i, and the cost-minimal
-// block (the λ=0 subproblem).
+// block (the λ=0 subproblem). The fast path profiles the span in O(1)
+// and folds each allowed block straight into the lower envelope instead
+// of materializing dense per-block tables; BnB mode keeps the dense
+// tables the branch-and-bound oracle consumes.
 func (o *Optimizer) solveSpan(a, b int) spanChoice {
-	prof := perf.ProfilePartition(o.req.Model, o.segs, a, b)
+	prof := o.profiler.Profile(a, b)
 	// Quantization shrinks the shipped and loaded weight bytes; compute
 	// is unchanged (weights are dequantized on load).
 	prof.WeightsBytes = int64(float64(prof.WeightsBytes) * o.req.WeightScale)
-	sc := spanChoice{memIdx: -1}
+	sc := spanChoice{memIdx: -1, prof: prof}
 
 	// Constraint (6): per-partition layer cap.
 	if cap := o.req.MaxLayersPerPartition; cap > 0 && prof.Layers > cap {
@@ -221,21 +331,26 @@ func (o *Optimizer) solveSpan(a, b int) spanChoice {
 	if prof.TmpBytes() > int64(q.TmpLimitMB)<<20 {
 		return sc
 	}
+	sc.capsOK = true
 
-	// Constraint (7): prune memory blocks below the working-set floor.
-	minMem := p.MinFeasibleMemoryMB(prof.WeightsBytes, q.MinMemoryMB, q.MemoryStepMB)
+	// Constraint (7): prune memory blocks below the working-set floor —
+	// a prefix of the ascending block grid, skipped without evaluation.
+	sc.minMem = p.MinFeasibleMemoryMB(prof.WeightsBytes, q.MinMemoryMB, q.MemoryStepMB)
+	sc.transfer = o.transferTime(prof.InBytes) + o.transferTime(prof.OutBytes)
 
 	L := len(o.blocks)
-	sc.times = make([]time.Duration, L)
-	sc.costs = make([]float64, L)
-	sc.allow = make([]bool, L)
+	dense := o.req.UseBnB
+	if dense {
+		sc.times = make([]time.Duration, L)
+		sc.costs = make([]float64, L)
+		sc.allow = make([]bool, L)
+	}
 
-	transfer := o.transferTime(prof.InBytes) + o.transferTime(prof.OutBytes)
-	for j, mem := range o.blocks {
-		if mem < minMem {
-			continue
-		}
-		t := p.EndToEndTime(mem, prof.FLOPs, prof.WeightsBytes) + transfer
+	eval := p.SpanEval(prof.FLOPs, prof.WeightsBytes)
+	zeroIdx, zeroVal := -1, math.Inf(1)
+	for j := sort.SearchInts(o.blocks, sc.minMem); j < L; j++ {
+		mem := o.blocks[j]
+		t := eval.Time(mem) + sc.transfer
 		if t > q.Timeout {
 			continue
 		}
@@ -244,16 +359,40 @@ func (o *Optimizer) solveSpan(a, b int) spanChoice {
 		// magnitude below the decision-relevant terms).
 		cost := q.ExecutionCost(mem, t) +
 			pricing.LambdaInvocation + pricing.S3GetRequest + pricing.S3PutRequest
-		sc.allow[j] = true
-		sc.times[j] = t
-		sc.costs[j] = cost
+		if dense {
+			sc.allow[j] = true
+			sc.times[j] = t
+			sc.costs[j] = cost
+			continue
+		}
+		if cost < zeroVal {
+			zeroIdx, zeroVal = j, cost
+		}
+		s := t.Seconds()
+		if n := len(sc.env); n > 0 && s == sc.env[n-1].sec {
+			// Time plateau: the same duration at more memory costs
+			// strictly more (same billed time, higher GB-seconds), and
+			// the earlier block also wins the scan's index tie-break.
+			continue
+		}
+		sc.env = envPush(sc.env, envPoint{j: j, sec: s, cost: cost})
 	}
 
-	sc.memIdx, _ = o.selectBlock(sc, 0)
+	if dense {
+		// BnB selects the λ=0 block through the full solver, exactly as
+		// every later λ step will (fresh per-call scratch: the parallel
+		// table build must not share the Optimizer's buffers).
+		sc.memIdx, _ = o.selectBlockBnB(&sc, 0, nil)
+	} else {
+		sc.memIdx = zeroIdx
+	}
 	sc.feasible = sc.memIdx >= 0
 	if sc.feasible {
-		sc.time = sc.times[sc.memIdx]
-		sc.cost = sc.costs[sc.memIdx]
+		var ok bool
+		sc.time, sc.cost, ok = o.blockTimeCost(&sc, sc.memIdx)
+		if !ok {
+			sc.feasible, sc.memIdx = false, -1
+		}
 	}
 	return sc
 }
@@ -263,63 +402,118 @@ func (o *Optimizer) transferTime(bytes int64) time.Duration {
 	return o.req.RequestLatency + time.Duration(sec*float64(time.Second))
 }
 
+// blockTimeCost returns (T_i, S_i) for block index j of a solved span,
+// serving dense tables when the span retains them and otherwise
+// re-deriving the pair from the span invariants — the same float
+// expressions the table build evaluated, hence the same bits.
+func (o *Optimizer) blockTimeCost(sc *spanChoice, j int) (time.Duration, float64, bool) {
+	if sc.times != nil {
+		if j < 0 || j >= len(sc.allow) || !sc.allow[j] {
+			return 0, 0, false
+		}
+		return sc.times[j], sc.costs[j], true
+	}
+	if !sc.capsOK || j < 0 || j >= len(o.blocks) {
+		return 0, 0, false
+	}
+	mem := o.blocks[j]
+	if mem < sc.minMem {
+		return 0, 0, false
+	}
+	p := o.req.Perf
+	eval := p.SpanEval(sc.prof.FLOPs, sc.prof.WeightsBytes)
+	t := eval.Time(mem) + sc.transfer
+	if t > o.req.Quota.Timeout {
+		return 0, 0, false
+	}
+	cost := o.req.Quota.ExecutionCost(mem, t) +
+		pricing.LambdaInvocation + pricing.S3GetRequest + pricing.S3PutRequest
+	return t, cost, true
+}
+
 // selectBlock solves the per-lambda subproblem min_j cost_j + λ·time_j
 // over the allowed one-hot x — the paper's Eq. (12)–(14). With UseBnB it
 // constructs the explicit 0-1 quadratic program (quadratic term v·u·x²
 // from price×compute, linear term from transfers and λ) and runs it
-// through QCR + branch-and-bound; otherwise an exact scan.
-func (o *Optimizer) selectBlock(sc spanChoice, lambda float64) (int, float64) {
+// through QCR + branch-and-bound; otherwise the span's precomputed lower
+// envelope answers in O(log L). λ = 0 returns the scan argmin recorded
+// at build time, where exact cost ties between blocks resolve by block
+// index.
+func (o *Optimizer) selectBlock(sc *spanChoice, lambda float64) (int, float64) {
+	if o.req.UseBnB {
+		return o.selectBlockBnB(sc, lambda, &o.bnb)
+	}
+	if len(sc.env) == 0 {
+		return -1, math.Inf(1)
+	}
+	if lambda == 0 {
+		return sc.memIdx, sc.cost
+	}
+	return envQuery(sc.env, lambda)
+}
+
+// bnbScratch holds the reusable buffers for the explicit binary-QP
+// construction, so the bisection's λ steps stop allocating a fresh
+// problem per span per step.
+type bnbScratch struct {
+	idx  []int
+	rows [][]float64
+	qbuf []float64
+	p    []float64
+	ones []float64
+}
+
+// selectBlockBnB builds the explicit binary QP over the allowed blocks
+// and solves it with QCR + branch-and-bound. A nil scratch allocates
+// per call (used by the parallel table build, which must not share the
+// Optimizer's buffers across workers).
+func (o *Optimizer) selectBlockBnB(sc *spanChoice, lambda float64, scr *bnbScratch) (int, float64) {
 	if sc.allow == nil {
 		return -1, math.Inf(1)
 	}
-	if !o.req.UseBnB {
-		obj := make([]float64, len(sc.costs))
-		for j := range obj {
-			obj[j] = sc.costs[j] + lambda*sc.times[j].Seconds()
-		}
-		return miqp.SolveOneHot(nil, obj, sc.allow)
+	var local bnbScratch
+	if scr == nil {
+		scr = &local
 	}
-	// Build the explicit binary QP over the allowed blocks.
-	var idx []int
+	idx := scr.idx[:0]
 	for j, ok := range sc.allow {
 		if ok {
 			idx = append(idx, j)
 		}
 	}
+	scr.idx = idx
 	if len(idx) == 0 {
 		return -1, math.Inf(1)
 	}
 	n := len(idx)
-	q := make([][]float64, n)
-	pvec := make([]float64, n)
-	ones := make([]float64, n)
+	if cap(scr.qbuf) < n*n {
+		scr.qbuf = make([]float64, n*n)
+		scr.rows = make([][]float64, 0, n)
+		scr.p = make([]float64, n)
+		scr.ones = make([]float64, n)
+	}
+	qbuf := scr.qbuf[:n*n]
+	for i := range qbuf {
+		qbuf[i] = 0
+	}
+	q := scr.rows[:0]
+	pvec := scr.p[:n]
+	ones := scr.ones[:n]
 	for r, j := range idx {
-		q[r] = make([]float64, n)
+		row := qbuf[r*n : (r+1)*n]
 		// Quadratic diagonal: the v_j·u_j·x_j² execution-cost term of
 		// Eq. (9). Transfers and the SLO multiplier enter linearly.
 		execCost := sc.costs[j] - pricing.LambdaInvocation - pricing.S3GetRequest - pricing.S3PutRequest
-		q[r][r] = execCost
+		row[r] = execCost
 		pvec[r] = lambda*sc.times[j].Seconds() +
 			pricing.LambdaInvocation + pricing.S3GetRequest + pricing.S3PutRequest
 		ones[r] = 1
+		q = append(q, row)
 	}
-	pr := &miqp.Problem{
-		N: n, Q: q, P: pvec,
-		Eq: []miqp.LinConstraint{{A: ones, B: 1}},
-	}
-	sol, err := miqp.Solve(pr, miqp.Options{})
-	if err != nil || sol.Status != miqp.Optimal {
-		return -1, math.Inf(1)
-	}
-	for r, j := range idx {
-		if sol.X[r] > 0.5 {
-			return j, sol.Objective
-		}
-	}
-	return -1, math.Inf(1)
+	scr.rows = q
+	return solveOneHotQP(idx, q, pvec, ones)
 }
 
-// dpResult is the exact minimum of Σ (cost_i + λ·time_i) over all cuts.
 type dpResult struct {
 	objective float64
 	bounds    []int // segment boundaries, length k+1
@@ -327,22 +521,21 @@ type dpResult struct {
 }
 
 // solveForLambda runs the boundary DP: best[b][k] = cheapest relaxed
-// objective covering segments [0, b) with k partitions.
+// objective covering segments [0, b) with k partitions. The DP tables
+// are Optimizer-owned scratch reused across the bisection's λ steps.
 func (o *Optimizer) solveForLambda(lambda float64) (dpResult, bool) {
+	if o.reference {
+		return o.solveForLambdaRef(lambda)
+	}
 	S := len(o.segs)
 	K := o.req.MaxLambdas
 	if K > S {
 		K = S
 	}
 	const inf = math.MaxFloat64
-	best := make([][]float64, S+1)
-	prev := make([][]int, S+1)
-	choice := make([][]int, S+1)
+	best, prev, choice := o.dpBest, o.dpPrev, o.dpChoice
 	for b := 0; b <= S; b++ {
-		best[b] = make([]float64, K+1)
-		prev[b] = make([]int, K+1)
-		choice[b] = make([]int, K+1)
-		for k := range best[b] {
+		for k := 0; k <= K; k++ {
 			best[b][k] = inf
 			prev[b][k] = -1
 		}
@@ -350,7 +543,7 @@ func (o *Optimizer) solveForLambda(lambda float64) (dpResult, bool) {
 	best[0][0] = 0
 	for b := 1; b <= S; b++ {
 		for a := 0; a < b; a++ {
-			sc := o.table[a][b]
+			sc := &o.table[a][b]
 			if !sc.feasible {
 				continue
 			}
@@ -463,12 +656,17 @@ func (o *Optimizer) assemble(res dpResult, lambda float64) *Plan {
 	var qBytes int64 // Σ outputs of previous partitions held in S3
 	for i := 0; i+1 < len(res.bounds); i++ {
 		a, b := res.bounds[i], res.bounds[i+1]
-		sc := o.table[a][b]
+		sc := &o.table[a][b]
 		j := res.memIdx[i]
-		prof := perf.ProfilePartition(o.req.Model, o.segs, a, b)
+		var prof perf.SegmentProfile
+		if o.reference {
+			prof = perf.ProfilePartition(o.req.Model, o.segs, a, b)
+		} else {
+			prof = o.profiler.Profile(a, b)
+		}
 		lo, hi, _ := nn.SegmentRange(o.segs, a, b)
-		t := sc.times[j]
-		cost := sc.costs[j] +
+		t, base, _ := o.blockTimeCost(sc, j)
+		cost := base +
 			float64(qBytes)/(1<<30)*t.Seconds()*pricing.S3StoragePerGBSecond
 		plan.Lambdas = append(plan.Lambdas, LambdaPlan{
 			SegLo: a, SegHi: b, LayerLo: lo, LayerHi: hi,
@@ -524,7 +722,7 @@ func (o *Optimizer) ExhaustiveMinCost() (float64, bool) {
 			if b < S && mask&(1<<(b-1)) == 0 {
 				continue
 			}
-			sc := o.table[a][b]
+			sc := &o.table[a][b]
 			if !sc.feasible {
 				feasible = false
 				break

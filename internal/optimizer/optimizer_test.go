@@ -93,9 +93,11 @@ func TestDPMatchesExhaustive(t *testing.T) {
 		// Compare without the tiny storage term the DP defers.
 		var got float64
 		for _, l := range plan.Lambdas {
-			sc := o.table[l.SegLo][l.SegHi]
-			got += sc.costs[indexOfBlock(o.blocks, l.MemoryMB)]
-			_ = sc
+			_, cost, err := o.SpanEstimate(l.SegLo, l.SegHi, l.MemoryMB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got += cost
 		}
 		if math.Abs(got-want) > 1e-9*(1+want) {
 			t.Errorf("%s: DP cost %.9f vs exhaustive %.9f", name, got, want)

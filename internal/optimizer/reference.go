@@ -1,0 +1,212 @@
+package optimizer
+
+// This file retains the pre-overhaul planner implementation verbatim:
+// serial table build, O(span) profiling through perf.ProfilePartition,
+// and a full per-block rescan (fresh objective slice or fresh BnB
+// problem) on every λ step. It is not a fallback — newReference routes
+// all solves through it so the equivalence property tests can assert
+// that the overhauled hot path (prefix-sum profiling, parallel build,
+// lower-envelope selection, scratch reuse) produces byte-identical
+// Plans. Keep any behavioral change here in lockstep with a matching
+// change to the fast path, or the equivalence tests will say so.
+
+import (
+	"math"
+	"time"
+
+	"ampsinf/internal/cloud/pricing"
+	"ampsinf/internal/miqp"
+	"ampsinf/internal/perf"
+)
+
+func (o *Optimizer) buildTableRef() {
+	S := len(o.segs)
+	o.table = make([][]spanChoice, S)
+	for a := 0; a < S; a++ {
+		o.table[a] = make([]spanChoice, S+1)
+		for b := a + 1; b <= S; b++ {
+			o.table[a][b] = o.solveSpanRef(a, b)
+		}
+	}
+}
+
+// solveSpanRef is the original solveSpan: dense per-block tables filled
+// by a direct scan. It additionally records the span invariants the
+// shared config helpers read (capsOK, minMem, transfer, prof); those do
+// not influence the solve.
+func (o *Optimizer) solveSpanRef(a, b int) spanChoice {
+	prof := perf.ProfilePartition(o.req.Model, o.segs, a, b)
+	prof.WeightsBytes = int64(float64(prof.WeightsBytes) * o.req.WeightScale)
+	sc := spanChoice{memIdx: -1, prof: prof}
+
+	if cap := o.req.MaxLayersPerPartition; cap > 0 && prof.Layers > cap {
+		return sc
+	}
+	p := o.req.Perf
+	q := o.req.Quota
+	deploy := prof.DeployBytes(o.req.DescBytes) + int64(p.DepsMB*(1<<20))
+	if deploy > int64(q.DeployLimitMB)<<20 {
+		return sc
+	}
+	if prof.TmpBytes() > int64(q.TmpLimitMB)<<20 {
+		return sc
+	}
+	sc.capsOK = true
+
+	minMem := p.MinFeasibleMemoryMB(prof.WeightsBytes, q.MinMemoryMB, q.MemoryStepMB)
+	sc.minMem = minMem
+
+	L := len(o.blocks)
+	sc.times = make([]time.Duration, L)
+	sc.costs = make([]float64, L)
+	sc.allow = make([]bool, L)
+
+	transfer := o.transferTime(prof.InBytes) + o.transferTime(prof.OutBytes)
+	sc.transfer = transfer
+	for j, mem := range o.blocks {
+		if mem < minMem {
+			continue
+		}
+		t := p.EndToEndTime(mem, prof.FLOPs, prof.WeightsBytes) + transfer
+		if t > q.Timeout {
+			continue
+		}
+		cost := q.ExecutionCost(mem, t) +
+			pricing.LambdaInvocation + pricing.S3GetRequest + pricing.S3PutRequest
+		sc.allow[j] = true
+		sc.times[j] = t
+		sc.costs[j] = cost
+	}
+
+	sc.memIdx, _ = o.selectBlockRef(sc, 0)
+	sc.feasible = sc.memIdx >= 0
+	if sc.feasible {
+		sc.time = sc.times[sc.memIdx]
+		sc.cost = sc.costs[sc.memIdx]
+	}
+	return sc
+}
+
+// selectBlockRef is the original selectBlock: a fresh objective slice
+// and exact one-hot scan per call, or a freshly constructed BnB problem.
+func (o *Optimizer) selectBlockRef(sc spanChoice, lambda float64) (int, float64) {
+	if sc.allow == nil {
+		return -1, math.Inf(1)
+	}
+	if !o.req.UseBnB {
+		obj := make([]float64, len(sc.costs))
+		for j := range obj {
+			obj[j] = sc.costs[j] + lambda*sc.times[j].Seconds()
+		}
+		return miqp.SolveOneHot(nil, obj, sc.allow)
+	}
+	var idx []int
+	for j, ok := range sc.allow {
+		if ok {
+			idx = append(idx, j)
+		}
+	}
+	if len(idx) == 0 {
+		return -1, math.Inf(1)
+	}
+	n := len(idx)
+	q := make([][]float64, n)
+	pvec := make([]float64, n)
+	ones := make([]float64, n)
+	for r, j := range idx {
+		q[r] = make([]float64, n)
+		execCost := sc.costs[j] - pricing.LambdaInvocation - pricing.S3GetRequest - pricing.S3PutRequest
+		q[r][r] = execCost
+		pvec[r] = lambda*sc.times[j].Seconds() +
+			pricing.LambdaInvocation + pricing.S3GetRequest + pricing.S3PutRequest
+		ones[r] = 1
+	}
+	return solveOneHotQP(idx, q, pvec, ones)
+}
+
+// solveOneHotQP runs the constructed binary QP (Σx = 1) through
+// QCR + branch-and-bound and maps the winning row back to its block
+// index. Shared by the reference path and the scratch-reusing fast
+// path — the solver sees identical values either way.
+func solveOneHotQP(idx []int, q [][]float64, pvec, ones []float64) (int, float64) {
+	pr := &miqp.Problem{
+		N: len(idx), Q: q, P: pvec,
+		Eq: []miqp.LinConstraint{{A: ones, B: 1}},
+	}
+	sol, err := miqp.Solve(pr, miqp.Options{})
+	if err != nil || sol.Status != miqp.Optimal {
+		return -1, math.Inf(1)
+	}
+	for r, j := range idx {
+		if sol.X[r] > 0.5 {
+			return j, sol.Objective
+		}
+	}
+	return -1, math.Inf(1)
+}
+
+// solveForLambdaRef is the original solveForLambda: freshly allocated
+// DP tables and a selectBlockRef rescan for every (span, λ) pair.
+func (o *Optimizer) solveForLambdaRef(lambda float64) (dpResult, bool) {
+	S := len(o.segs)
+	K := o.req.MaxLambdas
+	if K > S {
+		K = S
+	}
+	const inf = math.MaxFloat64
+	best := make([][]float64, S+1)
+	prev := make([][]int, S+1)
+	choice := make([][]int, S+1)
+	for b := 0; b <= S; b++ {
+		best[b] = make([]float64, K+1)
+		prev[b] = make([]int, K+1)
+		choice[b] = make([]int, K+1)
+		for k := range best[b] {
+			best[b][k] = inf
+			prev[b][k] = -1
+		}
+	}
+	best[0][0] = 0
+	for b := 1; b <= S; b++ {
+		for a := 0; a < b; a++ {
+			sc := o.table[a][b]
+			if !sc.feasible {
+				continue
+			}
+			j, val := o.selectBlockRef(sc, lambda)
+			if j < 0 {
+				continue
+			}
+			for k := 1; k <= K; k++ {
+				if best[a][k-1] == inf {
+					continue
+				}
+				if cand := best[a][k-1] + val; cand < best[b][k] {
+					best[b][k] = cand
+					prev[b][k] = a
+					choice[b][k] = j
+				}
+			}
+		}
+	}
+	bestK, bestObj := -1, inf
+	for k := 1; k <= K; k++ {
+		if best[S][k] < bestObj {
+			bestObj, bestK = best[S][k], k
+		}
+	}
+	if bestK < 0 {
+		return dpResult{}, false
+	}
+	bounds := make([]int, bestK+1)
+	mems := make([]int, bestK)
+	b, k := S, bestK
+	for k > 0 {
+		a := prev[b][k]
+		bounds[k] = b
+		mems[k-1] = choice[b][k]
+		b, k = a, k-1
+	}
+	bounds[0] = 0
+	return dpResult{objective: bestObj, bounds: bounds, memIdx: mems}, true
+}

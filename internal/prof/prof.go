@@ -1,0 +1,60 @@
+// Package prof wires Go's runtime profilers behind two file-path flags
+// shared by the CLIs: a CPU profile captured for the process lifetime
+// and a heap profile written at shutdown. Profiles feed `go tool pprof`
+// when hunting planner hot spots (DESIGN.md §10).
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (when non-empty) and arranges a
+// heap profile at memPath (when non-empty). It returns a stop function
+// that must run exactly once before exit — typically via defer — to
+// flush both profiles. Empty paths make Start and its stop a no-op.
+func Start(cpuPath, memPath string) (func() error, error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+		cpuFile = f
+	}
+	stop := func() error {
+		var firstErr error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				firstErr = err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("prof: create mem profile: %w", err)
+				}
+				return firstErr
+			}
+			// Fold lazily-freed spans into the snapshot so the profile
+			// reflects live heap, matching `go test -memprofile`.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("prof: write mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	return stop, nil
+}
