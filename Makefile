@@ -7,9 +7,9 @@ GO ?= go
 # e.g. BENCHTIME=1s for statistically steadier baselines.
 BENCHTIME ?= 1x
 
-.PHONY: verify test race fmt vet build fuzz bench bench-diff cover
+.PHONY: verify test race fmt vet build staticcheck chaos fuzz bench bench-diff cover
 
-verify: fmt vet build race
+verify: fmt vet staticcheck build race
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -25,6 +25,21 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. Skips with a notice when the binary is
+# not on PATH (offline sandboxes); CI installs it and always runs it.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# Chaos smoke: the resilience ladder at a 60% base fault rate with 8×
+# correlated storms, under the race detector, so the hedge/breaker/
+# deadline/shed paths are exercised together on every push.
+chaos:
+	$(GO) test -race -run TestChaosStormSmoke ./internal/experiments/
 
 build:
 	$(GO) build ./...

@@ -311,6 +311,16 @@ func cmdServe(args []string) error {
 	full := fs.Bool("full", false, "print one line per request, not just the aggregates")
 	faultRate := fs.Float64("fault-rate", 0, "inject platform faults at this overall rate (0..1)")
 	retries := fs.Int("retries", 0, "max attempts per operation under faults (0 = default policy when faults are on)")
+	burstEvery := fs.Duration("burst-every", 0, "overlay correlated fault storms with this mean gap (0 = uncorrelated faults)")
+	burstLength := fs.Duration("burst-length", 0, "storm duration (0 = burst-every/4)")
+	burstFactor := fs.Float64("burst-factor", 0, "fault-rate multiplier while a storm is active (0 = 10x)")
+	deadline := fs.Duration("deadline", 0, "per-request completion deadline; exceeding it fails the request fast (0 = none)")
+	shed := fs.Bool("shed", false, "shed requests predicted to miss the deadline before spending on them (requires -deadline)")
+	tolerate := fs.Bool("tolerate", false, "record per-request failures as outcomes instead of aborting the trace")
+	hedge := fs.Duration("hedge", 0, "hedge partition invocations that outlive this delay (0 = no hedging)")
+	hedgePct := fs.Float64("hedge-pct", 0, "derive the hedge delay from this percentile of past attempt durations (0 = fixed -hedge delay)")
+	hedgeRate := fs.Float64("hedge-rate", 0, "cap on the fraction of invocations that may hedge (0 = 0.25)")
+	breakerN := fs.Int("breaker", 0, "trip a per-function circuit breaker after this many consecutive failures (0 = no breaker)")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON (load in ui.perfetto.dev) to this file")
 	spansOut := fs.String("spans", "", "write the full span-tree JSON dump to this file")
 	metricsOut := fs.String("metrics", "", "write a metrics snapshot JSON to this file")
@@ -330,12 +340,25 @@ func cmdServe(args []string) error {
 	opts := core.Options{}
 	subOpts := core.SubmitOptions{SLO: *slo, SkipCompute: !*real}
 	if *faultRate > 0 || *retries > 1 {
-		opts.Faults = faults.New(faults.Uniform(*faultRate, *seed))
+		fcfg := faults.Uniform(*faultRate, *seed)
+		fcfg.BurstEvery = *burstEvery
+		fcfg.BurstLength = *burstLength
+		fcfg.BurstFactor = *burstFactor
+		opts.Faults = faults.New(fcfg)
 		subOpts.Retry = coordinator.DefaultRetryPolicy()
 		subOpts.Retry.JitterSeed = *seed
 		if *retries > 0 {
 			subOpts.Retry.MaxAttempts = *retries
 		}
+	}
+	if *hedge > 0 || *hedgePct > 0 {
+		subOpts.Hedge = coordinator.HedgePolicy{
+			Percentile: *hedgePct, Delay: *hedge,
+			MaxRate: *hedgeRate, JitterSeed: *seed,
+		}
+	}
+	if *breakerN > 0 {
+		subOpts.Breaker = coordinator.BreakerPolicy{ConsecutiveFailures: *breakerN}
 	}
 	var tracer *obs.Tracer
 	if *traceOut != "" || *spansOut != "" {
@@ -376,7 +399,10 @@ func cmdServe(args []string) error {
 		Deployment: svc.Deployment(),
 		Sequential: *sequential,
 		Throttle:   serving.ThrottlePolicy{JitterSeed: *seed},
-		Metrics:    mx,
+		SLO: serving.SLOPolicy{
+			Deadline: *deadline, Shed: *shed, TolerateFailures: *tolerate,
+		},
+		Metrics: mx,
 	}, inputs, arrivals)
 	if err != nil {
 		return err

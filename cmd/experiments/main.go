@@ -224,6 +224,13 @@ func main() {
 			}
 			return r.Table(), nil
 		}},
+		{"resilience", func() (*experiments.Table, error) {
+			r, err := experiments.RunResilience()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
 	}
 
 	ran := 0

@@ -16,7 +16,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
+	"time"
 )
 
 // Kind identifies one injected fault type.
@@ -102,6 +104,17 @@ type Config struct {
 	// on top of the handler's own runtime (default 1.0: the invocation
 	// bills up to 2× its work before the platform gives up).
 	TimeoutHangFactor float64
+
+	// Correlated burst mode. When BurstEvery > 0 the injector overlays
+	// seeded fault storms on the simulated clock: storm windows of
+	// BurstLength recur with exponentially distributed gaps of mean
+	// BurstEvery, and while a storm is active every rate above is
+	// multiplied by BurstFactor (then renormalized). Operations carry
+	// their simulated time into the draw via InvokeFaultAt/StoreFaultAt
+	// or the injector clock (SetClock); time-less draws use offset 0.
+	BurstEvery  time.Duration
+	BurstLength time.Duration // default BurstEvery/4
+	BurstFactor float64       // default 10
 }
 
 // Uniform spreads one overall rate across every fault kind: each
@@ -132,13 +145,44 @@ func Uniform(rate float64, seed int64) Config {
 // (which never injects).
 type Injector struct {
 	mu     sync.Mutex
-	cfg    Config
+	cfg    Config // normalized base rates
+	burst  Config // boosted rates active inside a storm window
 	rng    *rand.Rand
 	counts [numKinds]int64
+	clock  func() time.Duration
+
+	// Storm schedule, generated lazily and append-only from its own
+	// seeded stream so the set of windows is independent of query order.
+	stormRng     *rand.Rand
+	storms       []stormWindow
+	coveredUntil time.Duration
 }
 
-// New builds an injector. Rates are clamped to [0, 1].
-func New(cfg Config) *Injector {
+type stormWindow struct{ start, end time.Duration }
+
+// maxStorms caps lazy schedule generation so a query at an absurd
+// simulated time cannot allocate unbounded windows; beyond the cap the
+// timeline is storm-free.
+const maxStorms = 4096
+
+// normalizeGroup scales a group of cumulative rates down proportionally
+// when their sum exceeds 1, preserving their relative weights.
+func normalizeGroup(ps ...*float64) {
+	var sum float64
+	for _, p := range ps {
+		sum += *p
+	}
+	if sum > 1 {
+		for _, p := range ps {
+			*p /= sum
+		}
+	}
+}
+
+// normalizeRates clamps every rate to [0, 1] and proportionally
+// renormalizes each cumulative group (invoke triple, get pair, put
+// pair) whose sum exceeds 1.
+func normalizeRates(cfg *Config) {
 	clamp := func(p *float64) {
 		if *p < 0 {
 			*p = 0
@@ -153,29 +197,161 @@ func New(cfg Config) *Injector {
 	} {
 		clamp(p)
 	}
+	normalizeGroup(&cfg.InvokeThrottle, &cfg.InvokeCrash, &cfg.InvokeTimeout)
+	normalizeGroup(&cfg.GetFail, &cfg.GetSlow)
+	normalizeGroup(&cfg.PutFail, &cfg.PutSlow)
+}
+
+// New builds an injector. Rates are clamped to [0, 1] and each
+// cumulative group is proportionally renormalized when its sum exceeds
+// 1, so the drawn distribution always matches the relative weights the
+// caller asked for.
+func New(cfg Config) *Injector {
+	normalizeRates(&cfg)
 	if cfg.SlowFactor <= 1 {
 		cfg.SlowFactor = 4
 	}
 	if cfg.TimeoutHangFactor <= 0 {
 		cfg.TimeoutHangFactor = 1
 	}
+	if cfg.BurstEvery < 0 {
+		cfg.BurstEvery = 0
+	}
+	if cfg.BurstEvery > 0 {
+		if cfg.BurstLength <= 0 {
+			cfg.BurstLength = cfg.BurstEvery / 4
+		}
+		if cfg.BurstFactor <= 1 {
+			cfg.BurstFactor = 10
+		}
+	}
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 1
 	}
-	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	in := &Injector{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	if cfg.BurstEvery > 0 {
+		boost := cfg
+		for _, p := range []*float64{
+			&boost.InvokeThrottle, &boost.InvokeCrash, &boost.InvokeTimeout,
+			&boost.GetFail, &boost.GetSlow, &boost.PutFail, &boost.PutSlow,
+		} {
+			*p *= cfg.BurstFactor
+		}
+		// Renormalize each group proportionally (no per-rate clamp first:
+		// clamping would flatten the caller's relative weights).
+		normalizeGroup(&boost.InvokeThrottle, &boost.InvokeCrash, &boost.InvokeTimeout)
+		normalizeGroup(&boost.GetFail, &boost.GetSlow)
+		normalizeGroup(&boost.PutFail, &boost.PutSlow)
+		in.burst = boost
+		// The storm schedule has its own derived stream so per-operation
+		// draw counts never perturb window placement.
+		in.stormRng = rand.New(rand.NewSource(seed ^ 0x5DEECE66D))
+	}
+	return in
+}
+
+// Effective returns the configuration the injector actually draws from
+// outside storm windows: rates clamped and proportionally normalized,
+// defaults filled in. A nil injector returns the zero Config.
+func (in *Injector) Effective() Config {
+	if in == nil {
+		return Config{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.cfg
+}
+
+// SetClock installs a simulated-time source consulted by the time-less
+// InvokeFault/StoreFault paths when burst mode is active. The callback
+// must not call back into the component invoking the fault draw while
+// that component holds its own lock (pass explicit times via
+// InvokeFaultAt/StoreFaultAt in that case).
+func (in *Injector) SetClock(now func() time.Duration) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.clock = now
+}
+
+// InStorm reports whether simulated time now falls inside a burst
+// window. Deterministic for a given seed and configuration.
+func (in *Injector) InStorm(now time.Duration) bool {
+	if in == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.inStormLocked(now)
+}
+
+func (in *Injector) inStormLocked(now time.Duration) bool {
+	if in.stormRng == nil || now < 0 {
+		return false
+	}
+	for in.coveredUntil <= now && len(in.storms) < maxStorms {
+		gap := time.Duration(in.stormRng.ExpFloat64() * float64(in.cfg.BurstEvery))
+		if gap < time.Millisecond {
+			gap = time.Millisecond
+		}
+		start := in.coveredUntil + gap
+		end := start + in.cfg.BurstLength
+		if start < in.coveredUntil || end < start { // overflow guard
+			in.coveredUntil = 1<<63 - 1
+			break
+		}
+		in.storms = append(in.storms, stormWindow{start, end})
+		in.coveredUntil = end
+	}
+	i := sort.Search(len(in.storms), func(i int) bool { return in.storms[i].end > now })
+	return i < len(in.storms) && in.storms[i].start <= now
+}
+
+// activeLocked picks the rate set in force at simulated time now.
+func (in *Injector) activeLocked(now time.Duration) *Config {
+	if in.stormRng != nil && in.inStormLocked(now) {
+		return &in.burst
+	}
+	return &in.cfg
+}
+
+// clockNow reads the installed clock without holding in.mu, so the
+// callback may freely take other component locks.
+func (in *Injector) clockNow() time.Duration {
+	in.mu.Lock()
+	clock := in.clock
+	in.mu.Unlock()
+	if clock == nil {
+		return 0
+	}
+	return clock()
 }
 
 // InvokeFault decides the fate of one invocation of target. When it
 // returns Timeout, hang is the extra lifetime factor to add on top of
-// the handler's runtime.
+// the handler's runtime. In burst mode it consults the injector clock
+// (SetClock) for the current simulated time; callers that already know
+// the time should use InvokeFaultAt.
 func (in *Injector) InvokeFault(target string) (k Kind, hang float64) {
+	if in == nil {
+		return None, 0
+	}
+	return in.InvokeFaultAt(target, in.clockNow())
+}
+
+// InvokeFaultAt is InvokeFault with an explicit simulated time, for
+// callers that hold their own locks while drawing (the lambda platform
+// passes its clocked-mode offset directly).
+func (in *Injector) InvokeFaultAt(target string, now time.Duration) (k Kind, hang float64) {
 	if in == nil {
 		return None, 0
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	c := &in.cfg
+	c := in.activeLocked(now)
 	if c.InvokeThrottle == 0 && c.InvokeCrash == 0 && c.InvokeTimeout == 0 {
 		return None, 0
 	}
@@ -197,17 +373,27 @@ func (in *Injector) InvokeFault(target string) (k Kind, hang float64) {
 
 // StoreFault decides the fate of one store operation; op is "get" or
 // "put". When it returns Slow, factor is the transfer-time multiplier.
+// In burst mode it consults the injector clock for the simulated time.
 func (in *Injector) StoreFault(op, key string) (k Kind, factor float64) {
+	if in == nil {
+		return None, 1
+	}
+	return in.StoreFaultAt(op, key, in.clockNow())
+}
+
+// StoreFaultAt is StoreFault with an explicit simulated time.
+func (in *Injector) StoreFaultAt(op, key string, now time.Duration) (k Kind, factor float64) {
 	if in == nil {
 		return None, 1
 	}
 	in.mu.Lock()
 	defer in.mu.Unlock()
+	c := in.activeLocked(now)
 	var fail, slow float64
 	if op == "get" {
-		fail, slow = in.cfg.GetFail, in.cfg.GetSlow
+		fail, slow = c.GetFail, c.GetSlow
 	} else {
-		fail, slow = in.cfg.PutFail, in.cfg.PutSlow
+		fail, slow = c.PutFail, c.PutSlow
 	}
 	if fail == 0 && slow == 0 {
 		return None, 1
@@ -218,7 +404,7 @@ func (in *Injector) StoreFault(op, key string) (k Kind, factor float64) {
 		k = Unavailable
 	case u < fail+slow:
 		k = Slow
-		factor = in.cfg.SlowFactor
+		factor = c.SlowFactor
 	default:
 		return None, 1
 	}

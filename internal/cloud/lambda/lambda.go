@@ -271,7 +271,9 @@ func (pl *Platform) Invoke(name string, payload []byte, opts InvokeOptions) (*Re
 	mx := pl.mx
 	// An injected throttle (429) rejects the invocation before any
 	// container is assigned: warm state is untouched and nothing bills.
-	fault, hang := inj.InvokeFault(name)
+	// The clocked-mode offset is passed explicitly — pl.mu is held here,
+	// so the injector must not call back into pl.Now().
+	fault, hang := inj.InvokeFaultAt(name, pl.now)
 	if fault == faults.Throttle {
 		pl.mu.Unlock()
 		mx.Inc(`lambda_faults_total{kind="throttle"}`, 1)

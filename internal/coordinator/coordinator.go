@@ -13,6 +13,7 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
+	"time"
 
 	"ampsinf/internal/cloud/lambda"
 	"ampsinf/internal/cloud/stage"
@@ -50,6 +51,19 @@ type Config struct {
 	// exponential backoff. The zero value disables retries: the job
 	// aborts on the first error.
 	Retry RetryPolicy
+	// Deadline is the default per-job completion budget: once a job's
+	// committed simulated time cannot cover another attempt, operations
+	// fail fast with a DeadlineError instead of retrying blind. 0
+	// disables the gate; RunOptions.Deadline overrides per job.
+	Deadline time.Duration
+	// Hedge launches speculative duplicate invocations of slow
+	// partitions and takes the first success (see HedgePolicy). The
+	// zero value disables hedging.
+	Hedge HedgePolicy
+	// Breaker short-circuits invocations of partition functions that
+	// keep failing (see BreakerPolicy). The zero value disables
+	// breakers.
+	Breaker BreakerPolicy
 	// Tracer, when set, collects every job's span tree with exact
 	// per-span cost attribution (see internal/obs). Traced jobs are
 	// serialized so concurrent jobs cannot cross-attribute charges; a
@@ -69,9 +83,15 @@ type Deployment struct {
 	mu     sync.Mutex
 	jobSeq int
 
-	// Seeded jitter stream for retry backoff (see RetryPolicy).
-	retryMu  sync.Mutex
-	retryRng *rand.Rand
+	// Seeded jitter stream for retry backoff (see RetryPolicy), plus —
+	// under the same lock — the hedge-delay stream and the
+	// deployment-wide invocation/hedge counters behind the hedge rate
+	// cap.
+	retryMu      sync.Mutex
+	retryRng     *rand.Rand
+	hedgeRng     *rand.Rand
+	invokesTotal int64
+	hedgesTotal  int64
 }
 
 type partition struct {
@@ -88,6 +108,12 @@ type partition struct {
 	weights nn.Weights
 	blob    []byte // float32 container, or quantized when qbits > 0
 	qbits   int
+
+	// Resilience state, guarded by the deployment's retryMu: the
+	// success-latency history the hedge delay derives from, and the
+	// function's circuit breaker (nil when breakers are disabled).
+	hist latencyRing
+	brk  *breaker
 }
 
 type invokePayload struct {
@@ -133,6 +159,18 @@ func Deploy(cfg Config, model *nn.Model, weights nn.Weights, plan *optimizer.Pla
 	if cfg.QuantizeBits != 0 && cfg.QuantizeBits != 8 && cfg.QuantizeBits != 4 {
 		return nil, fmt.Errorf("coordinator: unsupported quantization width %d", cfg.QuantizeBits)
 	}
+	if err := cfg.Retry.Validate(); err != nil {
+		return nil, fmt.Errorf("coordinator: %w", err)
+	}
+	if err := cfg.Hedge.Validate(); err != nil {
+		return nil, fmt.Errorf("coordinator: %w", err)
+	}
+	if err := cfg.Breaker.Validate(); err != nil {
+		return nil, fmt.Errorf("coordinator: %w", err)
+	}
+	if cfg.Deadline < 0 {
+		return nil, fmt.Errorf("coordinator: negative deadline %v", cfg.Deadline)
+	}
 	bounds := plan.Bounds()
 	blobs, err := packageWeights(model, weights, bounds, cfg.QuantizeBits)
 	if err != nil {
@@ -162,6 +200,9 @@ func Deploy(cfg Config, model *nn.Model, weights nn.Weights, plan *optimizer.Pla
 			weightsB: int64(len(blobs[i])), // what is shipped and loaded
 			blob:     blobs[i],
 			qbits:    cfg.QuantizeBits,
+		}
+		if cfg.Breaker.enabled() {
+			p.brk = &breaker{pol: cfg.Breaker}
 		}
 		pkgBytes := int64(len(blobs[i])) + int64(len(desc)) + int64(1<<20) // weights + description + handler
 		err = cfg.Platform.CreateFunction(lambda.FunctionConfig{

@@ -1,0 +1,36 @@
+package coordinator
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzHedgeDelay drives the pure hedge-delay computation with arbitrary
+// bases (including negatives and values near overflow) and jitter draws
+// (including NaN-adjacent extremes): the result must always be
+// non-negative, zero iff the base is non-positive, at least the base
+// otherwise, and within a quarter-base of it absent overflow.
+func FuzzHedgeDelay(f *testing.F) {
+	f.Add(int64(0), 0.5)
+	f.Add(int64(time.Millisecond), 0.0)
+	f.Add(int64(time.Second), 0.999999)
+	f.Add(int64(-time.Hour), 0.25)
+	f.Add(int64(1<<62), 1.5)
+	f.Add(int64(1), -7.25)
+	f.Fuzz(func(t *testing.T, baseNs int64, u float64) {
+		base := time.Duration(baseNs)
+		got := hedgeDelayFrom(base, u)
+		if base <= 0 {
+			if got != 0 {
+				t.Fatalf("hedgeDelayFrom(%v, %v) = %v, want 0 for non-positive base", base, u, got)
+			}
+			return
+		}
+		if got < base {
+			t.Fatalf("hedgeDelayFrom(%v, %v) = %v undershoots base", base, u, got)
+		}
+		if max := base + base/4; max > base && got > max {
+			t.Fatalf("hedgeDelayFrom(%v, %v) = %v overshoots base+base/4 = %v", base, u, got, max)
+		}
+	})
+}

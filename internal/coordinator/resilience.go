@@ -1,0 +1,478 @@
+package coordinator
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// ErrDeadlineExceeded marks job failures caused by the per-job deadline:
+// the remaining budget could not cover another attempt, so the operation
+// failed fast instead of retrying blind. Test with errors.Is or
+// IsDeadlineExceeded.
+var ErrDeadlineExceeded = errors.New("deadline exceeded")
+
+// DeadlineError is the typed error a deadline-bounded operation returns
+// when its remaining budget cannot cover another attempt. It wraps both
+// ErrDeadlineExceeded and the fault that triggered the final decision
+// (nil when the deadline was already spent before the first attempt).
+type DeadlineError struct {
+	// Op names the operation that gave up ("invoke part-2", "put input").
+	Op string
+	// Deadline is the job's budget; Elapsed the simulated time already
+	// committed when the decision was made.
+	Deadline time.Duration
+	Elapsed  time.Duration
+	// Cause is the transient fault that would otherwise have been
+	// retried, if any.
+	Cause error
+}
+
+func (e *DeadlineError) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("coordinator: %s: deadline %v exceeded at %v (last fault: %v)", e.Op, e.Deadline, e.Elapsed, e.Cause)
+	}
+	return fmt.Sprintf("coordinator: %s: deadline %v exceeded at %v", e.Op, e.Deadline, e.Elapsed)
+}
+
+func (e *DeadlineError) Unwrap() []error {
+	if e.Cause != nil {
+		return []error{ErrDeadlineExceeded, e.Cause}
+	}
+	return []error{ErrDeadlineExceeded}
+}
+
+// IsDeadlineExceeded reports whether err (anywhere in its chain) is a
+// deadline-exceeded failure.
+func IsDeadlineExceeded(err error) bool { return errors.Is(err, ErrDeadlineExceeded) }
+
+// Validate rejects nonsensical retry policies at deployment time, so a
+// mistake like Multiplier 0.5 surfaces as a clear error instead of being
+// silently replaced with the default inside backoff().
+func (p RetryPolicy) Validate() error {
+	if p.MaxAttempts < 0 {
+		return fmt.Errorf("retry policy: MaxAttempts %d is negative", p.MaxAttempts)
+	}
+	if p.JobRetryBudget < 0 {
+		return fmt.Errorf("retry policy: JobRetryBudget %d is negative", p.JobRetryBudget)
+	}
+	if p.BaseBackoff < 0 {
+		return fmt.Errorf("retry policy: BaseBackoff %v is negative", p.BaseBackoff)
+	}
+	if p.MaxBackoff < 0 {
+		return fmt.Errorf("retry policy: MaxBackoff %v is negative", p.MaxBackoff)
+	}
+	if p.Multiplier != 0 && p.Multiplier < 1 {
+		return fmt.Errorf("retry policy: Multiplier %v < 1 would shrink backoffs", p.Multiplier)
+	}
+	if p.BaseBackoff > 0 && p.MaxBackoff > 0 && p.MaxBackoff < p.BaseBackoff {
+		return fmt.Errorf("retry policy: MaxBackoff %v < BaseBackoff %v", p.MaxBackoff, p.BaseBackoff)
+	}
+	return nil
+}
+
+// HedgePolicy launches a speculative duplicate of a slow partition
+// invocation after a hedge delay and takes the first success, billing
+// the cancelled loser only up to the winner's finish. The zero value
+// disables hedging.
+type HedgePolicy struct {
+	// Percentile derives the hedge delay from past successful attempt
+	// durations of the same partition function (e.g. 95: hedge once the
+	// attempt outlives the p95 of its history). 0 disables the
+	// percentile path.
+	Percentile float64
+	// Delay is a fixed hedge delay, used until a partition has
+	// MinSamples of history (and exclusively when Percentile is 0).
+	Delay time.Duration
+	// MinSamples is how much history the percentile path needs before
+	// it takes over from Delay (default 3).
+	MinSamples int
+	// MaxRate caps the fraction of primary invocations that may hedge,
+	// bounding cost inflation (default 0.25).
+	MaxRate float64
+	// JitterSeed seeds the deterministic hedge-delay jitter stream (0
+	// behaves as seed 1).
+	JitterSeed int64
+}
+
+func (p HedgePolicy) enabled() bool { return p.Percentile > 0 || p.Delay > 0 }
+
+func (p HedgePolicy) minSamples() int {
+	if p.MinSamples > 0 {
+		return p.MinSamples
+	}
+	return 3
+}
+
+func (p HedgePolicy) maxRate() float64 {
+	if p.MaxRate > 0 {
+		return p.MaxRate
+	}
+	return 0.25
+}
+
+// Validate rejects nonsensical hedge policies at deployment time.
+func (p HedgePolicy) Validate() error {
+	if p.Percentile < 0 || p.Percentile > 100 {
+		return fmt.Errorf("hedge policy: Percentile %v outside [0, 100]", p.Percentile)
+	}
+	if p.Delay < 0 {
+		return fmt.Errorf("hedge policy: Delay %v is negative", p.Delay)
+	}
+	if p.MinSamples < 0 {
+		return fmt.Errorf("hedge policy: MinSamples %d is negative", p.MinSamples)
+	}
+	if p.MaxRate < 0 || p.MaxRate > 1 {
+		return fmt.Errorf("hedge policy: MaxRate %v outside [0, 1]", p.MaxRate)
+	}
+	return nil
+}
+
+// hedgeDelayFrom computes the jittered hedge delay from a base delay
+// and one uniform draw u in [0, 1): base plus up to a quarter-base of
+// jitter, so duplicate storms from many identical pipelines decorrelate
+// while the delay never drops below the percentile estimate. Pure so it
+// can be fuzzed.
+func hedgeDelayFrom(base time.Duration, u float64) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if u < 0 {
+		u = 0
+	} else if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	j := time.Duration(u * float64(base) / 4)
+	if j < 0 || base+j < base { // overflow guard
+		return base
+	}
+	return base + j
+}
+
+// latencyHistorySize bounds the per-partition ring of successful
+// attempt durations the percentile hedge delay is derived from.
+const latencyHistorySize = 64
+
+// latencyRing is a fixed-size ring of recent successful attempt
+// durations for one partition function. Callers hold the deployment's
+// retryMu.
+type latencyRing struct {
+	buf  [latencyHistorySize]time.Duration
+	n    int // total recorded (may exceed len(buf))
+	next int
+}
+
+func (r *latencyRing) add(d time.Duration) {
+	r.buf[r.next] = d
+	r.next = (r.next + 1) % len(r.buf)
+	r.n++
+}
+
+func (r *latencyRing) size() int {
+	if r.n < len(r.buf) {
+		return r.n
+	}
+	return len(r.buf)
+}
+
+// percentile returns the nearest-rank p-th percentile of the recorded
+// history (0 when empty).
+func (r *latencyRing) percentile(p float64) time.Duration {
+	n := r.size()
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, n)
+	copy(sorted, r.buf[:n])
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(math.Ceil(p/100*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return sorted[idx]
+}
+
+// BreakerPolicy configures the per-partition-function circuit breaker:
+// closed → open on consecutive failures or a failure rate over a
+// sliding simulated-time window, open → half-open after a cool-down,
+// half-open → closed after successful probes. While open, invocations
+// of the function are short-circuited without touching the platform.
+// The zero value disables breakers.
+type BreakerPolicy struct {
+	// ConsecutiveFailures trips the breaker after this many failures in
+	// a row (0 disables the consecutive trigger).
+	ConsecutiveFailures int
+	// FailureRate trips the breaker when the failure fraction over
+	// Window reaches this value with at least MinSamples outcomes (0
+	// disables the rate trigger).
+	FailureRate float64
+	// MinSamples is the minimum outcomes in the window before the rate
+	// trigger may fire (default 5).
+	MinSamples int
+	// Window is the sliding simulated-time window for the rate trigger
+	// (default 30 s).
+	Window time.Duration
+	// OpenFor is how long an open breaker short-circuits before probing
+	// (default 5 s).
+	OpenFor time.Duration
+	// HalfOpenProbes is how many consecutive successful probes close a
+	// half-open breaker (default 1).
+	HalfOpenProbes int
+}
+
+func (p BreakerPolicy) enabled() bool { return p.ConsecutiveFailures > 0 || p.FailureRate > 0 }
+
+func (p BreakerPolicy) minSamples() int {
+	if p.MinSamples > 0 {
+		return p.MinSamples
+	}
+	return 5
+}
+
+func (p BreakerPolicy) window() time.Duration {
+	if p.Window > 0 {
+		return p.Window
+	}
+	return 30 * time.Second
+}
+
+func (p BreakerPolicy) openFor() time.Duration {
+	if p.OpenFor > 0 {
+		return p.OpenFor
+	}
+	return 5 * time.Second
+}
+
+func (p BreakerPolicy) probes() int {
+	if p.HalfOpenProbes > 0 {
+		return p.HalfOpenProbes
+	}
+	return 1
+}
+
+// Validate rejects nonsensical breaker policies at deployment time.
+func (p BreakerPolicy) Validate() error {
+	if p.ConsecutiveFailures < 0 {
+		return fmt.Errorf("breaker policy: ConsecutiveFailures %d is negative", p.ConsecutiveFailures)
+	}
+	if p.FailureRate < 0 || p.FailureRate > 1 {
+		return fmt.Errorf("breaker policy: FailureRate %v outside [0, 1]", p.FailureRate)
+	}
+	if p.MinSamples < 0 {
+		return fmt.Errorf("breaker policy: MinSamples %d is negative", p.MinSamples)
+	}
+	if p.Window < 0 {
+		return fmt.Errorf("breaker policy: Window %v is negative", p.Window)
+	}
+	if p.OpenFor < 0 {
+		return fmt.Errorf("breaker policy: OpenFor %v is negative", p.OpenFor)
+	}
+	if p.HalfOpenProbes < 0 {
+		return fmt.Errorf("breaker policy: HalfOpenProbes %d is negative", p.HalfOpenProbes)
+	}
+	return nil
+}
+
+// BreakerOpenError is returned when an invocation is short-circuited by
+// an open circuit breaker. It is retryable — backing off gives the
+// breaker time to reach half-open — and nothing was billed.
+type BreakerOpenError struct {
+	Function string
+	// Until is the simulated instant the breaker starts probing.
+	Until time.Duration
+}
+
+func (e *BreakerOpenError) Error() string {
+	return fmt.Sprintf("coordinator: breaker open for %q until %v", e.Function, e.Until)
+}
+
+// IsBreakerOpen reports whether err (anywhere in its chain) is a
+// breaker short-circuit.
+func IsBreakerOpen(err error) bool {
+	var be *BreakerOpenError
+	return errors.As(err, &be)
+}
+
+// breaker state machine. Callers hold the deployment's retryMu; time is
+// the deployment's best simulated-clock estimate (platform clock plus
+// intra-job elapsed), monotone within a job and across a clocked
+// serving run.
+type breaker struct {
+	pol BreakerPolicy
+
+	state       breakerState
+	consecFails int
+	openedAt    time.Duration
+	probesLeft  int
+	trips       int
+
+	// Sliding window of recent outcomes for the rate trigger.
+	events []breakerEvent
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+type breakerEvent struct {
+	at time.Duration
+	ok bool
+}
+
+// allow reports whether an invocation may proceed at simulated time
+// now; when it returns false, until is when probing starts.
+func (b *breaker) allow(now time.Duration) (ok bool, until time.Duration) {
+	switch b.state {
+	case breakerOpen:
+		until = b.openedAt + b.pol.openFor()
+		if now < until {
+			return false, until
+		}
+		b.state = breakerHalfOpen
+		// The invocation being allowed right now is the first probe.
+		b.probesLeft = b.pol.probes() - 1
+		return true, 0
+	case breakerHalfOpen:
+		if b.probesLeft <= 0 {
+			return false, b.openedAt + b.pol.openFor()
+		}
+		b.probesLeft--
+		return true, 0
+	}
+	return true, 0
+}
+
+// record folds one real invocation outcome into the breaker.
+func (b *breaker) record(now time.Duration, succeeded bool) {
+	b.events = append(b.events, breakerEvent{at: now, ok: succeeded})
+	b.pruneWindow(now)
+	if succeeded {
+		b.consecFails = 0
+		if b.state == breakerHalfOpen {
+			// Probe succeeded; the half-open budget drains via allow(), so
+			// reaching here with no probes left means every probe passed.
+			if b.probesLeft == 0 {
+				b.state = breakerClosed
+			}
+		}
+		return
+	}
+	b.consecFails++
+	if b.state == breakerHalfOpen {
+		// A failed probe re-opens immediately.
+		b.trip(now)
+		return
+	}
+	if b.state != breakerClosed {
+		return
+	}
+	if b.pol.ConsecutiveFailures > 0 && b.consecFails >= b.pol.ConsecutiveFailures {
+		b.trip(now)
+		return
+	}
+	if b.pol.FailureRate > 0 && len(b.events) >= b.pol.minSamples() {
+		fails := 0
+		for _, e := range b.events {
+			if !e.ok {
+				fails++
+			}
+		}
+		if float64(fails)/float64(len(b.events)) >= b.pol.FailureRate {
+			b.trip(now)
+		}
+	}
+}
+
+func (b *breaker) trip(now time.Duration) {
+	b.state = breakerOpen
+	b.openedAt = now
+	b.trips++
+	b.events = b.events[:0]
+}
+
+func (b *breaker) pruneWindow(now time.Duration) {
+	cut := now - b.pol.window()
+	i := 0
+	for i < len(b.events) && b.events[i].at < cut {
+		i++
+	}
+	if i > 0 {
+		b.events = append(b.events[:0], b.events[i:]...)
+	}
+}
+
+// jobState threads one job's resilience context — retry budget,
+// deadline, and the serial-chain elapsed-time estimate — through every
+// operation. In eager mode elapsed is the sequential-chain sum, a
+// conservative overestimate of the overlapped schedule: the deadline
+// gate may fail a job slightly early, never late.
+type jobState struct {
+	budget   *jobBudget
+	deadline time.Duration
+	elapsed  time.Duration
+}
+
+func (st *jobState) deadlined() bool { return st.deadline > 0 }
+
+// remaining is the budget left after the committed elapsed time.
+func (st *jobState) remaining() time.Duration { return st.deadline - st.elapsed }
+
+func (d *Deployment) newJobState(deadline time.Duration) *jobState {
+	if deadline == 0 {
+		deadline = d.cfg.Deadline
+	}
+	if deadline < 0 {
+		deadline = 0
+	}
+	return &jobState{budget: d.newJobBudget(), deadline: deadline}
+}
+
+// hedgeDelay derives the partition's current hedge delay: the
+// percentile of its success history once MinSamples have accumulated,
+// the fixed fallback before that, jittered from the seeded hedge
+// stream. Returns 0 when no delay is available (hedging skipped).
+func (d *Deployment) hedgeDelay(p *partition) time.Duration {
+	pol := d.cfg.Hedge
+	d.retryMu.Lock()
+	defer d.retryMu.Unlock()
+	base := pol.Delay
+	if pol.Percentile > 0 && p.hist.size() >= pol.minSamples() {
+		if hp := p.hist.percentile(pol.Percentile); hp > 0 {
+			base = hp
+		}
+	}
+	if base <= 0 {
+		return 0
+	}
+	u := d.hedgeRng.Float64()
+	return hedgeDelayFrom(base, u)
+}
+
+// hedgeAllowed enforces the deployment-wide hedge rate cap. Called with
+// retryMu held; the counters cover every primary attempt vs. every
+// hedge launched.
+func (d *Deployment) hedgeAllowedLocked() bool {
+	if d.invokesTotal == 0 {
+		return true
+	}
+	return float64(d.hedgesTotal) < d.cfg.Hedge.maxRate()*float64(d.invokesTotal)
+}

@@ -90,14 +90,35 @@ func (d *Deployment) backoff(n int) time.Duration {
 }
 
 // retryStep records one failed attempt: what executed (nil when the
-// attempt was rejected before running, e.g. a throttle or failed PUT),
-// the fault that felled it, the backoff waited before the next attempt,
-// and the exact charges the attempt billed.
+// attempt was rejected before running, e.g. a throttle, failed PUT, or
+// breaker short-circuit), the fault that felled it, the backoff waited
+// before the next attempt, and the exact charges the attempt billed. A
+// non-nil hedge describes the speculative duplicate that shadowed this
+// failed attempt (both lost).
 type retryStep struct {
 	res     *lambda.Result
 	fault   string
 	backoff time.Duration
 	bucket  *obs.CostBucket
+	hedge   *hedgeRec
+}
+
+// hedgeRec describes one side of a hedged invocation pair that did not
+// win: either the speculative duplicate (cancelled or failed), or —
+// when the hedge won — the cancelled primary.
+type hedgeRec struct {
+	// res is the shadow invocation's platform result (nil when it was
+	// rejected at dispatch, e.g. an injected throttle).
+	res *lambda.Result
+	// delay is the offset from the attempt's dispatch to the shadow's
+	// dispatch: the jittered hedge delay for a speculative duplicate, 0
+	// for a cancelled primary.
+	delay time.Duration
+	// billed is the settled billed duration: cancellation bills a loser
+	// only up to the winner's finish.
+	billed time.Duration
+	fault  string // the shadow's own fault, or "cancelled"
+	bucket *obs.CostBucket
 }
 
 // retryInfo accumulates what one operation's retries cost.
@@ -107,6 +128,18 @@ type retryInfo struct {
 	backoff  time.Duration
 	// wasted is the simulated time failed attempts spent executing.
 	wasted time.Duration
+
+	// Hedging record: speculative duplicates launched/won for this
+	// operation, the serial time a winning hedge added in front of the
+	// winner's work (its delay + dispatch), and the execution spend on
+	// cancelled/failed shadows.
+	hedges        int
+	hedgeWins     int
+	hedgeExtra    time.Duration
+	wastedCost    float64
+	hedgeWon      bool      // the returned result came from the hedge
+	finalHedge    *hedgeRec // the final attempt's losing shadow, if any
+	shortCircuits int       // attempts consumed by an open breaker
 
 	// Trace material: the failed attempts in order, the successful
 	// attempt's charges, and the storage-held-through-retries charge.
@@ -118,10 +151,11 @@ type retryInfo struct {
 func (ri retryInfo) retries() int { return ri.attempts - 1 }
 
 // delay is the extra wall-clock the retries added in front of the
-// successful attempt: failed execution time, backoff waits, and one
-// dispatch per re-invocation.
+// successful attempt's work: failed execution time, backoff waits, one
+// dispatch per re-invocation, and — when the hedge won — the hedge
+// delay plus its dispatch.
 func (ri retryInfo) delay() time.Duration {
-	return ri.wasted + ri.backoff + time.Duration(ri.retries())*invokeDispatchLatency
+	return ri.wasted + ri.backoff + time.Duration(ri.retries())*invokeDispatchLatency + ri.hedgeExtra
 }
 
 // jobBudget tracks a job-wide retry allowance.
@@ -146,41 +180,170 @@ func (b *jobBudget) take() bool {
 	return true
 }
 
-// invokeWithRetry runs one partition invocation under the retry
-// policy. Failed-but-executed attempts are billed — in eager
-// (deferred-billing) mode their execution is settled immediately at
-// the attempt's own duration, because a crashed or timed-out container
-// never participates in the overlapped schedule. Intermediates held in
-// S3 during failed attempts and backoff waits are also charged.
-func (d *Deployment) invokeWithRetry(fnName string, payload []byte, eager bool, heldBytes int64, budget *jobBudget) (*lambda.Result, retryInfo, error) {
+// retryGate decides, after a failed attempt, whether the operation
+// retries or stops. On stop it returns the final error; on retry it
+// draws the backoff onto ri/step. opDelay is the serial time the
+// operation has already committed, redispatch the extra latency the
+// next attempt would pay up front — together with the drawn backoff
+// they must still fit in the job's deadline, or the operation fails
+// fast with a typed DeadlineError instead of retrying blind.
+func (d *Deployment) retryGate(ri *retryInfo, step *retryStep, st *jobState, err error, op string, retryable bool, opDelay, redispatch time.Duration) (stop bool, ferr error) {
+	if !d.cfg.Retry.enabled() || !retryable {
+		return true, err
+	}
+	if ri.attempts >= d.cfg.Retry.MaxAttempts {
+		return true, fmt.Errorf("gave up after %d attempts: %w", ri.attempts, err)
+	}
+	if !st.budget.take() {
+		return true, fmt.Errorf("job retry budget exhausted after %d attempts: %w", ri.attempts, err)
+	}
+	bo := d.backoff(ri.attempts)
+	if st.deadlined() && st.elapsed+opDelay+bo+redispatch >= st.deadline {
+		return true, &DeadlineError{Op: op, Deadline: st.deadline, Elapsed: st.elapsed + opDelay, Cause: err}
+	}
+	ri.backoff += bo
+	step.backoff = bo
+	return false, nil
+}
+
+// breakerNow estimates the current simulated instant for breaker
+// decisions: the platform clock (advancing in clocked serving mode)
+// plus the job's committed serial time.
+func (d *Deployment) breakerNow(st *jobState, ri *retryInfo) time.Duration {
+	return d.cfg.Platform.Now() + st.elapsed + ri.delay()
+}
+
+// invokeWithRetry runs one partition invocation under the resilience
+// policies. Failed-but-executed attempts are billed — under deferred
+// billing (eager mode, or whenever hedging is on) their execution is
+// settled immediately at the attempt's own duration, because a crashed
+// or timed-out container never participates in the overlapped
+// schedule. Intermediates held in S3 during failed attempts and
+// backoff waits are also charged. With hedging enabled, an attempt
+// that outlives the partition's hedge delay is shadowed by a
+// speculative duplicate; the first success wins and the loser is
+// cancelled, billed only up to the winner's finish. An open circuit
+// breaker short-circuits attempts without touching the platform.
+func (d *Deployment) invokeWithRetry(p *partition, payload []byte, eager bool, heldBytes int64, st *jobState) (*lambda.Result, retryInfo, error) {
 	tr := d.cfg.Tracer
+	fnName := p.fnName
+	hedging := d.cfg.Hedge.enabled()
+	deferred := eager || hedging
+	op := "invoke " + fnName
 	var ri retryInfo
+	if st.deadlined() && st.elapsed >= st.deadline {
+		return nil, ri, &DeadlineError{Op: op, Deadline: st.deadline, Elapsed: st.elapsed}
+	}
 	for {
+		// Circuit-breaker gate: an open breaker consumes the attempt
+		// without invoking (nothing billed); backing off gives it time to
+		// reach half-open.
+		if p.brk != nil {
+			bnow := d.breakerNow(st, &ri)
+			d.retryMu.Lock()
+			allowed, until := p.brk.allow(bnow)
+			d.retryMu.Unlock()
+			if !allowed {
+				ri.attempts++
+				ri.shortCircuits++
+				ri.faults = append(ri.faults, "breaker-open")
+				step := retryStep{fault: "breaker-open"}
+				err := &BreakerOpenError{Function: fnName, Until: until}
+				stop, ferr := d.retryGate(&ri, &step, st, err, op, true, ri.delay(), invokeDispatchLatency)
+				ri.steps = append(ri.steps, step)
+				if stop {
+					return nil, ri, ferr
+				}
+				continue
+			}
+		}
 		ri.attempts++
+		if hedging {
+			d.retryMu.Lock()
+			d.invokesTotal++
+			d.retryMu.Unlock()
+		}
 		bucket := tr.NewBucket()
 		prev := tr.SetSink(bucket)
-		res, err := d.cfg.Platform.Invoke(fnName, payload, lambda.InvokeOptions{DeferBilling: eager})
+		res, err := d.cfg.Platform.Invoke(fnName, payload, lambda.InvokeOptions{DeferBilling: deferred})
+		tr.SetSink(prev)
+
+		// Hedge decision: only an attempt that actually executed has a
+		// timeline to outlive the hedge delay (a throttle rejects at
+		// dispatch, before any timer could fire).
+		var hres *lambda.Result
+		var herr error
+		var hbucket *obs.CostBucket
+		var hdelay time.Duration
+		hedged := false
+		if hedging && res != nil {
+			hdelay = d.hedgeDelay(p)
+			if hdelay > 0 && res.Duration > hdelay && d.takeHedgeSlot() {
+				hedged = true
+				ri.hedges++
+				hbucket = tr.NewBucket()
+				ph := tr.SetSink(hbucket)
+				hres, herr = d.cfg.Platform.Invoke(fnName, payload, lambda.InvokeOptions{DeferBilling: true})
+				tr.SetSink(ph)
+			}
+		}
+
+		if hedged {
+			var out *lambda.Result
+			var hstep *retryStep
+			out, err, hstep = d.resolveHedge(&ri, res, err, hres, herr, hdelay, bucket, hbucket)
+			if hstep == nil {
+				// One side won; the success path below takes over.
+				res, err = out, nil
+				if ri.hedgeWon {
+					bucket = hbucket
+				}
+			} else {
+				// Both sides failed: one combined failed attempt.
+				d.recordOutcome(p, d.breakerNow(st, &ri), false)
+				stop, ferr := d.retryGate(&ri, hstep, st, err, op, faults.IsTransient(err), ri.delay(), invokeDispatchLatency)
+				ri.steps = append(ri.steps, *hstep)
+				if stop {
+					return nil, ri, ferr
+				}
+				continue
+			}
+		}
+
 		if err == nil {
-			tr.SetSink(prev)
+			if deferred && !eager {
+				// Sequential mode under hedging defers billing (the winner
+				// was unknowable at invoke time); settle the winner at its
+				// own duration now, into its attempt's charges.
+				d.chargeInto(bucket, func() {
+					d.cfg.Platform.SettleExecution(res.MemoryMB, res.Duration)
+				})
+			}
+			d.recordOutcome(p, d.breakerNow(st, &ri), true)
+			d.recordLatency(p, res.Duration)
 			ri.finalBucket = bucket
-			if hold := ri.wasted + ri.backoff; hold > 0 {
+			if hold := ri.wasted + ri.backoff + ri.hedgeExtra; hold > 0 {
 				// Upstream intermediates sat in S3 through the failed
 				// attempts and backoff waits; that storage time bills.
 				ri.holdBucket = tr.NewBucket()
-				p := tr.SetSink(ri.holdBucket)
+				pb := tr.SetSink(ri.holdBucket)
 				d.cfg.Store.ChargeStorage(heldBytes, hold)
-				tr.SetSink(p)
+				tr.SetSink(pb)
 			}
 			return res, ri, nil
 		}
+
 		step := retryStep{res: res, bucket: bucket}
 		nfaults := len(ri.faults)
 		if res != nil {
 			// The attempt executed before failing: its time is spent and,
 			// under deferred billing, must still be settled.
 			ri.wasted += res.Duration
-			if eager {
-				d.cfg.Platform.SettleExecution(res.MemoryMB, res.Duration)
+			ri.wastedCost += res.Cost
+			if deferred {
+				d.chargeInto(bucket, func() {
+					ri.wastedCost += d.cfg.Platform.SettleExecution(res.MemoryMB, res.Duration)
+				})
 			}
 			if res.InjectedFault != "" {
 				ri.faults = append(ri.faults, res.InjectedFault)
@@ -190,35 +353,188 @@ func (d *Deployment) invokeWithRetry(fnName string, payload []byte, eager bool, 
 		} else if fe := faultOf(err); fe != nil {
 			ri.faults = append(ri.faults, fe.Kind.String())
 		}
-		tr.SetSink(prev)
 		if len(ri.faults) > nfaults {
 			step.fault = ri.faults[len(ri.faults)-1]
 		}
-		if !d.cfg.Retry.enabled() || !faults.IsTransient(err) {
-			ri.steps = append(ri.steps, step)
-			return nil, ri, err
-		}
-		if ri.attempts >= d.cfg.Retry.MaxAttempts {
-			ri.steps = append(ri.steps, step)
-			return nil, ri, fmt.Errorf("gave up after %d attempts: %w", ri.attempts, err)
-		}
-		if !budget.take() {
-			ri.steps = append(ri.steps, step)
-			return nil, ri, fmt.Errorf("job retry budget exhausted after %d attempts: %w", ri.attempts, err)
-		}
-		bo := d.backoff(ri.attempts)
-		ri.backoff += bo
-		step.backoff = bo
+		d.recordOutcome(p, d.breakerNow(st, &ri), false)
+		stop, ferr := d.retryGate(&ri, &step, st, err, op, faults.IsTransient(err), ri.delay(), invokeDispatchLatency)
 		ri.steps = append(ri.steps, step)
+		if stop {
+			return nil, ri, ferr
+		}
 	}
+}
+
+// resolveHedge settles a hedged invocation pair. When either side
+// succeeded it returns the winner (hstep nil) after cancelling and
+// billing the loser; when both failed it returns the combined failed
+// attempt as hstep for the retry loop.
+func (d *Deployment) resolveHedge(ri *retryInfo, res *lambda.Result, err error, hres *lambda.Result, herr error, hdelay time.Duration, bucket, hbucket *obs.CostBucket) (*lambda.Result, error, *retryStep) {
+	primOK := err == nil
+	hedgeOK := herr == nil
+	primFinish := res.Duration
+	hedgeStart := hdelay + invokeDispatchLatency
+	hedgeFinish := hedgeStart
+	if hres != nil {
+		hedgeFinish += hres.Duration
+	}
+	primFault := faultLabel(res, err)
+	hedgeFault := faultLabel(hres, herr)
+
+	switch {
+	case primOK && (!hedgeOK || primFinish <= hedgeFinish):
+		// Primary wins (ties go to the primary). Cancel the hedge at the
+		// primary's finish: it bills only the time it actually ran before
+		// cancellation.
+		rec := &hedgeRec{res: hres, delay: hdelay, fault: "cancelled", bucket: hbucket}
+		if hres != nil {
+			rec.billed = clampDur(primFinish-hedgeStart, 0, hres.Duration)
+			ri.wastedCost += hres.Cost
+			d.chargeInto(hbucket, func() {
+				ri.wastedCost += d.cfg.Platform.SettleExecution(hres.MemoryMB, rec.billed)
+			})
+		}
+		if !hedgeOK {
+			rec.fault = hedgeFault
+			if hedgeFinish <= primFinish {
+				// The hedge genuinely failed before cancellation; that
+				// outcome is real signal for the breaker.
+				ri.faults = append(ri.faults, hedgeFault)
+			}
+		}
+		ri.finalHedge = rec
+		return res, nil, nil
+
+	case hedgeOK:
+		// Hedge wins: the primary is cancelled at the hedge's finish and
+		// billed only up to it. The winner's work effectively started
+		// hedgeStart after the attempt's dispatch — serial time the
+		// schedule (and billing settlement) must account for.
+		rec := &hedgeRec{res: res, delay: 0, fault: "cancelled", bucket: bucket}
+		if res != nil {
+			rec.billed = clampDur(hedgeFinish, 0, res.Duration)
+			ri.wastedCost += res.Cost
+			d.chargeInto(bucket, func() {
+				ri.wastedCost += d.cfg.Platform.SettleExecution(res.MemoryMB, rec.billed)
+			})
+		}
+		if !primOK {
+			rec.fault = primFault
+			ri.faults = append(ri.faults, primFault)
+		}
+		ri.hedgeWins++
+		ri.hedgeWon = true
+		ri.hedgeExtra += hedgeStart
+		ri.finalHedge = rec
+		return hres, nil, nil
+	}
+
+	// Both failed: settle both sides at their full durations (nothing to
+	// cancel against) and hand the combined attempt to the retry loop.
+	if res != nil {
+		ri.wasted += res.Duration
+		ri.wastedCost += res.Cost
+		d.chargeInto(bucket, func() {
+			ri.wastedCost += d.cfg.Platform.SettleExecution(res.MemoryMB, res.Duration)
+		})
+	}
+	hrec := &hedgeRec{res: hres, delay: hdelay, fault: hedgeFault, bucket: hbucket}
+	if hres != nil {
+		hrec.billed = hres.Duration
+		ri.wastedCost += hres.Cost
+		d.chargeInto(hbucket, func() {
+			ri.wastedCost += d.cfg.Platform.SettleExecution(hres.MemoryMB, hres.Duration)
+		})
+	}
+	if primFault != "" {
+		ri.faults = append(ri.faults, primFault)
+	}
+	if hedgeFault != "" {
+		ri.faults = append(ri.faults, hedgeFault)
+	}
+	step := &retryStep{res: res, fault: primFault, bucket: bucket, hedge: hrec}
+	return nil, err, step
+}
+
+// faultLabel names the fault that felled an invocation attempt ("" on
+// success).
+func faultLabel(res *lambda.Result, err error) string {
+	if err == nil {
+		return ""
+	}
+	if res != nil {
+		if res.InjectedFault != "" {
+			return res.InjectedFault
+		}
+		return "error"
+	}
+	if fe := faultOf(err); fe != nil {
+		return fe.Kind.String()
+	}
+	return "error"
+}
+
+func clampDur(d, lo, hi time.Duration) time.Duration {
+	if d < lo {
+		return lo
+	}
+	if d > hi {
+		return hi
+	}
+	return d
+}
+
+// chargeInto runs f with the tracer sink pointed at bucket.
+func (d *Deployment) chargeInto(b *obs.CostBucket, f func()) {
+	prev := d.cfg.Tracer.SetSink(b)
+	f()
+	d.cfg.Tracer.SetSink(prev)
+}
+
+// takeHedgeSlot claims one hedge under the deployment-wide rate cap.
+func (d *Deployment) takeHedgeSlot() bool {
+	d.retryMu.Lock()
+	defer d.retryMu.Unlock()
+	if !d.hedgeAllowedLocked() {
+		return false
+	}
+	d.hedgesTotal++
+	return true
+}
+
+// recordOutcome feeds one real invocation outcome to the partition's
+// breaker at simulated time now.
+func (d *Deployment) recordOutcome(p *partition, now time.Duration, ok bool) {
+	if p.brk == nil {
+		return
+	}
+	d.retryMu.Lock()
+	p.brk.record(now, ok)
+	d.retryMu.Unlock()
+}
+
+// recordLatency feeds one successful attempt duration to the
+// partition's hedge-delay history.
+func (d *Deployment) recordLatency(p *partition, dur time.Duration) {
+	if !d.cfg.Hedge.enabled() {
+		return
+	}
+	d.retryMu.Lock()
+	p.hist.add(dur)
+	d.retryMu.Unlock()
 }
 
 // putWithRetry uploads the job input under the retry policy. A failed
 // PUT costs no money (5xx requests are not billed) but each retry
-// waits out a backoff, which the caller folds into completion time.
-func (d *Deployment) putWithRetry(key string, data []byte, budget *jobBudget) (time.Duration, retryInfo, error) {
+// waits out a backoff, which the caller folds into completion time —
+// and which must still fit in the job's deadline.
+func (d *Deployment) putWithRetry(key string, data []byte, st *jobState) (time.Duration, retryInfo, error) {
 	tr := d.cfg.Tracer
+	op := "put " + key
 	var ri retryInfo
+	if st.deadlined() && st.elapsed >= st.deadline {
+		return 0, ri, &DeadlineError{Op: op, Deadline: st.deadline, Elapsed: st.elapsed}
+	}
 	for {
 		ri.attempts++
 		bucket := tr.NewBucket()
@@ -234,22 +550,11 @@ func (d *Deployment) putWithRetry(key string, data []byte, budget *jobBudget) (t
 			ri.faults = append(ri.faults, fe.Kind.String())
 			step.fault = fe.Kind.String()
 		}
-		if !d.cfg.Retry.enabled() || !faults.IsTransient(err) {
-			ri.steps = append(ri.steps, step)
-			return 0, ri, err
-		}
-		if ri.attempts >= d.cfg.Retry.MaxAttempts {
-			ri.steps = append(ri.steps, step)
-			return 0, ri, fmt.Errorf("gave up after %d attempts: %w", ri.attempts, err)
-		}
-		if !budget.take() {
-			ri.steps = append(ri.steps, step)
-			return 0, ri, fmt.Errorf("job retry budget exhausted after %d attempts: %w", ri.attempts, err)
-		}
-		bo := d.backoff(ri.attempts)
-		ri.backoff += bo
-		step.backoff = bo
+		stop, ferr := d.retryGate(&ri, &step, st, err, op, faults.IsTransient(err), ri.backoff, 0)
 		ri.steps = append(ri.steps, step)
+		if stop {
+			return 0, ri, ferr
+		}
 	}
 }
 
@@ -259,4 +564,9 @@ func (d *Deployment) initRetryRng() {
 		seed = 1
 	}
 	d.retryRng = rand.New(rand.NewSource(seed))
+	hseed := d.cfg.Hedge.JitterSeed
+	if hseed == 0 {
+		hseed = 1
+	}
+	d.hedgeRng = rand.New(rand.NewSource(hseed))
 }

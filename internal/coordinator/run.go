@@ -74,6 +74,12 @@ type Report struct {
 	FaultsInjected int           // faults the job absorbed
 	BackoffWait    time.Duration // total backoff the job waited out
 
+	// Resilience aggregates (zero unless the matching policy is on):
+	Hedges        int     // speculative duplicates launched
+	HedgeWins     int     // operations won by the hedge
+	ShortCircuits int     // attempts consumed by an open breaker
+	WastedSpend   float64 // execution spend on failed/cancelled invocations
+
 	// Trace is the job's span tree (job → upload/invocations → attempts
 	// → phases) on the simulated clock. Always built; when the
 	// deployment has a Tracer the spans additionally carry exact cost
@@ -81,12 +87,31 @@ type Report struct {
 	Trace *obs.Span
 }
 
+// RunOptions tunes one job run.
+type RunOptions struct {
+	// Sequential serves with the strictly sequential schedule instead
+	// of the default overlapped (eager) one.
+	Sequential bool
+	// Deadline overrides the deployment's Config.Deadline for this job
+	// (0 = use the config default). Once the job's committed simulated
+	// time cannot cover another attempt, operations fail fast with a
+	// DeadlineError.
+	Deadline time.Duration
+}
+
+// Run serves one input under opts. On failure the returned report,
+// when non-nil, carries a partial trace holding the exact charges the
+// failed job billed, so serving-level cost attribution stays exact.
+func (d *Deployment) Run(input *tensor.Tensor, opts RunOptions) (*Report, error) {
+	return d.run(input, !opts.Sequential, opts.Deadline)
+}
+
 // RunSequential serves one input with strictly sequential invocations:
 // partition i+1 is invoked after partition i returns — the execution
 // model behind the paper's formulation, where the response time is the
 // sum of per-lambda times (Eq. 2).
 func (d *Deployment) RunSequential(input *tensor.Tensor) (*Report, error) {
-	return d.run(input, false)
+	return d.run(input, false, 0)
 }
 
 // RunEager serves one input with the measurement-matching schedule: all
@@ -96,10 +121,10 @@ func (d *Deployment) RunSequential(input *tensor.Tensor) (*Report, error) {
 // deployed system achieves the completion times of the paper's Tables 3
 // and 5.
 func (d *Deployment) RunEager(input *tensor.Tensor) (*Report, error) {
-	return d.run(input, true)
+	return d.run(input, true, 0)
 }
 
-func (d *Deployment) run(input *tensor.Tensor, eager bool) (*Report, error) {
+func (d *Deployment) run(input *tensor.Tensor, eager bool, deadline time.Duration) (*Report, error) {
 	tr := d.cfg.Tracer
 	tr.BeginJob()
 	var root *obs.Span
@@ -117,19 +142,24 @@ func (d *Deployment) run(input *tensor.Tensor, eager bool) (*Report, error) {
 		rep.Mode = "eager"
 	}
 
-	budget := d.newJobBudget()
+	st := d.newJobState(deadline)
 
 	// Upload the input image(s), retrying transient store faults.
 	inKey := job + "/input"
-	upDur, upInfo, err := d.putWithRetry(inKey, modelfmt.EncodeTensor(input), budget)
+	upDur, upInfo, err := d.putWithRetry(inKey, modelfmt.EncodeTensor(input), st)
 	if err != nil {
-		return nil, fmt.Errorf("coordinator: uploading input: %w", err)
+		rep.Cost = d.meterTotal() - before
+		root = d.failureTrace(rep, job, st, upInfo, nil, rootBucket)
+		rep.Trace = root
+		d.recordRetries(rep, upInfo)
+		return rep, fmt.Errorf("coordinator: uploading input: %w", err)
 	}
 	upDur += upInfo.backoff
+	st.elapsed = upDur
 	d.recordRetries(rep, upInfo)
 
 	results := make([]*lambda.Result, len(d.parts))
-	infos := make([]retryInfo, len(d.parts))
+	infos := make([]retryInfo, 0, len(d.parts))
 	prevKey := inKey
 	var prevBytes int64 // accumulated intermediate bytes in S3
 	storedBefore := make([]int64, len(d.parts))
@@ -138,13 +168,21 @@ func (d *Deployment) run(input *tensor.Tensor, eager bool) (*Report, error) {
 		payload, _ := json.Marshal(invokePayload{
 			Job: job, InputKey: prevKey,
 		})
-		res, info, err := d.invokeWithRetry(p.fnName, payload, eager, prevBytes, budget)
+		res, info, err := d.invokeWithRetry(p, payload, eager, prevBytes, st)
+		infos = append(infos, info)
+		d.recordRetries(rep, info)
 		if err != nil {
-			return nil, fmt.Errorf("coordinator: partition %d: %w", i, err)
+			rep.Cost = d.meterTotal() - before
+			root = d.failureTrace(rep, job, st, upInfo, infos, rootBucket)
+			rep.Trace = root
+			return rep, fmt.Errorf("coordinator: partition %d: %w", i, err)
 		}
 		results[i] = res
-		infos[i] = info
-		d.recordRetries(rep, info)
+		// The job's committed serial time grows by this partition's turn
+		// in the chain — the quantity every later deadline check gates
+		// on. (In eager mode this is a conservative overestimate of the
+		// overlapped schedule.)
+		st.elapsed += info.delay() + invokeDispatchLatency + res.Duration
 		if i < len(d.parts)-1 {
 			prevKey = string(res.Response)
 			if n, ok := d.cfg.Store.Head(prevKey); ok {
@@ -154,7 +192,10 @@ func (d *Deployment) run(input *tensor.Tensor, eager bool) (*Report, error) {
 	}
 	out, err := modelfmt.DecodeTensor(results[len(results)-1].Response)
 	if err != nil {
-		return nil, fmt.Errorf("coordinator: decoding prediction: %w", err)
+		rep.Cost = d.meterTotal() - before
+		root = d.failureTrace(rep, job, st, upInfo, infos, rootBucket)
+		rep.Trace = root
+		return rep, fmt.Errorf("coordinator: decoding prediction: %w", err)
 	}
 	rep.Output = out
 
@@ -204,6 +245,18 @@ func (d *Deployment) recordJobMetrics(rep *Report) {
 	mx.Inc("coordinator_retries_total", int64(rep.Retries))
 	mx.Inc("coordinator_faults_absorbed_total", int64(rep.FaultsInjected))
 	mx.Add("coordinator_backoff_seconds_total", rep.BackoffWait.Seconds())
+	// Resilience counters appear only when the mechanisms fire, so
+	// zero-value policies leave metrics snapshots unchanged.
+	if rep.Hedges > 0 {
+		mx.Inc("coordinator_hedges_total", int64(rep.Hedges))
+		mx.Inc("coordinator_hedge_wins_total", int64(rep.HedgeWins))
+	}
+	if rep.ShortCircuits > 0 {
+		mx.Inc("coordinator_breaker_short_circuits_total", int64(rep.ShortCircuits))
+	}
+	if rep.WastedSpend > 0 {
+		mx.Add("coordinator_wasted_spend_usd_total", rep.WastedSpend)
+	}
 	for _, lr := range rep.PerLambda {
 		mx.Add(`coordinator_phase_seconds_total{phase="init"}`, lr.Init.Seconds())
 		mx.Add(`coordinator_phase_seconds_total{phase="load"}`, lr.Load.Seconds())
@@ -218,6 +271,10 @@ func (d *Deployment) recordRetries(rep *Report, ri retryInfo) {
 	rep.Retries += ri.retries()
 	rep.FaultsInjected += len(ri.faults)
 	rep.BackoffWait += ri.backoff
+	rep.Hedges += ri.hedges
+	rep.HedgeWins += ri.hedgeWins
+	rep.ShortCircuits += ri.shortCircuits
+	rep.WastedSpend += ri.wastedCost
 }
 
 // settleEager reconstructs the overlapped schedule from the per-phase

@@ -69,6 +69,13 @@ func (d *Deployment) buildTrace(rep *Report, job string, eager bool, upDur time.
 		inv.SetAttr("memory_mb", strconv.Itoa(res.MemoryMB))
 		inv.SetAttr("cold", strconv.FormatBool(res.ColdStart))
 		inv.SetAttr("attempts", strconv.Itoa(info.attempts))
+		if info.hedges > 0 {
+			inv.SetAttr("hedges", strconv.Itoa(info.hedges))
+			inv.SetAttr("hedge_won", strconv.FormatBool(info.hedgeWon))
+		}
+		if info.shortCircuits > 0 {
+			inv.SetAttr("short_circuits", strconv.Itoa(info.shortCircuits))
+		}
 		attachBucket(inv, partBuckets[i])
 		attachBucket(inv, info.holdBucket)
 
@@ -85,7 +92,19 @@ func (d *Deployment) buildTrace(rep *Report, job string, eager bool, upDur time.
 			Start: cursor, Duration: exit - cursor,
 		})
 		att.SetAttr("attempt", strconv.Itoa(info.attempts))
-		addPhases(att, res, cursor, workStart, eager, info.finalBucket)
+		// The loser of the final hedge pair runs in the shadow of the
+		// winning attempt. When the hedge won, the phases belong to the
+		// hedge copy, which only started hedgeExtra after the primary:
+		// in sequential mode shift them right (the eager schedule folds
+		// hedgeExtra into workStart via info.delay() already).
+		phaseStart := cursor
+		if info.finalHedge != nil {
+			addHedgeSpan(inv, info.finalHedge, cursor, exit, track)
+			if info.hedgeWon && !eager {
+				phaseStart += info.hedgeExtra
+			}
+		}
+		addPhases(att, res, phaseStart, workStart, eager, info.finalBucket)
 	}
 
 	// Per-span cost = chronological sum of the span's own charges.
@@ -123,14 +142,17 @@ func (d *Deployment) buildUploadSpan(root *obs.Span, job string, upDur time.Dura
 
 // layoutSteps lays the failed attempts of one retried operation onto
 // the parent, advancing the cursor past each attempt, its backoff, and
-// (for invocations) the re-dispatch latency. Returns the cursor where
-// the successful attempt begins.
+// (for invocations) the re-dispatch latency. A step's failed hedge (a
+// speculative duplicate that also lost) is laid on the operation's
+// hedge track, clamped into the step's own region so hedge spans never
+// collide. Returns the cursor where the successful attempt begins.
 func layoutSteps(parent *obs.Span, steps []retryStep, cursor time.Duration, track string, redispatch bool) time.Duration {
 	for k, st := range steps {
 		var dur time.Duration
 		if st.res != nil {
 			dur = st.res.Duration
 		}
+		stepStart := cursor
 		att := parent.AddChild(&obs.Span{
 			Name: fmt.Sprintf("attempt-%d", k+1), Kind: obs.KindAttempt, Track: track,
 			Start: cursor, Duration: dur,
@@ -157,8 +179,37 @@ func layoutSteps(parent *obs.Span, steps []retryStep, cursor time.Duration, trac
 			})
 			cursor += invokeDispatchLatency
 		}
+		if st.hedge != nil {
+			addHedgeSpan(parent, st.hedge, stepStart, cursor, track)
+		}
 	}
 	return cursor
+}
+
+// addHedgeSpan lays one losing hedge-pair shadow on the operation's
+// dedicated hedge track. The shadow ran concurrently with the main
+// track, so it gets its own track (same-track siblings must not
+// overlap); its span is clamped into [start+delay, limit] so
+// successive hedges stay disjoint and inside the parent.
+func addHedgeSpan(parent *obs.Span, h *hedgeRec, start, limit time.Duration, track string) {
+	hs := start + h.delay
+	if hs > limit {
+		hs = limit
+	}
+	dur := h.billed
+	if hs+dur > limit {
+		dur = limit - hs
+	}
+	sp := parent.AddChild(&obs.Span{
+		Name: "hedge", Kind: obs.KindAttempt, Track: track + "#hedge",
+		Start: hs, Duration: dur,
+	})
+	sp.SetAttr("hedge", "true")
+	sp.SetAttr("billed", h.billed.String())
+	if h.fault != "" {
+		sp.SetAttr("fault", h.fault)
+	}
+	attachBucket(sp, h.bucket)
 }
 
 // addPhases lays the successful attempt's handler phases consecutively
@@ -231,4 +282,44 @@ func workPhase(name string) bool {
 
 func attachBucket(s *obs.Span, b *obs.CostBucket) {
 	s.CostEvents = append(s.CostEvents, b.Events()...)
+}
+
+// failureTrace builds the span tree of a job that never finished: a
+// single root carrying every charge the job billed before it gave up
+// (failed attempts, cancelled hedges, holds), so obs.SumCosts over a
+// failed job's trace still reproduces its Report.Cost exactly and
+// serving-level cost attribution stays bit-exact under faults.
+func (d *Deployment) failureTrace(rep *Report, job string, st *jobState, upInfo retryInfo, infos []retryInfo, rootBucket *obs.CostBucket) *obs.Span {
+	root := &obs.Span{
+		Name: job, Kind: obs.KindJob, Track: "coordinator",
+		Duration: st.elapsed,
+	}
+	root.SetAttr("mode", rep.Mode)
+	root.SetAttr("model", d.model.Name)
+	root.SetAttr("failed", "true")
+	attachBucket(root, rootBucket)
+	collect := func(ri retryInfo) {
+		for _, s := range ri.steps {
+			attachBucket(root, s.bucket)
+			if s.hedge != nil {
+				attachBucket(root, s.hedge.bucket)
+			}
+		}
+		if ri.finalHedge != nil {
+			attachBucket(root, ri.finalHedge.bucket)
+		}
+		attachBucket(root, ri.finalBucket)
+		attachBucket(root, ri.holdBucket)
+	}
+	collect(upInfo)
+	for _, ri := range infos {
+		collect(ri)
+	}
+	var total float64
+	for _, e := range root.CostEvents {
+		total += e.Amount
+	}
+	root.Cost = total
+	d.cfg.Metrics.Inc("coordinator_jobs_failed_total", 1)
+	return root
 }

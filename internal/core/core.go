@@ -96,6 +96,9 @@ func NewFramework(opts Options) *Framework {
 		if s3s, ok := store.(*s3.Store); ok {
 			s3s.SetInjector(opts.Faults)
 		}
+		// Burst mode needs simulated time for store draws; the lambda
+		// path passes its clock offset explicitly inside Invoke.
+		opts.Faults.SetClock(platform.Now)
 	}
 	if opts.Trace != nil {
 		meter.SetObserver(opts.Trace.RecordCost)
@@ -146,6 +149,15 @@ type SubmitOptions struct {
 	// internal/cloud/faults); the zero value aborts jobs on the first
 	// error.
 	Retry coordinator.RetryPolicy
+	// Deadline is the default per-job completion budget (0 = none);
+	// jobs that exhaust it fail fast with coordinator.DeadlineError.
+	Deadline time.Duration
+	// Hedge launches speculative duplicate invocations of slow
+	// partitions (zero value disables hedging).
+	Hedge coordinator.HedgePolicy
+	// Breaker short-circuits invocations of persistently failing
+	// partition functions (zero value disables the breaker).
+	Breaker coordinator.BreakerPolicy
 }
 
 // Service is a deployed, ready-to-serve model.
@@ -197,7 +209,8 @@ func (f *Framework) Submit(model *nn.Model, weights nn.Weights, opts SubmitOptio
 	dep, err := coordinator.Deploy(coordinator.Config{
 		Platform: f.platform, Store: f.store, NamePrefix: prefix,
 		SkipCompute: opts.SkipCompute, QuantizeBits: opts.QuantizeBits,
-		Retry: opts.Retry, Tracer: f.tracer, Metrics: f.metrics,
+		Retry: opts.Retry, Deadline: opts.Deadline, Hedge: opts.Hedge,
+		Breaker: opts.Breaker, Tracer: f.tracer, Metrics: f.metrics,
 	}, model, weights, plan)
 	if err != nil {
 		return nil, fmt.Errorf("core: deploying %q: %w", model.Name, err)

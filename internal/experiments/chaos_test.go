@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestChaosStormSmoke drives the four-policy resilience ladder through
+// a violent regime — 60% base fault rate with 8× correlated storms —
+// so the hedge, breaker, deadline and shedding paths all execute under
+// heavy contention. CI runs this with -race as the chaos smoke step;
+// the assertions only pin accounting sanity, not tuned outcomes.
+func TestChaosStormSmoke(t *testing.T) {
+	r, err := runResilience("mobilenet", 24, 1.0, ResilienceSeed, []float64{0.60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(ResiliencePolicies) {
+		t.Fatalf("%d rows, want %d", len(r.Rows), len(ResiliencePolicies))
+	}
+	for _, row := range r.Rows {
+		if row.Completed+row.Shed+row.Failed != r.Jobs {
+			t.Errorf("policy %s: outcomes %d+%d+%d don't account for %d requests",
+				row.Policy, row.Completed, row.Shed, row.Failed, r.Jobs)
+		}
+		if row.Good > row.Completed {
+			t.Errorf("policy %s: good %d exceeds completed %d", row.Policy, row.Good, row.Completed)
+		}
+		if row.Cost < 0 || row.WastedSpend < 0 {
+			t.Errorf("policy %s: negative accounting: cost %v wasted %v",
+				row.Policy, row.Cost, row.WastedSpend)
+		}
+	}
+}

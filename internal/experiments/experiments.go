@@ -82,6 +82,7 @@ func NewEnv() *Env {
 func (e *Env) InstallFaults(inj *faults.Injector) {
 	e.Platform.SetInjector(inj)
 	e.Store.SetInjector(inj)
+	inj.SetClock(e.Platform.Now)
 }
 
 // SLOFactor is the standard response-time objective the harness submits

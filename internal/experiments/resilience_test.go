@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestResilienceFullStackBeatsNaive pins the experiment's headline
+// claim: under fault bursts (the non-trivial rates of the sweep), the
+// full tail-tolerance stack converts strictly more of every dollar into
+// deadline-meeting answers than naive retrying, at a strictly lower
+// p99.
+func TestResilienceFullStackBeatsNaive(t *testing.T) {
+	r, err := RunResilience()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Deadline <= 0 {
+		t.Fatalf("no common deadline calibrated: %v", r.Deadline)
+	}
+	byRate := map[float64]map[string]ResilienceRow{}
+	for _, row := range r.Rows {
+		if byRate[row.Rate] == nil {
+			byRate[row.Rate] = map[string]ResilienceRow{}
+		}
+		byRate[row.Rate][row.Policy] = row
+	}
+	for rate, rows := range byRate {
+		if len(rows) != len(ResiliencePolicies) {
+			t.Fatalf("rate %.2f: %d policy rows, want %d", rate, len(rows), len(ResiliencePolicies))
+		}
+		naive, full := rows["naive-retry"], rows["full-stack"]
+		if rate < 0.15 {
+			continue // faults too rare for the stack to pay for itself
+		}
+		if full.GoodPerDollar <= naive.GoodPerDollar {
+			t.Errorf("rate %.2f: full stack good/$ %.1f not above naive %.1f",
+				rate, full.GoodPerDollar, naive.GoodPerDollar)
+		}
+		if full.P99 >= naive.P99 {
+			t.Errorf("rate %.2f: full stack p99 %v not below naive %v",
+				rate, full.P99, naive.P99)
+		}
+	}
+}
+
+func TestResilienceDeterministic(t *testing.T) {
+	sweep := func() *ResilienceResult {
+		r, err := runResilience("mobilenet", 12, 0.5, ResilienceSeed, []float64{0.30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := sweep(), sweep()
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Fatalf("sweeps diverged across runs:\n%+v\n%+v", a.Rows, b.Rows)
+	}
+}
+
+func TestResilienceTableRenders(t *testing.T) {
+	r, err := runResilience("mobilenet", 8, 0.5, ResilienceSeed, []float64{0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := r.Table()
+	if len(tab.Rows) != len(ResiliencePolicies) || len(tab.Columns) != 12 {
+		t.Fatalf("table %d×%d", len(tab.Rows), len(tab.Columns))
+	}
+	if tab.Render() == "" {
+		t.Fatal("empty render")
+	}
+}

@@ -49,6 +49,79 @@ func (p ThrottlePolicy) attempts() int {
 	return 10
 }
 
+// Validate rejects nonsensical throttle policies before a serving run
+// starts, mirroring coordinator.RetryPolicy.Validate.
+func (p ThrottlePolicy) Validate() error {
+	if p.MaxAttempts < 0 {
+		return fmt.Errorf("throttle policy: MaxAttempts %d is negative", p.MaxAttempts)
+	}
+	if p.BaseBackoff < 0 {
+		return fmt.Errorf("throttle policy: BaseBackoff %v is negative", p.BaseBackoff)
+	}
+	if p.MaxBackoff < 0 {
+		return fmt.Errorf("throttle policy: MaxBackoff %v is negative", p.MaxBackoff)
+	}
+	if p.Multiplier != 0 && p.Multiplier < 1 {
+		return fmt.Errorf("throttle policy: Multiplier %v < 1 would shrink backoffs", p.Multiplier)
+	}
+	if p.BaseBackoff > 0 && p.MaxBackoff > 0 && p.MaxBackoff < p.BaseBackoff {
+		return fmt.Errorf("throttle policy: MaxBackoff %v < BaseBackoff %v", p.MaxBackoff, p.BaseBackoff)
+	}
+	return nil
+}
+
+// Request outcomes. Only completed requests count toward latency
+// aggregates and goodput.
+const (
+	// OutcomeOK: the request completed and returned a prediction.
+	OutcomeOK = "ok"
+	// OutcomeShed: admission control rejected the request because its
+	// predicted completion could not meet the deadline.
+	OutcomeShed = "shed"
+	// OutcomeDeadline: the request started but the coordinator failed it
+	// fast once its remaining budget could not cover another attempt.
+	OutcomeDeadline = "deadline"
+	// OutcomeThrottled: admission retries were exhausted by the account
+	// concurrency limit (recorded only under TolerateFailures).
+	OutcomeThrottled = "throttled"
+	// OutcomeFailed: the job failed terminally for any other reason.
+	OutcomeFailed = "failed"
+)
+
+// SLOPolicy makes a serving run deadline-aware: each request carries a
+// completion deadline measured from its arrival, propagated into every
+// coordinator retry decision, and — with Shed — enforced at admission:
+// a request whose predicted completion already misses its deadline is
+// rejected outright (explicit OutcomeShed) rather than burning capacity
+// on an answer nobody can use. The zero value disables all of it.
+type SLOPolicy struct {
+	// Deadline is the per-request completion budget from arrival (0 =
+	// none). The remaining budget at admission flows into the
+	// coordinator, so mid-job retries that cannot fit fail fast.
+	Deadline time.Duration
+	// Shed enables SLO-aware load shedding at admission, using a running
+	// mean of completed service times as the completion predictor.
+	// Requires Deadline.
+	Shed bool
+	// TolerateFailures records failed requests (with their outcome and
+	// charges) and keeps serving instead of aborting the whole run —
+	// the regime fault-storm experiments need.
+	TolerateFailures bool
+}
+
+func (p SLOPolicy) enabled() bool { return p.Deadline > 0 || p.Shed || p.TolerateFailures }
+
+// Validate rejects nonsensical SLO policies before a serving run starts.
+func (p SLOPolicy) Validate() error {
+	if p.Deadline < 0 {
+		return fmt.Errorf("slo policy: Deadline %v is negative", p.Deadline)
+	}
+	if p.Shed && p.Deadline <= 0 {
+		return fmt.Errorf("slo policy: Shed requires a positive Deadline")
+	}
+	return nil
+}
+
 // Config wires a serving run to its deployment.
 type Config struct {
 	// Deployment is the deployed pipeline every request runs through.
@@ -58,6 +131,10 @@ type Config struct {
 	Sequential bool
 	// Throttle tunes admission backoff.
 	Throttle ThrottlePolicy
+	// SLO makes the run deadline-aware (propagation, shedding, failure
+	// tolerance). The zero value preserves the fail-on-first-error
+	// behaviour byte for byte.
+	SLO SLOPolicy
 	// Metrics, when set, receives serving-level counters and histograms.
 	Metrics *obs.Metrics
 }
@@ -82,6 +159,16 @@ type JobResult struct {
 	ColdStarts   int
 	Retries      int
 	Faults       int
+	// Outcome classifies the request: OutcomeOK, OutcomeShed,
+	// OutcomeDeadline, OutcomeThrottled or OutcomeFailed.
+	Outcome string
+	// Err is the terminal error text for non-OK, non-shed outcomes.
+	Err string
+	// Resilience record from the coordinator (zero unless enabled):
+	Hedges        int
+	HedgeWins     int
+	ShortCircuits int
+	WastedSpend   float64
 	// Trace is the request's span tree on the absolute serving clock:
 	// a request root containing the queueing wait and the shifted
 	// coordinator job tree.
@@ -115,6 +202,30 @@ type Report struct {
 	PeakInFlight int
 	TotalCost    float64
 	CostPerJob   float64
+
+	// SLO accounting (populated only when Config.SLO is enabled; latency
+	// aggregates above always cover completed requests only):
+	SLOActive   bool
+	SLODeadline time.Duration
+	Completed   int // requests that returned a prediction
+	Good        int // completed within the deadline (= Completed when none)
+	Shed        int // rejected by admission control
+	Deadline    int // failed fast mid-run on the deadline
+	Throttled   int // admission retries exhausted (tolerated)
+	Failed      int // other terminal failures (tolerated)
+	// Goodput is deadline-meeting completions per simulated second;
+	// CostPerGood the total spend per such completion (0 when none).
+	Goodput     float64
+	CostPerGood float64
+	// WastedSpend is every dollar that bought no timely answer: the full
+	// cost of shed/failed/late requests plus the failed-attempt and
+	// cancelled-hedge spend inside completed ones.
+	WastedSpend float64
+
+	// Resilience aggregates from the coordinator (zero unless enabled):
+	Hedges        int
+	HedgeWins     int
+	ShortCircuits int
 }
 
 // Traces returns every job's span tree in arrival order — the input
@@ -160,6 +271,12 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 			return nil, fmt.Errorf("serving: arrivals not sorted at %d", i)
 		}
 	}
+	if err := cfg.Throttle.Validate(); err != nil {
+		return nil, fmt.Errorf("serving: %w", err)
+	}
+	if err := cfg.SLO.Validate(); err != nil {
+		return nil, fmt.Errorf("serving: %w", err)
+	}
 	pl := dep.Platform()
 	pl.EnableClock()
 	width := dep.Partitions()
@@ -176,6 +293,14 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 	if cfg.Sequential {
 		rep.Mode = "sequential"
 	}
+	slo := cfg.SLO
+	rep.SLOActive = slo.enabled()
+	rep.SLODeadline = slo.Deadline
+	// Running mean of completed service times — the admission-control
+	// completion predictor. Deterministic: it only folds in completed
+	// jobs, in event order.
+	var estSum time.Duration
+	var estN int
 
 	queue := make([]*pending, len(inputs))
 	for i := range inputs {
@@ -196,6 +321,27 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 
 		pl.AdvanceTo(p.readyAt)
 		now := pl.Now()
+		elapsed := now - arrivals[p.idx]
+
+		// SLO-aware load shedding: reject at admission when the request
+		// has already missed its deadline in the queue, or when the
+		// running service-time estimate predicts it will.
+		if slo.Shed && (elapsed >= slo.Deadline ||
+			(estN > 0 && elapsed+estSum/time.Duration(estN) > slo.Deadline)) {
+			jr := &rep.Jobs[p.idx]
+			jr.Index = p.idx
+			jr.Arrival = arrivals[p.idx]
+			jr.Start = now
+			jr.Done = now
+			jr.Queue = elapsed
+			jr.Latency = elapsed
+			jr.Throttles = p.attempts
+			jr.ThrottleWait = p.wait
+			jr.Outcome = OutcomeShed
+			jr.Trace = requestSpan(jr, p.waits, nil)
+			mx.Inc("serving_shed_total", 1)
+			continue
+		}
 
 		if pl.InFlightAt(now)+width > limit {
 			// Admission would push the account past its concurrency
@@ -204,8 +350,24 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 			rep.Throttles++
 			mx.Inc("serving_throttles_total", 1)
 			if p.attempts >= cfg.Throttle.attempts() {
-				return nil, fmt.Errorf("serving: request %d throttled %d times (limit %d, width %d)",
-					p.idx, p.attempts, limit, width)
+				if !slo.TolerateFailures {
+					return nil, fmt.Errorf("serving: request %d throttled %d times (limit %d, width %d)",
+						p.idx, p.attempts, limit, width)
+				}
+				jr := &rep.Jobs[p.idx]
+				jr.Index = p.idx
+				jr.Arrival = arrivals[p.idx]
+				jr.Start = now
+				jr.Done = now
+				jr.Queue = elapsed
+				jr.Latency = elapsed
+				jr.Throttles = p.attempts
+				jr.ThrottleWait = p.wait
+				jr.Outcome = OutcomeThrottled
+				jr.Err = fmt.Sprintf("throttled %d times", p.attempts)
+				jr.Trace = requestSpan(jr, p.waits, nil)
+				mx.Inc("serving_admission_failures_total", 1)
+				continue
 			}
 			bo := backoff(cfg.Throttle, p.attempts, rng)
 			p.wait += bo
@@ -215,35 +377,89 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 			continue
 		}
 
+		// Deadline propagation: the coordinator gets only what is left of
+		// the request's budget after queueing. A non-positive remainder
+		// still runs with a token budget so the job fails fast through the
+		// typed deadline path rather than running unbounded.
+		var jobDeadline time.Duration
+		if slo.Deadline > 0 {
+			jobDeadline = slo.Deadline - elapsed
+			if jobDeadline <= 0 {
+				jobDeadline = time.Nanosecond
+			}
+		}
+
 		before := pl.Meter().Total()
-		var jrep *coordinator.Report
-		var err error
-		if cfg.Sequential {
-			jrep, err = dep.RunSequential(inputs[p.idx])
-		} else {
-			jrep, err = dep.RunEager(inputs[p.idx])
-		}
-		if err != nil {
-			return nil, fmt.Errorf("serving: request %d: %w", p.idx, err)
-		}
+		jrep, err := dep.Run(inputs[p.idx], coordinator.RunOptions{
+			Sequential: cfg.Sequential,
+			Deadline:   jobDeadline,
+		})
 
 		jr := &rep.Jobs[p.idx]
 		jr.Index = p.idx
 		jr.Arrival = arrivals[p.idx]
 		jr.Start = now
-		jr.Done = now + jrep.Completion
-		jr.Queue = now - arrivals[p.idx]
-		jr.Latency = jr.Done - arrivals[p.idx]
+		jr.Queue = elapsed
 		jr.Cost = pl.Meter().Total() - before
 		jr.Throttles = p.attempts
 		jr.ThrottleWait = p.wait
-		jr.Retries = jrep.Retries
-		jr.Faults = jrep.FaultsInjected
-		for _, lr := range jrep.PerLambda {
-			if lr.Cold {
-				jr.ColdStarts++
+		if jrep != nil {
+			jr.Retries = jrep.Retries
+			jr.Faults = jrep.FaultsInjected
+			jr.Hedges = jrep.Hedges
+			jr.HedgeWins = jrep.HedgeWins
+			jr.ShortCircuits = jrep.ShortCircuits
+			jr.WastedSpend = jrep.WastedSpend
+			for _, lr := range jrep.PerLambda {
+				if lr.Cold {
+					jr.ColdStarts++
+				}
 			}
 		}
+
+		if err != nil {
+			deadlined := coordinator.IsDeadlineExceeded(err)
+			if !deadlined && !slo.TolerateFailures {
+				return nil, fmt.Errorf("serving: request %d: %w", p.idx, err)
+			}
+			if deadlined && slo.Deadline == 0 {
+				// A coordinator-config deadline with no serving SLO keeps
+				// the old fail-the-run contract unless tolerated.
+				if !slo.TolerateFailures {
+					return nil, fmt.Errorf("serving: request %d: %w", p.idx, err)
+				}
+			}
+			jr.Outcome = OutcomeFailed
+			if deadlined {
+				jr.Outcome = OutcomeDeadline
+				mx.Inc("serving_deadline_failures_total", 1)
+			} else {
+				mx.Inc("serving_failures_total", 1)
+			}
+			jr.Err = err.Error()
+			// The failed job still consumed simulated time before giving
+			// up; its failure trace records how much.
+			var failTrace *obs.Span
+			var failDur time.Duration
+			if jrep != nil && jrep.Trace != nil {
+				failTrace = jrep.Trace
+				failDur = failTrace.Duration
+			}
+			jr.Done = now + failDur
+			jr.Latency = jr.Done - arrivals[p.idx]
+			jr.Trace = requestSpan(jr, p.waits, failTrace)
+			if jr.Done > rep.Makespan {
+				rep.Makespan = jr.Done
+			}
+			mx.Add("serving_cost_usd_total", jr.Cost)
+			continue
+		}
+
+		jr.Done = now + jrep.Completion
+		jr.Latency = jr.Done - arrivals[p.idx]
+		jr.Outcome = OutcomeOK
+		estSum += jrep.Completion
+		estN++
 		jr.Trace = requestSpan(jr, p.waits, jrep.Trace)
 
 		if inFlight := pl.InFlightAt(now); inFlight > rep.PeakInFlight {
@@ -302,6 +518,9 @@ func requestSpan(jr *JobResult, waits []time.Duration, job *obs.Span) *obs.Span 
 	}
 	root.SetAttr("arrival", jr.Arrival.String())
 	root.SetAttr("throttles", strconv.Itoa(jr.Throttles))
+	if jr.Outcome != "" && jr.Outcome != OutcomeOK {
+		root.SetAttr("outcome", jr.Outcome)
+	}
 	if jr.Queue > 0 {
 		q := root.AddChild(&obs.Span{
 			Name: "queue-wait", Kind: obs.KindWait, Track: "serving",
@@ -332,35 +551,65 @@ func requestSpan(jr *JobResult, waits []time.Duration, job *obs.Span) *obs.Span 
 }
 
 // summarize fills the report's aggregates from its per-job results.
+// Latency and queueing aggregates cover completed requests only; shed
+// and failed requests are counted by outcome, their spend folded into
+// WastedSpend (a non-answer buys nothing).
 func summarize(rep *Report) {
 	lats := make([]time.Duration, 0, len(rep.Jobs))
 	var latSum, qSum time.Duration
 	for i := range rep.Jobs {
 		jr := &rep.Jobs[i]
-		lats = append(lats, jr.Latency)
-		latSum += jr.Latency
-		qSum += jr.Queue
-		if jr.Latency > rep.MaxLatency {
-			rep.MaxLatency = jr.Latency
-		}
-		if jr.Queue > rep.MaxQueue {
-			rep.MaxQueue = jr.Queue
-		}
 		rep.ColdStarts += jr.ColdStarts
 		rep.Retries += jr.Retries
 		rep.Faults += jr.Faults
 		rep.TotalCost += jr.Cost
+		rep.Hedges += jr.Hedges
+		rep.HedgeWins += jr.HedgeWins
+		rep.ShortCircuits += jr.ShortCircuits
+		switch jr.Outcome {
+		case OutcomeShed:
+			rep.Shed++
+		case OutcomeDeadline:
+			rep.Deadline++
+		case OutcomeThrottled:
+			rep.Throttled++
+		case OutcomeFailed:
+			rep.Failed++
+		default: // "" (legacy) or OutcomeOK
+			rep.Completed++
+			lats = append(lats, jr.Latency)
+			latSum += jr.Latency
+			qSum += jr.Queue
+			if jr.Latency > rep.MaxLatency {
+				rep.MaxLatency = jr.Latency
+			}
+			if jr.Queue > rep.MaxQueue {
+				rep.MaxQueue = jr.Queue
+			}
+			if rep.SLODeadline == 0 || jr.Latency <= rep.SLODeadline {
+				rep.Good++
+			}
+			rep.WastedSpend += jr.WastedSpend
+			continue
+		}
+		rep.WastedSpend += jr.Cost
 	}
-	n := time.Duration(len(rep.Jobs))
-	rep.AvgLatency = latSum / n
-	rep.AvgQueue = qSum / n
-	rep.P50Latency = workload.Percentile(lats, 50)
-	rep.P90Latency = workload.Percentile(lats, 90)
-	rep.P95Latency = workload.Percentile(lats, 95)
-	rep.P99Latency = workload.Percentile(lats, 99)
+	if rep.Completed > 0 {
+		n := time.Duration(rep.Completed)
+		rep.AvgLatency = latSum / n
+		rep.AvgQueue = qSum / n
+		rep.P50Latency = workload.Percentile(lats, 50)
+		rep.P90Latency = workload.Percentile(lats, 90)
+		rep.P95Latency = workload.Percentile(lats, 95)
+		rep.P99Latency = workload.Percentile(lats, 99)
+	}
 	rep.CostPerJob = rep.TotalCost / float64(len(rep.Jobs))
 	if rep.Makespan > 0 {
-		rep.Throughput = float64(len(rep.Jobs)) / rep.Makespan.Seconds()
+		rep.Throughput = float64(rep.Completed) / rep.Makespan.Seconds()
+		rep.Goodput = float64(rep.Good) / rep.Makespan.Seconds()
+	}
+	if rep.Good > 0 {
+		rep.CostPerGood = rep.TotalCost / float64(rep.Good)
 	}
 }
 
@@ -378,8 +627,12 @@ func (r *Report) Render() string {
 	r.writeSummary(&b)
 	for i := range r.Jobs {
 		jr := &r.Jobs[i]
-		fmt.Fprintf(&b, "  req %4d: arrive %v start %v done %v queue %v latency %v throttles %d cost $%.8f\n",
+		fmt.Fprintf(&b, "  req %4d: arrive %v start %v done %v queue %v latency %v throttles %d cost $%.8f",
 			jr.Index, jr.Arrival, jr.Start, jr.Done, jr.Queue, jr.Latency, jr.Throttles, jr.Cost)
+		if jr.Outcome != "" && jr.Outcome != OutcomeOK {
+			fmt.Fprintf(&b, " outcome=%s", jr.Outcome)
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }
@@ -393,4 +646,16 @@ func (r *Report) writeSummary(b *strings.Builder) {
 	fmt.Fprintf(b, "  throttles %d, cold starts %d, retries %d, faults %d, peak in-flight %d\n",
 		r.Throttles, r.ColdStarts, r.Retries, r.Faults, r.PeakInFlight)
 	fmt.Fprintf(b, "  cost total $%.6f, per request $%.8f\n", r.TotalCost, r.CostPerJob)
+	// Resilience lines appear only when the matching policies did
+	// something, so zero-policy runs render byte-identically to before.
+	if r.SLOActive {
+		fmt.Fprintf(b, "  outcomes: ok %d, shed %d, deadline %d, throttled %d, failed %d\n",
+			r.Completed, r.Shed, r.Deadline, r.Throttled, r.Failed)
+		fmt.Fprintf(b, "  slo %v: good %d, goodput %.4f req/s, cost per good $%.8f, wasted $%.6f\n",
+			r.SLODeadline, r.Good, r.Goodput, r.CostPerGood, r.WastedSpend)
+	}
+	if r.Hedges > 0 || r.ShortCircuits > 0 {
+		fmt.Fprintf(b, "  hedges %d (wins %d), breaker short-circuits %d\n",
+			r.Hedges, r.HedgeWins, r.ShortCircuits)
+	}
 }
