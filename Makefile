@@ -35,11 +35,13 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
-# Chaos smoke: the resilience ladder at a 60% base fault rate with 8×
-# correlated storms, under the race detector, so the hedge/breaker/
-# deadline/shed paths are exercised together on every push.
+# Chaos smoke: the resilience and pipelining×batching ladders at a 60%
+# base fault rate with 8× correlated storms, under the race detector, so
+# the hedge/breaker/deadline/shed paths and the staged scheduler's batch
+# coalescing, retry chains and cost attribution are exercised together
+# on every push.
 chaos:
-	$(GO) test -race -run TestChaosStormSmoke ./internal/experiments/
+	$(GO) test -race -run 'TestChaosStormSmoke|TestChaosPipelineBatch' ./internal/experiments/
 
 build:
 	$(GO) build ./...

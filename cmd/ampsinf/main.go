@@ -11,6 +11,7 @@
 //	                [-trace trace.json] [-metrics metrics.json] [-spans spans.json]
 //	ampsinf sweep   -model mobilenet [-trace trace.json] [-metrics metrics.json]
 //	ampsinf serve   -model mobilenet [-requests 100] [-pattern poisson|uniform|burst]
+//	                [-pipeline 4] [-batch 4|-batch -1] [-batch-window 1s]
 //	                [-rate 5] [-limit 1000] [-sequential] [-full]
 //	                [-trace trace.json] [-metrics metrics.json] [-spans spans.json]
 package main
@@ -321,6 +322,9 @@ func cmdServe(args []string) error {
 	hedgePct := fs.Float64("hedge-pct", 0, "derive the hedge delay from this percentile of past attempt durations (0 = fixed -hedge delay)")
 	hedgeRate := fs.Float64("hedge-rate", 0, "cap on the fraction of invocations that may hedge (0 = 0.25)")
 	breakerN := fs.Int("breaker", 0, "trip a per-function circuit breaker after this many consecutive failures (0 = no breaker)")
+	pipeline := fs.Int("pipeline", 0, "overlap up to this many requests across partition stages (0 or 1 = sequential admission)")
+	batch := fs.Int("batch", 0, "coalesce up to this many queued requests per invocation (-1 = optimizer co-planned size, 0 or 1 = off)")
+	batchWindow := fs.Duration("batch-window", 0, "how long a batch leader holds the queue open for followers (0 = 1s default)")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON (load in ui.perfetto.dev) to this file")
 	spansOut := fs.String("spans", "", "write the full span-tree JSON dump to this file")
 	metricsOut := fs.String("metrics", "", "write a metrics snapshot JSON to this file")
@@ -395,15 +399,24 @@ func cmdServe(args []string) error {
 	}
 	inputs := workload.Images(m, *requests, *seed)
 
-	rep, err := serving.Serve(serving.Config{
-		Deployment: svc.Deployment(),
+	if *batch != 0 {
+		if chosen := svc.BatchPlan.Chosen; chosen > 0 {
+			if opt := svc.BatchPlan.Option(chosen); opt != nil {
+				fmt.Printf("batch co-plan: size %d at $%.6f/request (est. %.2fs per batched pass)\n",
+					chosen, opt.CostPerRequest, opt.EstTime.Seconds())
+			}
+		}
+	}
+	rep, err := svc.Serve(inputs, arrivals, serving.Config{
 		Sequential: *sequential,
 		Throttle:   serving.ThrottlePolicy{JitterSeed: *seed},
 		SLO: serving.SLOPolicy{
 			Deadline: *deadline, Shed: *shed, TolerateFailures: *tolerate,
 		},
-		Metrics: mx,
-	}, inputs, arrivals)
+		Pipeline: serving.PipelinePolicy{Depth: *pipeline},
+		Batch:    serving.BatchPolicy{MaxBatch: *batch, Window: *batchWindow, JitterSeed: *seed},
+		Metrics:  mx,
+	})
 	if err != nil {
 		return err
 	}

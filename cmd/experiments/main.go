@@ -231,6 +231,13 @@ func main() {
 			}
 			return r.Table(), nil
 		}},
+		{"pipeline-batch", func() (*experiments.Table, error) {
+			r, err := experiments.RunPipelineBatch()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
 	}
 
 	ran := 0

@@ -2,14 +2,19 @@
 // an AMPS-Inf deployment in the three supported modes — one batched
 // pipeline pass, sequential per-image jobs on warm containers, and
 // parallel per-image pipelines — and compare with the BATCH baseline
-// (single lambda, buffered batches, no model splitting).
+// (single lambda, buffered batches, no model splitting). A final section
+// moves batching from the tensor layer into the serving layer: the same
+// Poisson request stream served request-at-a-time and then through the
+// admission-side coalescer at the optimizer's co-planned batch size.
 //
 //	go run ./examples/batchserving
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"ampsinf/internal/baselines"
@@ -22,14 +27,21 @@ import (
 	"ampsinf/internal/nn/zoo"
 	"ampsinf/internal/optimizer"
 	"ampsinf/internal/perf"
+	"ampsinf/internal/serving"
 	"ampsinf/internal/workload"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	const nImages = 20
 	model, err := zoo.Build("mobilenet", 0)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	weights := nn.InitWeights(model, 42)
 	images := workload.Images(model, nImages, 3)
@@ -40,28 +52,28 @@ func main() {
 		SLO: 8 * time.Second, SkipCompute: true,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer svc.Close()
-	fmt.Printf("AMPS-Inf: %d partition(s), memories %v MB\n\n", svc.Partitions(), svc.Plan.Memories())
+	fmt.Fprintf(w, "AMPS-Inf: %d partition(s), memories %v MB\n\n", svc.Partitions(), svc.Plan.Memories())
 
 	batched, err := svc.InferBatched(images)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("%-22s completion %7.2fs   cost $%.6f\n", "one batched pass:", batched.Completion.Seconds(), batched.Cost)
+	fmt.Fprintf(w, "%-22s completion %7.2fs   cost $%.6f\n", "one batched pass:", batched.Completion.Seconds(), batched.Cost)
 
 	seq, err := svc.InferBatchSequential(images)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("%-22s completion %7.2fs   cost $%.6f\n", "sequential jobs:", seq.Completion.Seconds(), seq.Cost)
+	fmt.Fprintf(w, "%-22s completion %7.2fs   cost $%.6f\n", "sequential jobs:", seq.Completion.Seconds(), seq.Cost)
 
 	par, err := svc.InferBatchParallel(images)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("%-22s completion %7.2fs   cost $%.6f\n\n", "parallel pipelines:", par.Completion.Seconds(), par.Cost)
+	fmt.Fprintf(w, "%-22s completion %7.2fs   cost $%.6f\n\n", "parallel pipelines:", par.Completion.Seconds(), par.Cost)
 
 	// The BATCH baseline: one 2048 MB lambda, batches of 5, no splitting.
 	meter := &billing.Meter{}
@@ -69,19 +81,62 @@ func main() {
 	store := s3.New(s3.DefaultConfig(), meter)
 	o, err := optimizer.New(optimizer.Request{Model: model, Perf: perf.Default()})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	sys, err := baselines.NewBATCH(coordinator.Config{
 		Platform: platform, Store: store, SkipCompute: true,
 	}, o, weights, 2048, 5)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer sys.Close()
 	rep, err := sys.Serve(images)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("%-22s completion %7.2fs   cost $%.6f   (%d buffered batches)\n",
+	fmt.Fprintf(w, "%-22s completion %7.2fs   cost $%.6f   (%d buffered batches)\n\n",
 		"BATCH baseline:", rep.Completion.Seconds(), rep.Cost, rep.Batches)
+
+	// Serving-level batching: the scenarios above stack tensors before the
+	// request ever reaches the deployment. The serving layer can instead
+	// coalesce independently arriving requests at admission — a bounded
+	// window gathers co-arriving requests into one invocation chain, and
+	// the chain's exact cost is split back across the members. The
+	// optimizer co-plans the batch size against each partition's memory
+	// block and the SLO at Submit; MaxBatch -1 below asks for that size.
+	opt := svc.BatchPlan.Option(svc.BatchPlan.Chosen)
+	fmt.Fprintf(w, "co-planned batch size %d: $%.6f/request, %.2fs per batched pass\n",
+		opt.Batch, opt.CostPerRequest, opt.EstTime.Seconds())
+
+	serveStream := func(batch serving.BatchPolicy) (*serving.Report, error) {
+		sfw := core.NewFramework(core.Options{})
+		ssvc, err := sfw.Submit(model, weights, core.SubmitOptions{
+			SLO: 8 * time.Second, SkipCompute: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer ssvc.Close()
+		arrivals := workload.PoissonArrivals(nImages, 2.0, 7)
+		return ssvc.Serve(images, arrivals, serving.Config{
+			Throttle: serving.ThrottlePolicy{JitterSeed: 7},
+			Batch:    batch,
+		})
+	}
+	plain, err := serveStream(serving.BatchPolicy{MaxBatch: 1})
+	if err != nil {
+		return err
+	}
+	coal, err := serveStream(serving.BatchPolicy{MaxBatch: -1, Window: 2 * time.Second, JitterSeed: 7})
+	if err != nil {
+		return err
+	}
+	for _, s := range []struct {
+		name string
+		rep  *serving.Report
+	}{{"request-at-a-time:", plain}, {"coalesced stream:", coal}} {
+		fmt.Fprintf(w, "%-22s %.2f req/s   avg latency %6.2fs   cost $%.6f ($%.6f/req)\n",
+			s.name, s.rep.Throughput, s.rep.AvgLatency.Seconds(), s.rep.TotalCost, s.rep.CostPerJob)
+	}
+	return nil
 }

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke executes the whole example end to end so it cannot rot
+// silently: every section, including the serving-level coalescing
+// comparison, must run without error and produce its line.
+func TestRunSmoke(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"AMPS-Inf:",
+		"one batched pass:",
+		"sequential jobs:",
+		"parallel pipelines:",
+		"BATCH baseline:",
+		"co-planned batch size",
+		"request-at-a-time:",
+		"coalesced stream:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -429,6 +429,11 @@ type jobState struct {
 	budget   *jobBudget
 	deadline time.Duration
 	elapsed  time.Duration
+	// anchored marks a staged job whose scheduler advances the platform
+	// clock to each stage's true start: the clock already covers the
+	// job's committed time, so breaker decisions must not add elapsed on
+	// top of it again.
+	anchored bool
 }
 
 func (st *jobState) deadlined() bool { return st.deadline > 0 }

@@ -208,8 +208,13 @@ func (d *Deployment) retryGate(ri *retryInfo, step *retryStep, st *jobState, err
 
 // breakerNow estimates the current simulated instant for breaker
 // decisions: the platform clock (advancing in clocked serving mode)
-// plus the job's committed serial time.
+// plus the job's committed serial time. Anchored (staged) jobs have the
+// clock advanced to each stage's true start already — adding elapsed
+// again would double-count the committed time.
 func (d *Deployment) breakerNow(st *jobState, ri *retryInfo) time.Duration {
+	if st.anchored {
+		return d.cfg.Platform.Now() + ri.delay()
+	}
 	return d.cfg.Platform.Now() + st.elapsed + ri.delay()
 }
 

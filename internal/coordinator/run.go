@@ -230,7 +230,7 @@ func (d *Deployment) run(input *tensor.Tensor, eager bool, deadline time.Duratio
 		}
 	}
 	rep.Cost = d.meterTotal() - before
-	root = d.buildTrace(rep, job, eager, upDur, upInfo, results, infos, partBuckets, rootBucket)
+	root = d.buildTrace(rep, job, eager, upDur, upInfo, results, infos, partBuckets, rootBucket, nil)
 	rep.Trace = root
 	d.recordJobMetrics(rep)
 	return rep, nil

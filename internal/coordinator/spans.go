@@ -26,7 +26,11 @@ import (
 // Cost buckets captured around each billed operation are attached to
 // the matching span (S3 request fees land on their transfer phase), so
 // obs.SumCosts over the tree replays the meter's charges exactly.
-func (d *Deployment) buildTrace(rep *Report, job string, eager bool, upDur time.Duration, upInfo retryInfo, results []*lambda.Result, infos []retryInfo, partBuckets []*obs.CostBucket, rootBucket *obs.CostBucket) *obs.Span {
+//
+// starts, when non-nil, overrides the sequential-chain geometry with an
+// externally scheduled start offset per invocation (staged/pipelined
+// jobs, whose stages wait on shared pipeline slots between partitions).
+func (d *Deployment) buildTrace(rep *Report, job string, eager bool, upDur time.Duration, upInfo retryInfo, results []*lambda.Result, infos []retryInfo, partBuckets []*obs.CostBucket, rootBucket *obs.CostBucket, starts []time.Duration) *obs.Span {
 	root := &obs.Span{
 		Name: job, Kind: obs.KindJob, Track: "coordinator",
 		Duration: rep.Completion,
@@ -45,7 +49,10 @@ func (d *Deployment) buildTrace(rep *Report, job string, eager bool, upDur time.
 		track := d.parts[i].fnName
 
 		var invStart, workStart, exit time.Duration
-		if eager {
+		if starts != nil {
+			invStart = starts[i]
+			exit = invStart + info.delay() + invokeDispatchLatency + res.Duration
+		} else if eager {
 			// Mirror settleEager's schedule arithmetic exactly.
 			invStart = 0
 			workStart = invokeDispatchLatency + lr.Init + lr.Load
@@ -66,6 +73,7 @@ func (d *Deployment) buildTrace(rep *Report, job string, eager bool, upDur time.
 			Start: invStart, Duration: exit - invStart,
 		})
 		inv.SetAttr("function", track)
+		inv.SetAttr("container", strconv.Itoa(res.ContainerID))
 		inv.SetAttr("memory_mb", strconv.Itoa(res.MemoryMB))
 		inv.SetAttr("cold", strconv.FormatBool(res.ColdStart))
 		inv.SetAttr("attempts", strconv.Itoa(info.attempts))

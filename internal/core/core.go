@@ -28,6 +28,7 @@ import (
 	"ampsinf/internal/optimizer"
 	"ampsinf/internal/perf"
 	"ampsinf/internal/quant"
+	"ampsinf/internal/serving"
 	"ampsinf/internal/tensor"
 )
 
@@ -158,6 +159,13 @@ type SubmitOptions struct {
 	// Breaker short-circuits invocations of persistently failing
 	// partition functions (zero value disables the breaker).
 	Breaker coordinator.BreakerPolicy
+	// Pipeline is the default pipelined-serving policy for Service.Serve
+	// (zero value keeps the sequential admission scheduler).
+	Pipeline serving.PipelinePolicy
+	// Batch is the default admission-batching policy for Service.Serve
+	// (zero value keeps one request per invocation). Its MaxBatch also
+	// widens the optimizer's batch co-plan.
+	Batch serving.BatchPolicy
 }
 
 // Service is a deployed, ready-to-serve model.
@@ -166,6 +174,13 @@ type Service struct {
 	model      *nn.Model
 	Plan       *optimizer.Plan
 	deployment *coordinator.Deployment
+	// BatchPlan is the optimizer's batch-size co-plan for the deployed
+	// partitioning: per-size time/cost evaluations against the chosen
+	// memory blocks and the SLO, and the recommended size (Chosen).
+	BatchPlan *optimizer.BatchPlan
+	// pipeline and batch are the Serve-time defaults from SubmitOptions.
+	pipeline serving.PipelinePolicy
+	batch    serving.BatchPolicy
 	// PlanningTime is the optimizer's wall-clock overhead (the paper
 	// reports a few seconds on a laptop).
 	PlanningTime time.Duration
@@ -186,7 +201,7 @@ func (f *Framework) Submit(model *nn.Model, weights nn.Weights, opts SubmitOptio
 	}
 	quota := f.platform.Quota()
 	start := time.Now()
-	plan, err := optimizer.Optimize(optimizer.Request{
+	opt, err := optimizer.New(optimizer.Request{
 		Model:                 model,
 		Perf:                  f.perf,
 		SLO:                   opts.SLO,
@@ -199,6 +214,21 @@ func (f *Framework) Submit(model *nn.Model, weights nn.Weights, opts SubmitOptio
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: optimizing %q: %w", model.Name, err)
+	}
+	plan, err := opt.Optimize()
+	if err != nil {
+		return nil, fmt.Errorf("core: optimizing %q: %w", model.Name, err)
+	}
+	// Co-plan the invocation batch size against the plan's memory blocks
+	// and the SLO: probe at least up to 8 so the co-plan is informative
+	// even when the submission did not ask for batching.
+	probe := opts.Batch.MaxBatch
+	if probe < 8 {
+		probe = 8
+	}
+	batchPlan, err := opt.CoPlanBatch(plan, probe)
+	if err != nil {
+		return nil, fmt.Errorf("core: co-planning batch for %q: %w", model.Name, err)
 	}
 	planning := time.Since(start)
 
@@ -216,7 +246,8 @@ func (f *Framework) Submit(model *nn.Model, weights nn.Weights, opts SubmitOptio
 		return nil, fmt.Errorf("core: deploying %q: %w", model.Name, err)
 	}
 	return &Service{
-		framework: f, model: model, Plan: plan,
+		framework: f, model: model, Plan: plan, BatchPlan: batchPlan,
+		pipeline: opts.Pipeline, batch: opts.Batch,
 		deployment: dep, PlanningTime: planning,
 	}, nil
 }
@@ -247,6 +278,32 @@ func (s *Service) InferBatchSequential(inputs []*tensor.Tensor) (*coordinator.Ba
 // single pipeline pass.
 func (s *Service) InferBatched(inputs []*tensor.Tensor) (*coordinator.Report, error) {
 	return s.deployment.RunBatched(inputs)
+}
+
+// Serve runs the open-loop serving scheduler (internal/serving) on this
+// service's deployment. The config's Deployment is filled in, Metrics
+// defaults to the framework registry, and the Pipeline and Batch
+// policies default to the ones the model was submitted with. A batching
+// policy's MaxBatch is clamped into the optimizer co-plan's feasible
+// range, so serving never stacks a batch the planned memory blocks
+// cannot hold. MaxBatch < 0 asks for the co-plan's recommended size.
+func (s *Service) Serve(inputs []*tensor.Tensor, arrivals []time.Duration, cfg serving.Config) (*serving.Report, error) {
+	cfg.Deployment = s.deployment
+	if cfg.Metrics == nil {
+		cfg.Metrics = s.framework.metrics
+	}
+	if cfg.Pipeline == (serving.PipelinePolicy{}) {
+		cfg.Pipeline = s.pipeline
+	}
+	if cfg.Batch == (serving.BatchPolicy{}) {
+		cfg.Batch = s.batch
+	}
+	if cfg.Batch.MaxBatch < 0 {
+		cfg.Batch.MaxBatch = s.BatchPlan.Chosen
+	} else if cfg.Batch.MaxBatch > 1 {
+		cfg.Batch.MaxBatch = s.BatchPlan.Clamp(cfg.Batch.MaxBatch)
+	}
+	return serving.Serve(cfg, inputs, arrivals)
 }
 
 // ServeTrace serves an open-loop request trace (FIFO on this pipeline);

@@ -9,6 +9,37 @@ import (
 // so the hedge, breaker, deadline and shedding paths all execute under
 // heavy contention. CI runs this with -race as the chaos smoke step;
 // the assertions only pin accounting sanity, not tuned outcomes.
+// TestChaosPipelineBatch drives the pipelining × batching ladder
+// through the same violent regime — 60% base fault rate with 8×
+// correlated storms — under a tight account limit, so staged execution,
+// batch coalescing, retry chains and stage failures all interleave on
+// one clock. The assertions pin accounting sanity: every request gets
+// exactly one outcome, and the span-replay cost identity (SumCostsAll ≡
+// meter total) survives batched failure traces.
+func TestChaosPipelineBatch(t *testing.T) {
+	r, err := runPipelineBatch("mobilenet", 24, 1.0, ResilienceSeed, 0, 0.60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(PipelineLadder) {
+		t.Fatalf("%d rows, want %d", len(r.Rows), len(PipelineLadder))
+	}
+	for _, row := range r.Rows {
+		if row.Completed > r.Jobs || row.Completed < 0 {
+			t.Errorf("cell %s: completed %d of %d", row.Cell.Name, row.Completed, r.Jobs)
+		}
+		if row.Good > row.Completed {
+			t.Errorf("cell %s: good %d exceeds completed %d", row.Cell.Name, row.Good, row.Completed)
+		}
+		if row.Cost < 0 {
+			t.Errorf("cell %s: negative cost %v", row.Cell.Name, row.Cost)
+		}
+		if row.TraceCost != row.MeterCost {
+			t.Errorf("cell %s: trace cost %v != meter %v under the storm", row.Cell.Name, row.TraceCost, row.MeterCost)
+		}
+	}
+}
+
 func TestChaosStormSmoke(t *testing.T) {
 	r, err := runResilience("mobilenet", 24, 1.0, ResilienceSeed, []float64{0.60})
 	if err != nil {

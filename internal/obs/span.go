@@ -33,6 +33,7 @@ const (
 	KindDispatch   = "dispatch"
 	KindTransition = "transition"
 	KindState      = "state"
+	KindBatch      = "batch"
 )
 
 // Span is one named interval of simulated time. Start is absolute

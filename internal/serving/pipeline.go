@@ -1,0 +1,423 @@
+package serving
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"time"
+
+	"ampsinf/internal/coordinator"
+	"ampsinf/internal/obs"
+	"ampsinf/internal/tensor"
+)
+
+// stageJob is one admitted batch unit moving through the pipeline: its
+// staged coordinator job plus the scheduling state the event loop needs
+// — which stage runs next and when the previous one ended.
+type stageJob struct {
+	seq  int
+	unit batchUnit
+	sj   *coordinator.StagedJob
+	// start is the absolute admission instant (the job's time zero);
+	// prevEnd the absolute end of the job's last completed step (the
+	// input upload before stage 0).
+	start   time.Duration
+	prevEnd time.Duration
+	next    int
+	// Admission bookkeeping carried from the pending unit:
+	throttles int
+	wait      time.Duration
+	waits     []time.Duration
+}
+
+// pendingUnit is one batch unit waiting for admission: its next
+// admission instant and the throttle backoffs it has accumulated.
+type pendingUnit struct {
+	unit     batchUnit
+	readyAt  time.Duration
+	attempts int
+	wait     time.Duration
+	waits    []time.Duration
+}
+
+// Event classes, in priority order at equal instants: stage completions
+// settle before new stage starts, and both before fresh admissions, so
+// freed pipeline slots and depth capacity are visible to the events
+// that want them.
+const (
+	evFinish = iota
+	evStage
+	evAdmit
+	evNone
+)
+
+// servePipelined is the staged serving scheduler behind PipelinePolicy
+// and BatchPolicy: requests are coalesced into batch units, admitted
+// units execute partition stages through coordinator.StagedJob, and a
+// single event loop interleaves every unit's stages in global time
+// order — partition i of request n overlaps partition i+1 of request
+// n−1. Each partition stage has one pipeline slot, so a deployment's
+// warm container per function is reused back to back instead of
+// fanning out; Depth bounds how many units occupy the pipeline at once
+// and the account concurrency limit still gates every admission. The
+// loop is single-threaded and picks events deterministically (time,
+// then class, then admission order), so the whole run remains
+// byte-reproducible.
+func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Report, error) {
+	dep := cfg.Deployment
+	pl := dep.Platform()
+	pl.EnableClock()
+	width := dep.Partitions()
+	limit := pl.AccountConcurrency()
+	mx := cfg.Metrics
+	slo := cfg.SLO
+
+	depth := cfg.Pipeline.Depth
+	if depth < 1 {
+		depth = 1
+	}
+	seed := cfg.Throttle.JitterSeed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bseed := cfg.Batch.JitterSeed
+	if bseed == 0 {
+		bseed = 1
+	}
+	brng := rand.New(rand.NewSource(bseed))
+
+	mode := "pipelined"
+	switch {
+	case cfg.Pipeline.enabled() && cfg.Batch.enabled():
+		mode = "pipelined+batched"
+	case cfg.Batch.enabled():
+		mode = "batched"
+	}
+	rep := &Report{Mode: mode, Jobs: make([]JobResult, len(inputs))}
+	rep.SLOActive = slo.enabled()
+	rep.SLODeadline = slo.Deadline
+
+	queue := make([]*pendingUnit, 0, len(inputs))
+	for _, u := range coalesce(arrivals, cfg.Batch, brng) {
+		queue = append(queue, &pendingUnit{unit: u, readyAt: u.DispatchAt})
+	}
+
+	// One pipeline slot per partition stage: freeAt[i] is when stage i's
+	// slot is next available, stageQ[i] the units waiting for it in
+	// admission order.
+	freeAt := make([]time.Duration, width)
+	stageQ := make([][]*stageJob, width)
+	var finishQ []*stageJob
+	running := 0 // units admitted into the pipeline and not yet settled
+	seqCounter := 0
+
+	// Completion predictor for SLO shedding, as in the sequential loop.
+	var estSum time.Duration
+	var estN int
+
+	// fill populates one member request's result and trace. The leader
+	// carries the shifted job tree (with every cost event); followers get
+	// a batch-ride span pointing at it, so obs.SumCostsAll over the
+	// report's traces still replays each charge exactly once.
+	fill := func(j *stageJob, jrep *coordinator.Report, done time.Duration, outcome, errText string) {
+		u := j.unit
+		shares := SplitCost(jrep.Cost, u.Size)
+		for k := 0; k < u.Size; k++ {
+			idx := u.First + k
+			jr := &rep.Jobs[idx]
+			jr.Index = idx
+			jr.Arrival = arrivals[idx]
+			jr.Start = j.start
+			jr.Done = done
+			jr.Queue = j.start - arrivals[idx]
+			jr.Latency = done - arrivals[idx]
+			jr.Cost = shares[k]
+			jr.Throttles = j.throttles
+			jr.ThrottleWait = j.wait
+			jr.Outcome = outcome
+			jr.Err = errText
+			if k == 0 {
+				// The leader owns the job-level record: retries, faults and
+				// the span tree belong to the one shared invocation.
+				jr.Retries = jrep.Retries
+				jr.Faults = jrep.FaultsInjected
+				jr.Hedges = jrep.Hedges
+				jr.HedgeWins = jrep.HedgeWins
+				jr.ShortCircuits = jrep.ShortCircuits
+				jr.WastedSpend = jrep.WastedSpend
+				for _, lr := range jrep.PerLambda {
+					if lr.Cold {
+						jr.ColdStarts++
+					}
+				}
+				jr.Trace = requestSpan(jr, j.waits, jrep.Trace)
+			} else {
+				jr.Trace = batchRideSpan(jr, j.waits, u.First, u.Size)
+			}
+			mx.Add("serving_cost_usd_total", jr.Cost)
+			if jr.Done > rep.Makespan {
+				rep.Makespan = jr.Done
+			}
+		}
+	}
+
+	// failUnit settles a unit whose staged job terminated with an error,
+	// mirroring the sequential loop's outcome classification. It returns
+	// a non-nil error when the failure must abort the whole run.
+	failUnit := func(j *stageJob, err error) error {
+		deadlined := coordinator.IsDeadlineExceeded(err)
+		if !deadlined && !slo.TolerateFailures {
+			return fmt.Errorf("serving: request %d: %w", j.unit.First, err)
+		}
+		if deadlined && slo.Deadline == 0 && !slo.TolerateFailures {
+			return fmt.Errorf("serving: request %d: %w", j.unit.First, err)
+		}
+		outcome := OutcomeFailed
+		if deadlined {
+			outcome = OutcomeDeadline
+		}
+		frep := j.sj.Rep()
+		var failDur time.Duration
+		if frep.Trace != nil {
+			failDur = frep.Trace.Duration
+		}
+		fill(j, frep, j.start+failDur, outcome, err.Error())
+		for k := 0; k < j.unit.Size; k++ {
+			if deadlined {
+				mx.Inc("serving_deadline_failures_total", 1)
+			} else {
+				mx.Inc("serving_failures_total", 1)
+			}
+		}
+		return nil
+	}
+
+	for len(queue) > 0 || running > 0 {
+		// Pick the earliest next event; ties resolve by class priority
+		// (finish, stage, admission) and then by admission order.
+		bestKind := evNone
+		var bestAt time.Duration
+		bestSeq := 0
+		bestIdx := 0
+		consider := func(kind int, at time.Duration, seq, idx int) {
+			if at < pl.Now() {
+				at = pl.Now()
+			}
+			if bestKind == evNone || at < bestAt ||
+				(at == bestAt && (kind < bestKind || (kind == bestKind && seq < bestSeq))) {
+				bestKind, bestAt, bestSeq, bestIdx = kind, at, seq, idx
+			}
+		}
+		for fi, j := range finishQ {
+			consider(evFinish, j.prevEnd, j.seq, fi)
+		}
+		for i := 0; i < width; i++ {
+			if len(stageQ[i]) == 0 {
+				continue
+			}
+			j := stageQ[i][0]
+			at := j.prevEnd
+			if freeAt[i] > at {
+				at = freeAt[i]
+			}
+			consider(evStage, at, j.seq, i)
+		}
+		if running < depth && len(queue) > 0 {
+			sel := 0
+			for qi := 1; qi < len(queue); qi++ {
+				if queue[qi].readyAt < queue[sel].readyAt ||
+					(queue[qi].readyAt == queue[sel].readyAt && queue[qi].unit.First < queue[sel].unit.First) {
+					sel = qi
+				}
+			}
+			consider(evAdmit, queue[sel].readyAt, queue[sel].unit.First, sel)
+		}
+		if bestKind == evNone {
+			// Pipeline at depth capacity with nothing left to run: every
+			// slot is waiting on an admission the depth gate blocks. This
+			// cannot happen (finishing jobs free capacity), but guard
+			// against looping forever if it ever does.
+			return nil, fmt.Errorf("serving: pipelined scheduler stalled with %d queued, %d running", len(queue), running)
+		}
+
+		pl.AdvanceTo(bestAt)
+		now := pl.Now()
+
+		switch bestKind {
+		case evFinish:
+			j := finishQ[bestIdx]
+			finishQ = append(finishQ[:bestIdx], finishQ[bestIdx+1:]...)
+			running--
+			jrep, err := j.sj.Finish(now - j.start)
+			if err != nil {
+				if ferr := failUnit(j, err); ferr != nil {
+					return nil, ferr
+				}
+				continue
+			}
+			fill(j, jrep, now, OutcomeOK, "")
+			estSum += jrep.Completion
+			estN++
+			for k := 0; k < j.unit.Size; k++ {
+				idx := j.unit.First + k
+				mx.Inc("serving_jobs_total", 1)
+				mx.Observe("serving_queue_seconds", obs.DurationBounds, rep.Jobs[idx].Queue.Seconds())
+				mx.Observe("serving_latency_seconds", obs.DurationBounds, rep.Jobs[idx].Latency.Seconds())
+			}
+
+		case evStage:
+			i := bestIdx
+			j := stageQ[i][0]
+			stageQ[i] = stageQ[i][1:]
+			svc, err := j.sj.RunStage(now - j.start)
+			if err != nil {
+				freeAt[i] = now + svc
+				running--
+				if ferr := failUnit(j, err); ferr != nil {
+					return nil, ferr
+				}
+				continue
+			}
+			freeAt[i] = now + svc
+			j.prevEnd = now + svc
+			j.next++
+			if j.next == width {
+				finishQ = append(finishQ, j)
+			} else {
+				stageQ[j.next] = append(stageQ[j.next], j)
+			}
+			if inFlight := pl.InFlightAt(now); inFlight > rep.PeakInFlight {
+				rep.PeakInFlight = inFlight
+			}
+
+		case evAdmit:
+			p := queue[bestIdx]
+			queue = append(queue[:bestIdx], queue[bestIdx+1:]...)
+			u := p.unit
+			leader := u.First
+			elapsed := now - arrivals[leader]
+
+			if slo.Shed && (elapsed >= slo.Deadline ||
+				(estN > 0 && elapsed+estSum/time.Duration(estN) > slo.Deadline)) {
+				shedUnit(rep, arrivals, p, now, mx)
+				continue
+			}
+
+			if pl.InFlightAt(now)+width > limit {
+				p.attempts++
+				rep.Throttles++
+				mx.Inc("serving_throttles_total", 1)
+				if p.attempts >= cfg.Throttle.attempts() {
+					if !slo.TolerateFailures {
+						return nil, fmt.Errorf("serving: request %d throttled %d times (limit %d, width %d)",
+							leader, p.attempts, limit, width)
+					}
+					throttleOutUnit(rep, arrivals, p, now, mx)
+					continue
+				}
+				bo := backoff(cfg.Throttle, p.attempts, rng)
+				p.wait += bo
+				p.waits = append(p.waits, bo)
+				p.readyAt = now + bo
+				queue = append(queue, p)
+				continue
+			}
+
+			var jobDeadline time.Duration
+			if slo.Deadline > 0 {
+				jobDeadline = slo.Deadline - elapsed
+				if jobDeadline <= 0 {
+					jobDeadline = time.Nanosecond
+				}
+			}
+
+			in := inputs[leader]
+			if u.Size > 1 {
+				stacked, err := tensor.Stack(inputs[leader : leader+u.Size])
+				if err != nil {
+					return nil, fmt.Errorf("serving: batching requests %d..%d: %w", leader, leader+u.Size-1, err)
+				}
+				in = stacked
+				mx.Inc("serving_batches_total", 1)
+			}
+			sj, err := dep.BeginStaged(in, coordinator.StagedOptions{Deadline: jobDeadline, Batch: u.Size})
+			j := &stageJob{
+				seq: seqCounter, unit: u, sj: sj, start: now,
+				throttles: p.attempts, wait: p.wait, waits: p.waits,
+			}
+			seqCounter++
+			if err != nil {
+				if ferr := failUnit(j, err); ferr != nil {
+					return nil, ferr
+				}
+				continue
+			}
+			j.prevEnd = now + sj.InputReady()
+			running++
+			stageQ[0] = append(stageQ[0], j)
+		}
+	}
+
+	summarize(rep)
+	mx.Gauge("serving_peak_in_flight", float64(rep.PeakInFlight))
+	return rep, nil
+}
+
+// shedUnit records an admission-control rejection for every member of a
+// pending unit, mirroring the sequential loop's shed bookkeeping.
+func shedUnit(rep *Report, arrivals []time.Duration, p *pendingUnit, now time.Duration, mx *obs.Metrics) {
+	for k := 0; k < p.unit.Size; k++ {
+		idx := p.unit.First + k
+		jr := &rep.Jobs[idx]
+		jr.Index = idx
+		jr.Arrival = arrivals[idx]
+		jr.Start = now
+		jr.Done = now
+		jr.Queue = now - arrivals[idx]
+		jr.Latency = jr.Queue
+		jr.Throttles = p.attempts
+		jr.ThrottleWait = p.wait
+		jr.Outcome = OutcomeShed
+		jr.Trace = requestSpan(jr, p.waits, nil)
+		mx.Inc("serving_shed_total", 1)
+	}
+}
+
+// throttleOutUnit records an exhausted admission for every member of a
+// pending unit (recorded only under TolerateFailures).
+func throttleOutUnit(rep *Report, arrivals []time.Duration, p *pendingUnit, now time.Duration, mx *obs.Metrics) {
+	for k := 0; k < p.unit.Size; k++ {
+		idx := p.unit.First + k
+		jr := &rep.Jobs[idx]
+		jr.Index = idx
+		jr.Arrival = arrivals[idx]
+		jr.Start = now
+		jr.Done = now
+		jr.Queue = now - arrivals[idx]
+		jr.Latency = jr.Queue
+		jr.Throttles = p.attempts
+		jr.ThrottleWait = p.wait
+		jr.Outcome = OutcomeThrottled
+		jr.Err = fmt.Sprintf("throttled %d times", p.attempts)
+		jr.Trace = requestSpan(jr, p.waits, nil)
+		mx.Inc("serving_admission_failures_total", 1)
+	}
+}
+
+// batchRideSpan is a follower member's trace: the usual request root
+// (arrival, queue wait, backoffs) plus a batch-ride child covering the
+// shared invocation's extent and naming the leader whose tree carries
+// the actual spans and cost events. Followers hold no cost events of
+// their own, so summing costs across all request traces still counts
+// every charge exactly once.
+func batchRideSpan(jr *JobResult, waits []time.Duration, leader, size int) *obs.Span {
+	root := requestSpan(jr, waits, nil)
+	ride := root.AddChild(&obs.Span{
+		Name: "batch-ride", Kind: obs.KindBatch, Track: "serving",
+		Start: jr.Start, Duration: jr.Done - jr.Start,
+	})
+	ride.SetAttr("leader", strconv.Itoa(leader))
+	ride.SetAttr("batch", strconv.Itoa(size))
+	return root
+}

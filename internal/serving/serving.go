@@ -135,6 +135,14 @@ type Config struct {
 	// tolerance). The zero value preserves the fail-on-first-error
 	// behaviour byte for byte.
 	SLO SLOPolicy
+	// Pipeline enables staged partition execution overlapped across
+	// requests. The zero value (or Depth 1) keeps the sequential
+	// scheduler byte for byte.
+	Pipeline PipelinePolicy
+	// Batch coalesces queued requests into shared batched invocations.
+	// The zero value (or MaxBatch 1) keeps one invocation per request
+	// byte for byte.
+	Batch BatchPolicy
 	// Metrics, when set, receives serving-level counters and histograms.
 	Metrics *obs.Metrics
 }
@@ -276,6 +284,18 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 	}
 	if err := cfg.SLO.Validate(); err != nil {
 		return nil, fmt.Errorf("serving: %w", err)
+	}
+	if err := cfg.Pipeline.Validate(); err != nil {
+		return nil, fmt.Errorf("serving: %w", err)
+	}
+	if err := cfg.Batch.Validate(); err != nil {
+		return nil, fmt.Errorf("serving: %w", err)
+	}
+	if cfg.Pipeline.enabled() || cfg.Batch.enabled() {
+		// Depth 1 and batch size 1 are exactly today's scheduler, so only
+		// a policy that actually overlaps or coalesces takes the staged
+		// path — the equivalence property the test suite locks down.
+		return servePipelined(cfg, inputs, arrivals)
 	}
 	pl := dep.Platform()
 	pl.EnableClock()
