@@ -13,6 +13,8 @@
 //	ampsinf serve   -model mobilenet [-requests 100] [-pattern poisson|uniform|burst]
 //	                [-pipeline 4] [-batch 4|-batch -1] [-batch-window 1s]
 //	                [-rate 5] [-limit 1000] [-sequential] [-full]
+//	                [-sample-rate 0.1] [-metrics-window 1s]
+//	                [-http :9090] [-stream stream.ndjson]
 //	                [-trace trace.json] [-metrics metrics.json] [-spans spans.json]
 package main
 
@@ -20,9 +22,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"ampsinf/internal/cloud/billing"
@@ -325,6 +331,10 @@ func cmdServe(args []string) error {
 	pipeline := fs.Int("pipeline", 0, "overlap up to this many requests across partition stages (0 or 1 = sequential admission)")
 	batch := fs.Int("batch", 0, "coalesce up to this many queued requests per invocation (-1 = optimizer co-planned size, 0 or 1 = off)")
 	batchWindow := fs.Duration("batch-window", 0, "how long a batch leader holds the queue open for followers (0 = 1s default)")
+	sampleRate := fs.Float64("sample-rate", 0, "span-sampling rate in [0,1]: fraction of requests whose span trees are kept (0 = always-on tracing)")
+	metricsWindow := fs.Duration("metrics-window", time.Second, "time-series window width for -http and -stream exports")
+	httpAddr := fs.String("http", "", "serve live telemetry on this address (/metrics, /metrics/stream, /spans); blocks after the run until interrupted")
+	streamOut := fs.String("stream", "", "write the NDJSON metrics window stream to this file")
 	traceOut := fs.String("trace", "", "write a Chrome trace-event JSON (load in ui.perfetto.dev) to this file")
 	spansOut := fs.String("spans", "", "write the full span-tree JSON dump to this file")
 	metricsOut := fs.String("metrics", "", "write a metrics snapshot JSON to this file")
@@ -370,9 +380,14 @@ func cmdServe(args []string) error {
 		opts.Trace = tracer
 	}
 	var mx *obs.Metrics
-	if *metricsOut != "" {
+	if *metricsOut != "" || *httpAddr != "" {
 		mx = obs.NewMetrics()
 		opts.Metrics = mx
+	}
+	var series *obs.TimeSeries
+	if *httpAddr != "" || *streamOut != "" {
+		series = obs.NewTimeSeries(*metricsWindow)
+		opts.Series = series
 	}
 	fw := core.NewFramework(opts)
 	svc, err := fw.Submit(m, w, subOpts)
@@ -382,6 +397,21 @@ func cmdServe(args []string) error {
 	defer svc.Close()
 	if *limit > 0 {
 		fw.Platform().SetAccountConcurrency(*limit)
+	}
+
+	// The telemetry endpoints bind before the run starts, so scrapers
+	// (and CI smoke checks) can poll /metrics while requests are being
+	// served; the registry and series carry their own locks.
+	var state *obs.ServeState
+	if *httpAddr != "" {
+		state = obs.NewServeState(mx, series)
+		ln, lerr := net.Listen("tcp", *httpAddr)
+		if lerr != nil {
+			return lerr
+		}
+		defer ln.Close()
+		go http.Serve(ln, state.Handler())
+		fmt.Printf("telemetry: http://%s (/metrics, /metrics/stream, /spans)\n", ln.Addr())
 	}
 	fmt.Printf("deployed %d partition(s), memories %v, account concurrency %d\n",
 		svc.Partitions(), svc.Plan.Memories(), fw.Platform().AccountConcurrency())
@@ -415,11 +445,14 @@ func cmdServe(args []string) error {
 		},
 		Pipeline: serving.PipelinePolicy{Depth: *pipeline},
 		Batch:    serving.BatchPolicy{MaxBatch: *batch, Window: *batchWindow, JitterSeed: *seed},
+		Sample:   serving.SamplePolicy{Rate: *sampleRate, Seed: *seed},
 		Metrics:  mx,
+		Series:   series,
 	})
 	if err != nil {
 		return err
 	}
+	series.Close()
 	if *full {
 		fmt.Print(rep.Render())
 	} else {
@@ -462,6 +495,19 @@ func cmdServe(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote metrics snapshot to %s\n", *metricsOut)
+	}
+	if *streamOut != "" {
+		if err := writeFile(*streamOut, series.WriteNDJSON); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d metrics windows to %s\n", len(series.Frames()), *streamOut)
+	}
+	if state != nil {
+		state.SetSpans(func() []*obs.Span { return roots })
+		fmt.Println("run complete; telemetry endpoints stay live — interrupt (Ctrl-C) to exit")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
 	}
 	return nil
 }

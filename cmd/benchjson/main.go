@@ -104,9 +104,17 @@ func writeDiff(w io.Writer, base, cur *Doc) {
 			fmt.Fprintf(w, "%-64s (not in baseline)\n", key)
 			continue
 		}
-		fmt.Fprintf(w, "%-64s %s  %s\n", key,
+		cells := fmt.Sprintf("%s  %s",
 			deltaCell("ns/op", old.Metrics, r.Metrics),
 			deltaCell("B/op", old.Metrics, r.Metrics))
+		// Serving throughput benchmarks also report wall-clock req/s;
+		// surface the delta when either side carries the metric.
+		if _, inOld := old.Metrics["req/s"]; inOld {
+			cells += "  " + deltaCell("req/s", old.Metrics, r.Metrics)
+		} else if _, inCur := r.Metrics["req/s"]; inCur {
+			cells += "  " + deltaCell("req/s", old.Metrics, r.Metrics)
+		}
+		fmt.Fprintf(w, "%-64s %s\n", key, cells)
 	}
 	// Stable order for vanished benchmarks (cur is already sorted).
 	var gone []string

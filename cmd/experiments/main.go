@@ -4,20 +4,25 @@
 // Usage:
 //
 //	experiments [-only <id>] [-metrics <file>]
+//	            [-stream <file>] [-metrics-window 1s]
 //	            [-cpuprofile <file>] [-memprofile <file>]
 //
 // where <id> is e.g. "table1", "figure9". Without -only, everything runs
 // in paper order. With -metrics, a sorted-key JSON snapshot of every
 // simulator and coordinator metric accumulated across the run is
-// written to <file> ("-" for stdout) after the tables. The profile
-// flags capture pprof CPU/heap profiles of the run.
+// written to <file> ("-" for stdout) after the tables. With -stream,
+// the windowed NDJSON metrics stream accumulated across the run is
+// written to <file> ("-" for stdout). The profile flags capture pprof
+// CPU/heap profiles of the run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"ampsinf/internal/experiments"
 	"ampsinf/internal/obs"
@@ -27,6 +32,8 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment (e.g. table1, figure9)")
 	metricsOut := flag.String("metrics", "", `write a metrics snapshot JSON to this file ("-" = stdout)`)
+	streamOut := flag.String("stream", "", `write the NDJSON metrics window stream to this file ("-" = stdout)`)
+	metricsWindow := flag.Duration("metrics-window", time.Second, "time-series window width for -stream")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	flag.Parse()
@@ -42,6 +49,11 @@ func main() {
 	if *metricsOut != "" {
 		mx = obs.NewMetrics()
 		experiments.SetMetrics(mx)
+	}
+	var series *obs.TimeSeries
+	if *streamOut != "" {
+		series = obs.NewTimeSeries(*metricsWindow)
+		experiments.SetSeries(series)
 	}
 
 	type job struct {
@@ -258,22 +270,29 @@ func main() {
 		os.Exit(2)
 	}
 	if mx != nil {
-		if err := writeMetrics(mx, *metricsOut); err != nil {
+		if err := writeOut(mx.WriteJSON, *metricsOut); err != nil {
 			fmt.Fprintf(os.Stderr, "metrics: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if series != nil {
+		series.Close()
+		if err := writeOut(series.WriteNDJSON, *streamOut); err != nil {
+			fmt.Fprintf(os.Stderr, "stream: %v\n", err)
 			os.Exit(1)
 		}
 	}
 }
 
-func writeMetrics(mx *obs.Metrics, path string) error {
+func writeOut(write func(io.Writer) error, path string) error {
 	if path == "-" {
-		return mx.WriteJSON(os.Stdout)
+		return write(os.Stdout)
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := mx.WriteJSON(f); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		return err
 	}

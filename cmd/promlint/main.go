@@ -1,0 +1,25 @@
+// Command promlint validates a Prometheus text exposition read from
+// stdin: legal metric and label names, quoted label values, parseable
+// sample values, well-formed TYPE comments, and at least one sample.
+// CI's monitor-smoke step pipes a live `/metrics` scrape through it.
+//
+// Usage:
+//
+//	curl -fsS http://127.0.0.1:9090/metrics | promlint
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ampsinf/internal/obs"
+)
+
+func main() {
+	n, err := obs.LintExposition(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("promlint: ok (%d samples)\n", n)
+}

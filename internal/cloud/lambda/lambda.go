@@ -63,10 +63,11 @@ type Platform struct {
 	perf  perf.Params
 	quota pricing.Quota
 
-	mu  sync.RWMutex
-	fns map[string]*Function
-	inj *faults.Injector
-	mx  *obs.Metrics
+	mu     sync.RWMutex
+	fns    map[string]*Function
+	inj    *faults.Injector
+	mx     *obs.Metrics
+	series *obs.TimeSeries
 
 	// Clocked serving state (see pool.go): the simulated clock, whether
 	// pooled/clocked semantics are on, and the account concurrency
@@ -112,6 +113,17 @@ func (pl *Platform) metrics() *obs.Metrics {
 	pl.mu.RLock()
 	defer pl.mu.RUnlock()
 	return pl.mx
+}
+
+// SetSeries installs (or, with nil, removes) the windowed time-series
+// stream the platform feeds per-invocation activity into (invocations,
+// cold starts, faults, per-function pool occupancy, account in-flight)
+// on the simulated clock. Meant for clocked serving mode, where the
+// single-threaded event loop keeps window contents deterministic.
+func (pl *Platform) SetSeries(ts *obs.TimeSeries) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.series = ts
 }
 
 // Quota returns the platform's limits.
@@ -269,6 +281,8 @@ func (pl *Platform) Invoke(name string, payload []byte, opts InvokeOptions) (*Re
 	}
 	inj := pl.inj
 	mx := pl.mx
+	ts := pl.series
+	now := pl.now
 	// An injected throttle (429) rejects the invocation before any
 	// container is assigned: warm state is untouched and nothing bills.
 	// The clocked-mode offset is passed explicitly — pl.mu is held here,
@@ -277,15 +291,16 @@ func (pl *Platform) Invoke(name string, payload []byte, opts InvokeOptions) (*Re
 	if fault == faults.Throttle {
 		pl.mu.Unlock()
 		mx.Inc(`lambda_faults_total{kind="throttle"}`, 1)
+		ts.Inc(now, `lambda_faults_total{kind="throttle"}`, 1)
 		return nil, &faults.Error{Kind: faults.Throttle, Op: "invoke", Target: name}
 	}
 	c, cold, throttled := fn.acquireLocked(pl)
 	if throttled {
 		pl.mu.Unlock()
 		mx.Inc(`lambda_throttles_total{reason="concurrency"}`, 1)
+		ts.Inc(now, `lambda_throttles_total{reason="concurrency"}`, 1)
 		return nil, &faults.Error{Kind: faults.Throttle, Op: "invoke", Target: name}
 	}
-	now := pl.now
 	cfg := fn.cfg
 	pl.mu.Unlock()
 
@@ -366,6 +381,22 @@ func (pl *Platform) Invoke(name string, payload []byte, opts InvokeOptions) (*Re
 	for _, ph := range res.Phases {
 		mx.Observe(fmt.Sprintf("lambda_phase_seconds{phase=%q}", ph.Name),
 			obs.DurationBounds, ph.Duration.Seconds())
+	}
+	if ts != nil {
+		// Counters land in the dispatch window; the latency observation
+		// and the occupancy gauges land at the invocation's finish, the
+		// instant the pool actually reflects it.
+		end := now + res.Duration
+		ts.Inc(now, fmt.Sprintf("lambda_invocations_total{function=%q}", name), 1)
+		if cold {
+			ts.Inc(now, fmt.Sprintf("lambda_cold_starts_total{function=%q}", name), 1)
+		}
+		if res.InjectedFault != "" {
+			ts.Inc(now, fmt.Sprintf("lambda_faults_total{kind=%q}", res.InjectedFault), 1)
+		}
+		ts.Observe(end, fmt.Sprintf("lambda_invoke_seconds{function=%q}", name), res.Duration.Seconds())
+		ts.Gauge(end, fmt.Sprintf("lambda_pool_size{function=%q}", name), float64(pl.PoolSize(name)))
+		ts.Gauge(end, "lambda_inflight", float64(pl.InFlightAt(end)))
 	}
 
 	if herr != nil {

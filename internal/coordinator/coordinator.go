@@ -72,6 +72,10 @@ type Config struct {
 	// Metrics, when set, receives job-level counters and histograms
 	// (jobs, retries, absorbed faults, completion, per-phase time).
 	Metrics *obs.Metrics
+	// Series, when set, additionally streams windowed job/hedge/breaker
+	// activity onto the simulated clock (see obs.TimeSeries). Nil is a
+	// no-op.
+	Series *obs.TimeSeries
 }
 
 // Deployment is a set of partition functions ready to serve.

@@ -246,8 +246,13 @@ func (d *Deployment) invokeWithRetry(p *partition, payload []byte, eager bool, h
 		if p.brk != nil {
 			bnow := d.breakerNow(st, &ri)
 			d.retryMu.Lock()
+			bprev := p.brk.state
 			allowed, until := p.brk.allow(bnow)
+			bcur := p.brk.state
 			d.retryMu.Unlock()
+			if bcur != bprev {
+				d.noteBreakerTransition(fnName, bcur, bnow)
+			}
 			if !allowed {
 				ri.attempts++
 				ri.shortCircuits++
@@ -286,6 +291,9 @@ func (d *Deployment) invokeWithRetry(p *partition, payload []byte, eager bool, h
 			if hdelay > 0 && res.Duration > hdelay && d.takeHedgeSlot() {
 				hedged = true
 				ri.hedges++
+				if ts := d.cfg.Series; ts != nil {
+					ts.Inc(d.breakerNow(st, &ri), fmt.Sprintf("coordinator_hedges_fired_total{function=%q}", fnName), 1)
+				}
 				hbucket = tr.NewBucket()
 				ph := tr.SetSink(hbucket)
 				hres, herr = d.cfg.Platform.Invoke(fnName, payload, lambda.InvokeOptions{DeferBilling: true})
@@ -302,6 +310,9 @@ func (d *Deployment) invokeWithRetry(p *partition, payload []byte, eager bool, h
 				res, err = out, nil
 				if ri.hedgeWon {
 					bucket = hbucket
+					if ts := d.cfg.Series; ts != nil {
+						ts.Inc(d.breakerNow(st, &ri), fmt.Sprintf("coordinator_hedges_won_total{function=%q}", fnName), 1)
+					}
 				}
 			} else {
 				// Both sides failed: one combined failed attempt.
@@ -514,8 +525,25 @@ func (d *Deployment) recordOutcome(p *partition, now time.Duration, ok bool) {
 		return
 	}
 	d.retryMu.Lock()
+	bprev := p.brk.state
 	p.brk.record(now, ok)
+	bcur := p.brk.state
 	d.retryMu.Unlock()
+	if bcur != bprev {
+		d.noteBreakerTransition(p.fnName, bcur, now)
+	}
+}
+
+// noteBreakerTransition publishes one breaker state change at simulated
+// instant at: a counter labeled with the state entered, plus a window-
+// stream gauge encoding the state (0=closed, 1=open, 2=half-open).
+func (d *Deployment) noteBreakerTransition(fn string, to breakerState, at time.Duration) {
+	name := fmt.Sprintf("coordinator_breaker_transitions_total{function=%q,to=%q}", fn, to)
+	d.cfg.Metrics.Inc(name, 1)
+	if ts := d.cfg.Series; ts != nil {
+		ts.Inc(at, name, 1)
+		ts.Gauge(at, fmt.Sprintf("coordinator_breaker_state{function=%q}", fn), float64(to))
+	}
 }
 
 // recordLatency feeds one successful attempt duration to the

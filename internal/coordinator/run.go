@@ -81,9 +81,12 @@ type Report struct {
 	WastedSpend   float64 // execution spend on failed/cancelled invocations
 
 	// Trace is the job's span tree (job → upload/invocations → attempts
-	// → phases) on the simulated clock. Always built; when the
-	// deployment has a Tracer the spans additionally carry exact cost
-	// attributions such that obs.SumCosts(Trace) reproduces Cost.
+	// → phases) on the simulated clock. Built unless the caller opted
+	// out via RunOptions.NoTrace — failed jobs and hedge-won jobs always
+	// carry one regardless, so forced-sample outcomes keep their spans.
+	// When the deployment has a Tracer the spans additionally carry
+	// exact cost attributions such that obs.SumCosts(Trace) reproduces
+	// Cost.
 	Trace *obs.Span
 }
 
@@ -97,13 +100,20 @@ type RunOptions struct {
 	// time cannot cover another attempt, operations fail fast with a
 	// DeadlineError.
 	Deadline time.Duration
+	// NoTrace skips materializing the success span tree (Report.Trace
+	// stays nil), the head-sampling hook internal/serving uses to stop
+	// allocating a tree per request. Cost stays exact — Report.Cost is
+	// the meter delta either way. Failure traces are still built (they
+	// carry the failed job's charges), and a job whose hedge won builds
+	// its tree regardless so hedge-won outcomes are always sampled.
+	NoTrace bool
 }
 
 // Run serves one input under opts. On failure the returned report,
 // when non-nil, carries a partial trace holding the exact charges the
 // failed job billed, so serving-level cost attribution stays exact.
 func (d *Deployment) Run(input *tensor.Tensor, opts RunOptions) (*Report, error) {
-	return d.run(input, !opts.Sequential, opts.Deadline)
+	return d.run(input, !opts.Sequential, opts.Deadline, opts.NoTrace)
 }
 
 // RunSequential serves one input with strictly sequential invocations:
@@ -111,7 +121,7 @@ func (d *Deployment) Run(input *tensor.Tensor, opts RunOptions) (*Report, error)
 // model behind the paper's formulation, where the response time is the
 // sum of per-lambda times (Eq. 2).
 func (d *Deployment) RunSequential(input *tensor.Tensor) (*Report, error) {
-	return d.run(input, false, 0)
+	return d.run(input, false, 0, false)
 }
 
 // RunEager serves one input with the measurement-matching schedule: all
@@ -121,10 +131,10 @@ func (d *Deployment) RunSequential(input *tensor.Tensor) (*Report, error) {
 // deployed system achieves the completion times of the paper's Tables 3
 // and 5.
 func (d *Deployment) RunEager(input *tensor.Tensor) (*Report, error) {
-	return d.run(input, true, 0)
+	return d.run(input, true, 0, false)
 }
 
-func (d *Deployment) run(input *tensor.Tensor, eager bool, deadline time.Duration) (*Report, error) {
+func (d *Deployment) run(input *tensor.Tensor, eager bool, deadline time.Duration, noTrace bool) (*Report, error) {
 	tr := d.cfg.Tracer
 	tr.BeginJob()
 	var root *obs.Span
@@ -230,8 +240,14 @@ func (d *Deployment) run(input *tensor.Tensor, eager bool, deadline time.Duratio
 		}
 	}
 	rep.Cost = d.meterTotal() - before
-	root = d.buildTrace(rep, job, eager, upDur, upInfo, results, infos, partBuckets, rootBucket, nil)
-	rep.Trace = root
+	// Head sampling: a dropped job skips the whole tree build (the
+	// dominant per-job allocation), unless its hedge won — hedge-won
+	// outcomes are always sampled, and rep.HedgeWins is final here
+	// because recordRetries already folded every operation in.
+	if !noTrace || rep.HedgeWins > 0 {
+		root = d.buildTrace(rep, job, eager, upDur, upInfo, results, infos, partBuckets, rootBucket, nil)
+		rep.Trace = root
+	}
 	d.recordJobMetrics(rep)
 	return rep, nil
 }
@@ -263,6 +279,15 @@ func (d *Deployment) recordJobMetrics(rep *Report) {
 		mx.Add(`coordinator_phase_seconds_total{phase="read"}`, lr.Read.Seconds())
 		mx.Add(`coordinator_phase_seconds_total{phase="compute"}`, lr.Compute.Seconds())
 		mx.Add(`coordinator_phase_seconds_total{phase="write"}`, lr.Write.Seconds())
+	}
+	if ts := d.cfg.Series; ts != nil {
+		at := d.cfg.Platform.Now()
+		ts.Inc(at, fmt.Sprintf("coordinator_jobs_total{mode=%q}", rep.Mode), 1)
+		ts.Observe(at, "coordinator_job_completion_seconds", rep.Completion.Seconds())
+		ts.Add(at, "coordinator_job_cost_usd_total", rep.Cost)
+		if rep.Retries > 0 {
+			ts.Inc(at, "coordinator_retries_total", int64(rep.Retries))
+		}
 	}
 }
 

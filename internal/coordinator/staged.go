@@ -21,6 +21,11 @@ type StagedOptions struct {
 	// input (≥ 1). Purely descriptive: it lands on the trace so batched
 	// jobs are recognizable in exports.
 	Batch int
+	// NoTrace skips materializing the success span tree, mirroring
+	// RunOptions.NoTrace: the report's Cost falls back to the job's
+	// meter-delta accumulator (exact), failure traces are still built,
+	// and a job whose hedge won builds its tree regardless.
+	NoTrace bool
 }
 
 // StagedJob executes one inference job stage by stage under an external
@@ -209,6 +214,16 @@ func (sj *StagedJob) Finish(completion time.Duration) (*Report, error) {
 	}
 	sj.rep.Output = out
 	sj.rep.Completion = completion
+	// Head sampling: a dropped job reports its meter-delta spend (exact
+	// per job, though an unsampled tracer replay could associate the
+	// same charges in a different order) and skips the tree build.
+	// Hedge-won jobs are always sampled; rep.HedgeWins is final here.
+	if sj.opts.NoTrace && sj.rep.HedgeWins == 0 {
+		sj.rep.Cost = sj.spend
+		sj.close(nil)
+		d.recordJobMetrics(sj.rep)
+		return sj.rep, nil
+	}
 	root := d.buildTrace(sj.rep, sj.job, false, sj.upDur, sj.upInfo, sj.results, sj.infos, sj.partBuckets, sj.rootBucket, sj.starts)
 	if sj.opts.Batch > 1 {
 		root.SetAttr("batch", fmt.Sprintf("%d", sj.opts.Batch))

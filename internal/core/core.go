@@ -53,6 +53,10 @@ type Options struct {
 	// Metrics threads a metrics registry through the platform, store and
 	// coordinator (counters, gauges, histograms; see internal/obs).
 	Metrics *obs.Metrics
+	// Series threads a windowed time-series stream through the platform,
+	// coordinator and serving layer, keying per-window activity to the
+	// simulated clock (see obs.TimeSeries).
+	Series *obs.TimeSeries
 }
 
 // Framework owns the platform bindings and runs the Optimizer +
@@ -64,6 +68,7 @@ type Framework struct {
 	perf     perf.Params
 	tracer   *obs.Tracer
 	metrics  *obs.Metrics
+	series   *obs.TimeSeries
 }
 
 // NewFramework builds a framework, creating any environment pieces not
@@ -110,9 +115,12 @@ func NewFramework(opts Options) *Framework {
 			s3s.SetMetrics(opts.Metrics)
 		}
 	}
+	if opts.Series != nil {
+		platform.SetSeries(opts.Series)
+	}
 	return &Framework{
 		platform: platform, store: store, meter: meter, perf: p,
-		tracer: opts.Trace, metrics: opts.Metrics,
+		tracer: opts.Trace, metrics: opts.Metrics, series: opts.Series,
 	}
 }
 
@@ -241,6 +249,7 @@ func (f *Framework) Submit(model *nn.Model, weights nn.Weights, opts SubmitOptio
 		SkipCompute: opts.SkipCompute, QuantizeBits: opts.QuantizeBits,
 		Retry: opts.Retry, Deadline: opts.Deadline, Hedge: opts.Hedge,
 		Breaker: opts.Breaker, Tracer: f.tracer, Metrics: f.metrics,
+		Series: f.series,
 	}, model, weights, plan)
 	if err != nil {
 		return nil, fmt.Errorf("core: deploying %q: %w", model.Name, err)
@@ -291,6 +300,14 @@ func (s *Service) Serve(inputs []*tensor.Tensor, arrivals []time.Duration, cfg s
 	cfg.Deployment = s.deployment
 	if cfg.Metrics == nil {
 		cfg.Metrics = s.framework.metrics
+	}
+	if cfg.Series == nil {
+		cfg.Series = s.framework.series
+	}
+	if ts := cfg.Series; ts != nil && s.BatchPlan != nil {
+		// The optimizer's co-planned batch size, for comparison against
+		// the batch sizes the admission window actually chooses.
+		ts.Gauge(0, "serving_batch_coplanned", float64(s.BatchPlan.Chosen))
 	}
 	if cfg.Pipeline == (serving.PipelinePolicy{}) {
 		cfg.Pipeline = s.pipeline

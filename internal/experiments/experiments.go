@@ -31,6 +31,7 @@ import (
 var (
 	metricsMu sync.Mutex
 	metricsRe *obs.Metrics
+	seriesRe  *obs.TimeSeries
 )
 
 // SetMetrics installs (or, with nil, removes) the registry future Envs
@@ -45,6 +46,23 @@ func currentMetrics() *obs.Metrics {
 	metricsMu.Lock()
 	defer metricsMu.Unlock()
 	return metricsRe
+}
+
+// SetSeries installs (or, with nil, removes) the windowed time series
+// future Envs stream telemetry into. Each Env runs its own simulated
+// clock, so a shared series across experiments overlays their windows;
+// that is fine for the NDJSON stream export, which is about watching
+// live counters, not attributing them to one run.
+func SetSeries(ts *obs.TimeSeries) {
+	metricsMu.Lock()
+	defer metricsMu.Unlock()
+	seriesRe = ts
+}
+
+func currentSeries() *obs.TimeSeries {
+	metricsMu.Lock()
+	defer metricsMu.Unlock()
+	return seriesRe
 }
 
 // Env is one experiment's isolated simulated cloud.
@@ -73,6 +91,7 @@ func NewEnv() *Env {
 		StepFn:   engine,
 		FW: core.NewFramework(core.Options{
 			Platform: platform, Store: store, Meter: meter, Metrics: mx,
+			Series: currentSeries(),
 		}),
 	}
 }

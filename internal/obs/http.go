@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// ServeState bundles the live telemetry sources an HTTP exposition
+// endpoint reads: the cumulative metrics registry, the windowed
+// time-series stream, and a provider for the sampled span trees. The
+// registry and series carry their own locks, so handlers can scrape
+// mid-run; the span provider is typically installed once the run is
+// over (nil provider → empty trace).
+type ServeState struct {
+	mu      sync.Mutex
+	metrics *Metrics
+	series  *TimeSeries
+	spans   func() []*Span
+}
+
+// NewServeState creates a serve state over the given sources (either
+// may be nil; the corresponding endpoint serves an empty document).
+func NewServeState(mx *Metrics, ts *TimeSeries) *ServeState {
+	return &ServeState{metrics: mx, series: ts}
+}
+
+// SetSpans installs (or replaces) the provider the /spans endpoint
+// exports. fn must be safe to call from any goroutine.
+func (st *ServeState) SetSpans(fn func() []*Span) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.spans = fn
+}
+
+// Handler returns the HTTP handler exposing the telemetry:
+//
+//	/metrics        Prometheus text exposition of the cumulative registry
+//	/metrics/stream NDJSON window stream (one WindowFrame per line)
+//	/spans          sampled span trees as Chrome trace-event JSON
+//	/               plain-text index of the above
+func (st *ServeState) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", st.handleMetrics)
+	mux.HandleFunc("/metrics/stream", st.handleStream)
+	mux.HandleFunc("/spans", st.handleSpans)
+	mux.HandleFunc("/", st.handleIndex)
+	return mux
+}
+
+func (st *ServeState) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	st.mu.Lock()
+	mx := st.metrics
+	st.mu.Unlock()
+	if err := WritePrometheus(w, mx.Snapshot()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (st *ServeState) handleStream(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	st.mu.Lock()
+	ts := st.series
+	st.mu.Unlock()
+	if ts == nil {
+		return
+	}
+	if err := ts.WriteNDJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (st *ServeState) handleSpans(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	st.mu.Lock()
+	fn := st.spans
+	st.mu.Unlock()
+	var roots []*Span
+	if fn != nil {
+		roots = fn()
+	}
+	if err := WriteChromeTrace(w, roots); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (st *ServeState) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, "ampsinf telemetry\n\n"+
+		"/metrics        Prometheus text exposition\n"+
+		"/metrics/stream NDJSON window stream\n"+
+		"/spans          sampled Chrome trace (load in ui.perfetto.dev)\n")
+}

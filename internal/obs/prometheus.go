@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4). The registry's inline-label naming
+// convention (`lambda_faults_total{kind="crash"}`) maps directly:
+// everything before the first '{' is the metric family, the rest its
+// labels. Counters and accumulated float totals expose as counters,
+// gauges as gauges, and fixed-bound histograms expand into classic
+// `_bucket`/`_sum`/`_count` series with cumulative `le` buckets.
+// Families are emitted in sorted order and every number formats via
+// strconv, so the output is byte-deterministic for a given snapshot.
+func WritePrometheus(w io.Writer, snap *Snapshot) error {
+	if snap == nil {
+		snap = &Snapshot{}
+	}
+	type family struct {
+		typ   string
+		lines []string
+	}
+	fams := make(map[string]*family)
+	order := make([]string, 0, 16)
+	add := func(fam, typ, line string) {
+		f, ok := fams[fam]
+		if !ok {
+			f = &family{typ: typ}
+			fams[fam] = f
+			order = append(order, fam)
+		}
+		f.lines = append(f.lines, line)
+	}
+
+	for _, name := range sortedKeys(snap.Counters) {
+		fam, lbl := splitMetricName(name)
+		add(fam, "counter", fmt.Sprintf("%s %d", joinMetricName(fam, lbl), snap.Counters[name]))
+	}
+	for _, name := range sortedKeys(snap.Totals) {
+		fam, lbl := splitMetricName(name)
+		add(fam, "counter", fmt.Sprintf("%s %s", joinMetricName(fam, lbl), formatPromValue(snap.Totals[name])))
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		fam, lbl := splitMetricName(name)
+		add(fam, "gauge", fmt.Sprintf("%s %s", joinMetricName(fam, lbl), formatPromValue(snap.Gauges[name])))
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		fam, lbl := splitMetricName(name)
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			add(fam, "histogram", fmt.Sprintf("%s_bucket%s %d",
+				fam, mergeLabels(lbl, `le="`+formatPromValue(bound)+`"`), cum))
+		}
+		add(fam, "histogram", fmt.Sprintf("%s_bucket%s %d", fam, mergeLabels(lbl, `le="+Inf"`), h.Count))
+		add(fam, "histogram", fmt.Sprintf("%s_sum%s %s", fam, braceLabels(lbl), formatPromValue(h.Sum)))
+		add(fam, "histogram", fmt.Sprintf("%s_count%s %d", fam, braceLabels(lbl), h.Count))
+	}
+
+	sort.Strings(order)
+	bw := bufio.NewWriter(w)
+	for _, fam := range order {
+		f := fams[fam]
+		if _, err := fmt.Fprintf(bw, "# TYPE %s %s\n", fam, f.typ); err != nil {
+			return err
+		}
+		for _, line := range f.lines {
+			if _, err := fmt.Fprintln(bw, line); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// splitMetricName splits a registry name into the metric family and its
+// brace-less label string ("" when unlabeled).
+func splitMetricName(name string) (fam, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+func joinMetricName(fam, labels string) string {
+	return fam + braceLabels(labels)
+}
+
+func braceLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// mergeLabels appends extra onto an existing label string, braced.
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+// formatPromValue formats a float the shortest way that round-trips.
+func formatPromValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var (
+	promMetricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// LintExposition validates a Prometheus text exposition: every sample
+// line must carry a legal metric name, well-formed quoted labels and a
+// parseable value, and TYPE comments must name a known metric type. It
+// returns the number of sample lines seen (erroring on zero), so CI
+// smoke checks can assert a scrape actually contained data.
+func LintExposition(r io.Reader) (samples int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := lintComment(line); err != nil {
+				return samples, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := lintSample(line); err != nil {
+			return samples, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return samples, err
+	}
+	if samples == 0 {
+		return 0, fmt.Errorf("exposition contains no samples")
+	}
+	return samples, nil
+}
+
+func lintComment(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || (fields[1] != "TYPE" && fields[1] != "HELP") {
+		return nil // free-form comment
+	}
+	if len(fields) < 3 || !promMetricNameRE.MatchString(fields[2]) {
+		return fmt.Errorf("%s comment with invalid metric name: %q", fields[1], line)
+	}
+	if fields[1] == "TYPE" {
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE comment: %q", line)
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", fields[3])
+		}
+	}
+	return nil
+}
+
+func lintSample(line string) error {
+	rest := line
+	nameEnd := strings.IndexAny(rest, "{ ")
+	if nameEnd < 0 {
+		return fmt.Errorf("sample without value: %q", line)
+	}
+	name := rest[:nameEnd]
+	if !promMetricNameRE.MatchString(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	rest = rest[nameEnd:]
+	if strings.HasPrefix(rest, "{") {
+		body, tail, err := lintLabels(rest)
+		if err != nil {
+			return fmt.Errorf("metric %s: %w (labels %q)", name, err, body)
+		}
+		rest = tail
+	}
+	value := strings.TrimSpace(rest)
+	if value == "" {
+		return fmt.Errorf("metric %s has no value", name)
+	}
+	// Timestamps (a second integer field) are legal; we never emit them
+	// but accept them for forward compatibility.
+	fields := strings.Fields(value)
+	if len(fields) > 2 {
+		return fmt.Errorf("metric %s has trailing garbage %q", name, value)
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		if fields[0] != "+Inf" && fields[0] != "-Inf" && fields[0] != "NaN" {
+			return fmt.Errorf("metric %s has unparseable value %q", name, fields[0])
+		}
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("metric %s has unparseable timestamp %q", name, fields[1])
+		}
+	}
+	return nil
+}
+
+// lintLabels validates a `{name="value",...}` label block and returns
+// the remainder of the line after the closing brace.
+func lintLabels(s string) (body, tail string, err error) {
+	end := strings.IndexByte(s, '}')
+	if end < 0 {
+		return s, "", fmt.Errorf("unterminated label block")
+	}
+	body, tail = s[1:end], s[end+1:]
+	if body == "" {
+		return body, tail, nil
+	}
+	rest := body
+	for len(rest) > 0 {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return body, tail, fmt.Errorf("label without '='")
+		}
+		lname := rest[:eq]
+		if !promLabelNameRE.MatchString(lname) {
+			return body, tail, fmt.Errorf("invalid label name %q", lname)
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return body, tail, fmt.Errorf("label %s value not quoted", lname)
+		}
+		rest = rest[1:]
+		closing := -1
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				closing = i
+				break
+			}
+		}
+		if closing < 0 {
+			return body, tail, fmt.Errorf("label %s value unterminated", lname)
+		}
+		rest = rest[closing+1:]
+		if rest == "" {
+			break
+		}
+		if !strings.HasPrefix(rest, ",") {
+			return body, tail, fmt.Errorf("label %s not followed by ',' or '}'", lname)
+		}
+		rest = rest[1:]
+	}
+	return body, tail, nil
+}

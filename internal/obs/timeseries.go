@@ -1,0 +1,430 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TimeSeries aggregates counters, gauges and log-linear latency
+// histograms into fixed windows of the simulated clock and flushes each
+// completed window as one immutable WindowFrame on an ordered,
+// deterministic stream. Recording is cheap (map upserts into the small
+// set of still-open windows); the flushed frames are what consumers —
+// the NDJSON stream, subscribers, the future re-planning daemon — read.
+//
+// Windows are half-open intervals [i·W, (i+1)·W) of simulated time.
+// Advance(now) flushes, in ascending window order, every window whose
+// end is ≤ now; because the schedulers only record at timestamps at or
+// after the simulated clock and the clock never retreats, a flushed
+// window can never receive another recording (late recordings below the
+// flush point are clamped into the oldest open window defensively, so
+// nothing is ever silently dropped). Close flushes whatever remains.
+//
+// All methods are nil-safe — a nil *TimeSeries is a valid no-op sink —
+// and safe for concurrent use. Only non-empty windows are emitted;
+// idle stretches cost nothing on the stream.
+type TimeSeries struct {
+	mu        sync.Mutex
+	window    time.Duration
+	flushedTo int64 // lowest window index still open
+	pending   map[int64]*windowAgg
+	frames    []*WindowFrame
+	retain    int
+	subs      []func(*WindowFrame)
+}
+
+// windowAgg is one still-open window's mutable aggregation state.
+type windowAgg struct {
+	counters map[string]int64
+	totals   map[string]float64
+	gauges   map[string]float64
+	hists    map[string]*logHist
+}
+
+// WindowFrame is one flushed window of the metrics stream. Maps marshal
+// with sorted keys, so a frame's JSON form is byte-deterministic.
+type WindowFrame struct {
+	// Index is the window number: the frame covers simulated time
+	// [Index·W, (Index+1)·W).
+	Index int64 `json:"window"`
+	// Start and End are the window bounds in simulated seconds.
+	Start float64 `json:"start_s"`
+	End   float64 `json:"end_s"`
+
+	Counters map[string]int64      `json:"counters,omitempty"`
+	Totals   map[string]float64    `json:"totals,omitempty"`
+	Gauges   map[string]float64    `json:"gauges,omitempty"`
+	Hists    map[string]*HistFrame `json:"hists,omitempty"`
+}
+
+// NewTimeSeries creates a time series with the given window width
+// (values ≤ 0 default to one simulated second).
+func NewTimeSeries(window time.Duration) *TimeSeries {
+	if window <= 0 {
+		window = time.Second
+	}
+	return &TimeSeries{window: window, pending: make(map[int64]*windowAgg)}
+}
+
+// Window returns the configured window width (0 from a nil series).
+func (ts *TimeSeries) Window() time.Duration {
+	if ts == nil {
+		return 0
+	}
+	return ts.window
+}
+
+// SetRetention caps the retained flushed frames to the most recent n,
+// ring-buffer style (0 = keep everything). Subscribers still see every
+// frame; only Frames/WriteNDJSON are bounded.
+func (ts *TimeSeries) SetRetention(n int) {
+	if ts == nil {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.retain = n
+	ts.evictLocked()
+}
+
+// Subscribe registers fn to be called with each frame as it is flushed,
+// in window order. fn runs under the series lock and must not call back
+// into the series.
+func (ts *TimeSeries) Subscribe(fn func(*WindowFrame)) {
+	if ts == nil || fn == nil {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.subs = append(ts.subs, fn)
+}
+
+// Inc adds delta to the named counter in the window containing at.
+func (ts *TimeSeries) Inc(at time.Duration, name string, delta int64) {
+	if ts == nil {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	w := ts.aggLocked(at)
+	if w.counters == nil {
+		w.counters = make(map[string]int64)
+	}
+	w.counters[name] += delta
+}
+
+// Add accumulates v into the named float total in the window
+// containing at.
+func (ts *TimeSeries) Add(at time.Duration, name string, v float64) {
+	if ts == nil {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	w := ts.aggLocked(at)
+	if w.totals == nil {
+		w.totals = make(map[string]float64)
+	}
+	w.totals[name] += v
+}
+
+// Gauge sets the named gauge in the window containing at; the last
+// write into a window wins.
+func (ts *TimeSeries) Gauge(at time.Duration, name string, v float64) {
+	if ts == nil {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	w := ts.aggLocked(at)
+	if w.gauges == nil {
+		w.gauges = make(map[string]float64)
+	}
+	w.gauges[name] = v
+}
+
+// Observe records v into the named log-linear histogram in the window
+// containing at. Non-finite values are ignored.
+func (ts *TimeSeries) Observe(at time.Duration, name string, v float64) {
+	if ts == nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	w := ts.aggLocked(at)
+	if w.hists == nil {
+		w.hists = make(map[string]*logHist)
+	}
+	h, ok := w.hists[name]
+	if !ok {
+		h = newLogHist()
+		w.hists[name] = h
+	}
+	h.observe(v)
+}
+
+// aggLocked returns the open window aggregation for the instant at,
+// clamping instants before the flush point into the oldest open window.
+func (ts *TimeSeries) aggLocked(at time.Duration) *windowAgg {
+	if at < 0 {
+		at = 0
+	}
+	idx := int64(at / ts.window)
+	if idx < ts.flushedTo {
+		idx = ts.flushedTo
+	}
+	w, ok := ts.pending[idx]
+	if !ok {
+		w = &windowAgg{}
+		ts.pending[idx] = w
+	}
+	return w
+}
+
+// Advance flushes every window that ends at or before the simulated
+// instant now, in ascending window order. Call it from the scheduler as
+// the clock moves; it is idempotent and never flushes ahead of now.
+func (ts *TimeSeries) Advance(now time.Duration) {
+	if ts == nil {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	target := int64(now / ts.window)
+	ts.flushLocked(target)
+}
+
+// Close flushes every still-open window. Call it once the run is over,
+// before exporting the stream.
+func (ts *TimeSeries) Close() {
+	if ts == nil {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	ts.flushLocked(math.MaxInt64)
+}
+
+// flushLocked emits every pending window with index < target.
+func (ts *TimeSeries) flushLocked(target int64) {
+	if target <= ts.flushedTo {
+		return
+	}
+	if len(ts.pending) == 0 {
+		ts.flushedTo = target
+		return
+	}
+	idxs := make([]int64, 0, len(ts.pending))
+	for idx := range ts.pending {
+		if idx < target {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	for _, idx := range idxs {
+		frame := ts.pending[idx].frame(idx, ts.window)
+		delete(ts.pending, idx)
+		ts.frames = append(ts.frames, frame)
+		for _, fn := range ts.subs {
+			fn(frame)
+		}
+	}
+	ts.evictLocked()
+	ts.flushedTo = target
+}
+
+func (ts *TimeSeries) evictLocked() {
+	if ts.retain > 0 && len(ts.frames) > ts.retain {
+		keep := ts.frames[len(ts.frames)-ts.retain:]
+		ts.frames = append([]*WindowFrame(nil), keep...)
+	}
+}
+
+// frame freezes the aggregation into an immutable WindowFrame.
+func (w *windowAgg) frame(idx int64, window time.Duration) *WindowFrame {
+	f := &WindowFrame{
+		Index: idx,
+		Start: (time.Duration(idx) * window).Seconds(),
+		End:   (time.Duration(idx+1) * window).Seconds(),
+	}
+	if len(w.counters) > 0 {
+		f.Counters = w.counters
+	}
+	if len(w.totals) > 0 {
+		f.Totals = w.totals
+	}
+	if len(w.gauges) > 0 {
+		f.Gauges = w.gauges
+	}
+	if len(w.hists) > 0 {
+		f.Hists = make(map[string]*HistFrame, len(w.hists))
+		for name, h := range w.hists {
+			f.Hists[name] = h.frame()
+		}
+	}
+	return f
+}
+
+// Frames returns the flushed frames in window order.
+func (ts *TimeSeries) Frames() []*WindowFrame {
+	if ts == nil {
+		return nil
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return append([]*WindowFrame(nil), ts.frames...)
+}
+
+// WriteNDJSON writes the flushed frames as newline-delimited JSON, one
+// frame per line in window order. Deterministic: map keys marshal
+// sorted and every number derives from the simulated clock, so two
+// same-seed runs produce byte-identical streams.
+func (ts *TimeSeries) WriteNDJSON(w io.Writer) error {
+	for _, f := range ts.Frames() {
+		b, err := json.Marshal(f)
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- log-linear histogram ---
+
+// histSubBuckets is the number of linear subdivisions per power of two;
+// 16 gives ~3% worst-case relative bucket error, plenty for p50/p95/p99
+// over simulated latencies, at a handful of occupied buckets per window.
+const histSubBuckets = 16
+
+// zeroBucketIndex collects observations ≤ 0 (the log-linear grid only
+// covers positives). Its upper bound renders as 0.
+const zeroBucketIndex = math.MinInt32
+
+// logHist is a sparse log-linear histogram: each positive observation
+// lands in one of 16 equal-width buckets inside its binade (the
+// [2^(e-1), 2^e) range from math.Frexp), so quantiles are recovered to
+// ~3% without storing samples.
+type logHist struct {
+	counts map[int]int64
+	count  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+func newLogHist() *logHist { return &logHist{counts: make(map[int]int64)} }
+
+func (h *logHist) observe(v float64) {
+	h.counts[histBucketIndex(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// histBucketIndex maps a value onto the log-linear grid. Frexp (exact
+// bit manipulation, unlike math.Log) keeps the mapping platform
+// deterministic: v = frac·2^exp with frac ∈ [0.5, 1), and the binade is
+// split into histSubBuckets equal slices by frac.
+func histBucketIndex(v float64) int {
+	if v <= 0 {
+		return zeroBucketIndex
+	}
+	frac, exp := math.Frexp(v)
+	sub := int((frac - 0.5) * 2 * histSubBuckets)
+	if sub >= histSubBuckets {
+		sub = histSubBuckets - 1
+	}
+	return exp*histSubBuckets + sub
+}
+
+// histBucketUpper is the inclusive upper bound of bucket idx: the
+// smallest grid point strictly above every value the bucket admits.
+func histBucketUpper(idx int) float64 {
+	if idx == zeroBucketIndex {
+		return 0
+	}
+	exp := idx / histSubBuckets
+	sub := idx % histSubBuckets
+	if sub < 0 { // floor division for negative indexes
+		sub += histSubBuckets
+		exp--
+	}
+	return math.Ldexp(0.5+float64(sub+1)/(2*histSubBuckets), exp)
+}
+
+// HistBucket is one occupied histogram bucket: N observations with
+// value ≤ Le. Buckets are serialized as an ordered slice (ascending
+// Le), not a map, so numeric order survives JSON.
+type HistBucket struct {
+	Le float64 `json:"le"`
+	N  int64   `json:"n"`
+}
+
+// HistFrame is a frozen per-window histogram: summary statistics,
+// nearest-rank quantiles resolved to bucket upper bounds, and the
+// occupied buckets in ascending order.
+type HistFrame struct {
+	Count   int64        `json:"count"`
+	Sum     float64      `json:"sum"`
+	Min     float64      `json:"min"`
+	Max     float64      `json:"max"`
+	P50     float64      `json:"p50"`
+	P95     float64      `json:"p95"`
+	P99     float64      `json:"p99"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+func (h *logHist) frame() *HistFrame {
+	idxs := make([]int, 0, len(h.counts))
+	for idx := range h.counts {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	f := &HistFrame{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	f.Buckets = make([]HistBucket, 0, len(idxs))
+	for _, idx := range idxs {
+		f.Buckets = append(f.Buckets, HistBucket{Le: histBucketUpper(idx), N: h.counts[idx]})
+	}
+	f.P50 = h.quantileLocked(idxs, 0.50)
+	f.P95 = h.quantileLocked(idxs, 0.95)
+	f.P99 = h.quantileLocked(idxs, 0.99)
+	return f
+}
+
+// quantileLocked is the nearest-rank quantile over the sorted bucket
+// indexes, resolved to the bucket's upper bound (clamped to the
+// observed max so a lone sample reports itself, not its bucket edge).
+func (h *logHist) quantileLocked(sortedIdxs []int, q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(h.count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for _, idx := range sortedIdxs {
+		seen += h.counts[idx]
+		if seen >= rank {
+			up := histBucketUpper(idx)
+			if up > h.max {
+				up = h.max
+			}
+			return up
+		}
+	}
+	return h.max
+}

@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestTimeSeriesWindowing(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	ts.Inc(100*time.Millisecond, "reqs_total", 1)
+	ts.Inc(900*time.Millisecond, "reqs_total", 2)
+	ts.Add(500*time.Millisecond, "cost_usd_total", 0.25)
+	ts.Gauge(200*time.Millisecond, "queue_depth", 7)
+	ts.Gauge(800*time.Millisecond, "queue_depth", 3) // last write wins
+	ts.Observe(600*time.Millisecond, "latency_seconds", 0.5)
+	ts.Inc(1500*time.Millisecond, "reqs_total", 5) // next window
+
+	// Nothing flushed yet: the first window is still open.
+	ts.Advance(time.Second - 1)
+	if got := ts.Frames(); len(got) != 0 {
+		t.Fatalf("flushed %d frames before the window closed", len(got))
+	}
+	ts.Advance(time.Second)
+	frames := ts.Frames()
+	if len(frames) != 1 {
+		t.Fatalf("want 1 flushed frame, got %d", len(frames))
+	}
+	f := frames[0]
+	if f.Index != 0 || f.Start != 0 || f.End != 1 {
+		t.Fatalf("frame bounds wrong: %+v", f)
+	}
+	if f.Counters["reqs_total"] != 3 {
+		t.Fatalf("counter = %d, want 3", f.Counters["reqs_total"])
+	}
+	if f.Totals["cost_usd_total"] != 0.25 {
+		t.Fatalf("total = %v", f.Totals["cost_usd_total"])
+	}
+	if f.Gauges["queue_depth"] != 3 {
+		t.Fatalf("gauge = %v, want last-write 3", f.Gauges["queue_depth"])
+	}
+	h := f.Hists["latency_seconds"]
+	if h == nil || h.Count != 1 || h.Sum != 0.5 || h.Min != 0.5 || h.Max != 0.5 {
+		t.Fatalf("hist frame wrong: %+v", h)
+	}
+
+	ts.Close()
+	frames = ts.Frames()
+	if len(frames) != 2 {
+		t.Fatalf("want 2 frames after Close, got %d", len(frames))
+	}
+	if frames[1].Index != 1 || frames[1].Counters["reqs_total"] != 5 {
+		t.Fatalf("second frame wrong: %+v", frames[1])
+	}
+}
+
+// Empty windows cost nothing: a series that only saw activity in
+// windows 0 and 5 emits exactly two frames.
+func TestTimeSeriesSkipsEmptyWindows(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	ts.Inc(0, "a", 1)
+	ts.Inc(5*time.Second+time.Millisecond, "a", 1)
+	ts.Close()
+	frames := ts.Frames()
+	if len(frames) != 2 || frames[0].Index != 0 || frames[1].Index != 5 {
+		t.Fatalf("frames = %+v", frames)
+	}
+}
+
+// A recording below the flush point must not vanish: it is clamped into
+// the oldest still-open window.
+func TestTimeSeriesLateRecordingClamped(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	ts.Advance(3 * time.Second) // windows 0-2 are gone
+	ts.Inc(500*time.Millisecond, "late_total", 1)
+	ts.Close()
+	frames := ts.Frames()
+	if len(frames) != 1 || frames[0].Index != 3 || frames[0].Counters["late_total"] != 1 {
+		t.Fatalf("late recording lost or misfiled: %+v", frames)
+	}
+}
+
+func TestTimeSeriesSubscribeAndRetention(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	var seen []int64
+	ts.Subscribe(func(f *WindowFrame) { seen = append(seen, f.Index) })
+	ts.SetRetention(2)
+	for i := 0; i < 5; i++ {
+		ts.Inc(time.Duration(i)*time.Second, "n", 1)
+	}
+	ts.Close()
+	if len(seen) != 5 {
+		t.Fatalf("subscriber saw %d frames, want all 5", len(seen))
+	}
+	for i, idx := range seen {
+		if idx != int64(i) {
+			t.Fatalf("frames out of order: %v", seen)
+		}
+	}
+	frames := ts.Frames()
+	if len(frames) != 2 || frames[0].Index != 3 || frames[1].Index != 4 {
+		t.Fatalf("retention kept wrong frames: %+v", frames)
+	}
+}
+
+// Two identical recording sequences must serialize to byte-identical
+// NDJSON — the property the serving stream golden rests on.
+func TestTimeSeriesNDJSONDeterministic(t *testing.T) {
+	build := func() *TimeSeries {
+		ts := NewTimeSeries(250 * time.Millisecond)
+		for i := 0; i < 40; i++ {
+			at := time.Duration(i) * 70 * time.Millisecond
+			ts.Inc(at, "reqs_total", int64(i%3))
+			ts.Add(at, "cost", float64(i)*0.001)
+			ts.Observe(at, "lat", float64(i%7)*0.01)
+			ts.Gauge(at, "depth", float64(i%5))
+		}
+		ts.Close()
+		return ts
+	}
+	var a, b bytes.Buffer
+	if err := build().WriteNDJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteNDJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() == 0 || !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical series serialized differently")
+	}
+}
+
+func TestTimeSeriesNilSafe(t *testing.T) {
+	var ts *TimeSeries
+	ts.Inc(0, "a", 1)
+	ts.Add(0, "b", 1)
+	ts.Gauge(0, "c", 1)
+	ts.Observe(0, "d", 1)
+	ts.Advance(time.Hour)
+	ts.Close()
+	ts.Subscribe(func(*WindowFrame) {})
+	ts.SetRetention(1)
+	if ts.Frames() != nil || ts.Window() != 0 {
+		t.Fatal("nil series not a no-op")
+	}
+	if err := ts.WriteNDJSON(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The log-linear grid must bracket every positive value within the
+// bucket's binade slice: upper(idx(v)) ≥ v, within ~2/16 relative error.
+func TestHistBucketRoundTrip(t *testing.T) {
+	for _, v := range []float64{1e-9, 0.001, 0.42, 0.5, 1, 1.5, 2, 3.14, 10, 1e6} {
+		idx := histBucketIndex(v)
+		up := histBucketUpper(idx)
+		if up < v {
+			t.Fatalf("upper(%v) = %v < v", v, up)
+		}
+		if rel := (up - v) / v; rel > 2.0/histSubBuckets {
+			t.Fatalf("bucket error %v for %v exceeds grid width", rel, v)
+		}
+	}
+	if histBucketIndex(0) != zeroBucketIndex || histBucketIndex(-1) != zeroBucketIndex {
+		t.Fatal("non-positive values must land in the zero bucket")
+	}
+	if histBucketUpper(zeroBucketIndex) != 0 {
+		t.Fatal("zero bucket upper bound must render as 0")
+	}
+}
+
+func TestHistFrameQuantiles(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	// 100 observations 1..100 ms: p50 ≈ 50 ms, p99 ≈ 99 ms within the
+	// ~6% bucket width of the log-linear grid.
+	for i := 1; i <= 100; i++ {
+		ts.Observe(0, "lat", float64(i)*0.001)
+	}
+	ts.Close()
+	h := ts.Frames()[0].Hists["lat"]
+	if h.Count != 100 || h.Min != 0.001 || h.Max != 0.1 {
+		t.Fatalf("summary wrong: %+v", h)
+	}
+	check := func(name string, got, want float64) {
+		if math.Abs(got-want)/want > 0.10 {
+			t.Fatalf("%s = %v, want ≈%v", name, got, want)
+		}
+	}
+	check("p50", h.P50, 0.050)
+	check("p95", h.P95, 0.095)
+	check("p99", h.P99, 0.099)
+	// Bucket Le values must ascend and counts must total Count.
+	var n int64
+	last := math.Inf(-1)
+	for _, b := range h.Buckets {
+		if b.Le <= last {
+			t.Fatalf("buckets not ascending: %+v", h.Buckets)
+		}
+		last = b.Le
+		n += b.N
+	}
+	if n != h.Count {
+		t.Fatalf("bucket counts %d ≠ count %d", n, h.Count)
+	}
+}

@@ -7,13 +7,16 @@ import (
 )
 
 // WaterfallLegend names the characters the waterfall paints.
-const WaterfallLegend = "I=init L=load .=wait r=read C=compute w=write X=failed b=backoff"
+const WaterfallLegend = "I=init L=load .=wait r=read C=compute w=write X=failed b=backoff h=hedge B=batch-ride"
 
 // Waterfall renders a job span tree as an ASCII Gantt chart: one row
 // per top-level track (the input upload, then each lambda), phases
-// painted by kind against the job's total duration. It is the text
-// exporter behind coordinator.Timeline — offsets come straight from
-// the spans, never re-derived.
+// painted by kind against the job's total duration. Leaves that live on
+// a different track than their top-level ancestor — the `#hedge` shadow
+// track of a hedged invocation, batch-ride follower spans — get their
+// own indented row right under the main one instead of being painted
+// over it. It is the text exporter behind coordinator.Timeline —
+// offsets come straight from the spans, never re-derived.
 func Waterfall(root *Span, width int) string {
 	if root == nil || root.Duration <= 0 {
 		return "(zero-length job)\n"
@@ -36,8 +39,14 @@ func Waterfall(root *Span, width int) string {
 	var b strings.Builder
 	lambdaIdx := 0
 	for _, child := range root.Children {
-		line := []byte(strings.Repeat(" ", width))
-		paintSpan(line, child, cols, width)
+		p := &rowPainter{
+			main:  []byte(strings.Repeat(" ", width)),
+			track: child.Track,
+			extra: make(map[string][]byte),
+			cols:  cols,
+			width: width,
+		}
+		p.paint(child)
 		switch child.Kind {
 		case KindInvoke:
 			mem := child.Attrs["memory_mb"]
@@ -45,23 +54,53 @@ func Waterfall(root *Span, width int) string {
 			if child.Attrs["cold"] == "true" {
 				state = "(cold)"
 			}
-			fmt.Fprintf(&b, "λ%-5d %-*s  %4sMB %s\n", lambdaIdx, width, string(line), mem, state)
+			fmt.Fprintf(&b, "λ%-5d %-*s  %4sMB %s\n", lambdaIdx, width, string(p.main), mem, state)
 			lambdaIdx++
 		default:
-			fmt.Fprintf(&b, "%-6s %-*s\n", "input", width, string(line))
+			fmt.Fprintf(&b, "%-6s %-*s\n", "input", width, string(p.main))
+		}
+		for _, track := range p.order {
+			fmt.Fprintf(&b, "%-6s %-*s\n", subTrackLabel(track), width, string(p.extra[track]))
 		}
 	}
 	return b.String()
 }
 
-// paintSpan paints the leaves of a span subtree onto the row. Interior
-// spans (with children) delegate to their children; leaves paint their
-// own glyph. Nonzero-duration leaves get at least one column so short
-// phases stay visible.
-func paintSpan(line []byte, s *Span, cols func(time.Duration) int, width int) {
+// subTrackLabel derives the row label of a shadow track: the suffix
+// after '#' ("λ2#hedge" → "+hedge"), or the whole track name when there
+// is none, clipped to the 6-column label gutter.
+func subTrackLabel(track string) string {
+	name := track
+	if i := strings.IndexByte(track, '#'); i >= 0 {
+		name = track[i+1:]
+	}
+	label := "+" + name
+	if len(label) > 6 {
+		label = label[:6]
+	}
+	return label
+}
+
+// rowPainter paints one top-level child's subtree: leaves on the main
+// track land on the main row, leaves on any other track land on a
+// per-track shadow row (created in first-appearance order).
+type rowPainter struct {
+	main  []byte
+	track string
+	extra map[string][]byte
+	order []string
+	cols  func(time.Duration) int
+	width int
+}
+
+// paint walks the subtree. Interior spans (with children) delegate to
+// their children; leaves paint their own glyph onto their track's row.
+// Nonzero-duration leaves get at least one column so short phases stay
+// visible.
+func (p *rowPainter) paint(s *Span) {
 	if len(s.Children) > 0 {
 		for _, c := range s.Children {
-			paintSpan(line, c, cols, width)
+			p.paint(c)
 		}
 		return
 	}
@@ -69,8 +108,18 @@ func paintSpan(line []byte, s *Span, cols func(time.Duration) int, width int) {
 	if ch == ' ' {
 		return
 	}
-	c0 := cols(s.Start)
-	c1 := cols(s.End())
+	line := p.main
+	if s.Track != "" && s.Track != p.track {
+		row, ok := p.extra[s.Track]
+		if !ok {
+			row = []byte(strings.Repeat(" ", p.width))
+			p.extra[s.Track] = row
+			p.order = append(p.order, s.Track)
+		}
+		line = row
+	}
+	c0 := p.cols(s.Start)
+	c1 := p.cols(s.End())
 	forced := false
 	if c1 <= c0 && s.Duration > 0 {
 		// Short phases get one column so they stay visible — but only
@@ -78,7 +127,7 @@ func paintSpan(line []byte, s *Span, cols func(time.Duration) int, width int) {
 		c1 = c0 + 1
 		forced = true
 	}
-	for i := c0; i < c1 && i < width; i++ {
+	for i := c0; i < c1 && i < p.width; i++ {
 		if forced && line[i] != ' ' {
 			continue
 		}
@@ -109,7 +158,12 @@ func glyph(s *Span) byte {
 		if s.Attrs["failed"] == "true" {
 			return 'X'
 		}
+		if s.Attrs["hedge"] == "true" {
+			return 'h'
+		}
 		return 'w' // a leaf successful attempt: the input upload's PUT
+	case KindBatch:
+		return 'B'
 	case KindDispatch:
 		return ' '
 	}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// A hedged invocation's shadow attempt lives on the "<track>#hedge"
+// track; the waterfall must give it its own "+hedge" row under the main
+// lambda row instead of painting over the primary attempt.
+func TestWaterfallHedgeShadowRow(t *testing.T) {
+	root := &Span{Name: "job", Kind: KindJob, Duration: 10 * time.Second}
+	inv := root.AddChild(&Span{Name: "invoke", Kind: KindInvoke, Track: "λ0", Duration: 10 * time.Second})
+	inv.SetAttr("memory_mb", "832")
+	att := inv.AddChild(&Span{Name: "attempt-1", Kind: KindAttempt, Track: "λ0", Duration: 10 * time.Second})
+	att.AddChild(&Span{Name: "compute", Kind: KindPhase, Track: "λ0", Start: 0, Duration: 10 * time.Second})
+	hedge := inv.AddChild(&Span{Name: "attempt-2", Kind: KindAttempt, Track: "λ0#hedge", Start: 4 * time.Second, Duration: 6 * time.Second})
+	hedge.SetAttr("hedge", "true")
+
+	out := Waterfall(root, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want main row + hedge shadow row, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "λ0") || !strings.Contains(lines[0], "C") {
+		t.Fatalf("main row wrong: %q", lines[0])
+	}
+	shadow := lines[1]
+	if !strings.HasPrefix(shadow, "+hedge") {
+		t.Fatalf("shadow row label wrong: %q", shadow)
+	}
+	// The painted cells start after the 6-column label gutter + space.
+	cells := shadow[len("+hedge")+1:]
+	if !strings.Contains(cells, "h") {
+		t.Fatalf("hedge glyph missing: %q", shadow)
+	}
+	if strings.Contains(lines[0], "h") {
+		t.Fatalf("hedge painted over the main row: %q", lines[0])
+	}
+	// The hedge fired at t=4/10: its glyphs must start at ~40% of the
+	// 40-column chart, not at the left edge.
+	if idx := strings.IndexByte(cells, 'h'); idx < 40*4/10-1 {
+		t.Fatalf("hedge glyph at column %d, fired at 40%%: %q", idx, shadow)
+	}
+}
+
+// Batch-ride followers (KindBatch leaves on their own "#batch" track)
+// get a "+batch" shadow row painted with 'B'.
+func TestWaterfallBatchRideRow(t *testing.T) {
+	root := &Span{Name: "job", Kind: KindJob, Duration: 8 * time.Second}
+	inv := root.AddChild(&Span{Name: "invoke", Kind: KindInvoke, Track: "λ0", Duration: 8 * time.Second})
+	inv.SetAttr("memory_mb", "832")
+	att := inv.AddChild(&Span{Name: "attempt-1", Kind: KindAttempt, Track: "λ0", Duration: 8 * time.Second})
+	att.AddChild(&Span{Name: "compute", Kind: KindPhase, Track: "λ0", Duration: 8 * time.Second})
+	inv.AddChild(&Span{Name: "batch-ride", Kind: KindBatch, Track: "λ0#batch", Start: 2 * time.Second, Duration: 6 * time.Second})
+
+	out := Waterfall(root, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want main row + batch shadow row, got %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "+batch") || !strings.Contains(lines[1], "B") {
+		t.Fatalf("batch-ride row wrong: %q", lines[1])
+	}
+}
+
+// The legend must name every glyph the painter can emit.
+func TestWaterfallLegendComplete(t *testing.T) {
+	for _, g := range []string{"I=", "L=", ".=", "r=", "C=", "w=", "X=", "b=", "h=", "B="} {
+		if !strings.Contains(WaterfallLegend, g) {
+			t.Fatalf("legend missing %q: %s", g, WaterfallLegend)
+		}
+	}
+}

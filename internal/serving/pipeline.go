@@ -70,6 +70,8 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 	width := dep.Partitions()
 	limit := pl.AccountConcurrency()
 	mx := cfg.Metrics
+	ts := cfg.Series
+	sampler := cfg.Sample.sampler()
 	slo := cfg.SLO
 
 	depth := cfg.Pipeline.Depth
@@ -151,11 +153,24 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 						jr.ColdStarts++
 					}
 				}
-				jr.Trace = requestSpan(jr, j.waits, jrep.Trace)
-			} else {
+				// A sampled-out unit has no coordinator tree (failures and
+				// hedge wins force one); then neither the leader nor its
+				// followers keep request spans.
+				if jrep.Trace != nil {
+					jr.Trace = requestSpan(jr, j.waits, jrep.Trace)
+					if sampler != nil {
+						mx.Inc("serving_spans_sampled_total", 1)
+						ts.Inc(done, "serving_spans_sampled_total", 1)
+					}
+				} else if sampler != nil {
+					mx.Inc("serving_spans_dropped_total", 1)
+					ts.Inc(done, "serving_spans_dropped_total", 1)
+				}
+			} else if jrep.Trace != nil {
 				jr.Trace = batchRideSpan(jr, j.waits, u.First, u.Size)
 			}
 			mx.Add("serving_cost_usd_total", jr.Cost)
+			ts.Add(done, "serving_cost_usd_total", jr.Cost)
 			if jr.Done > rep.Makespan {
 				rep.Makespan = jr.Done
 			}
@@ -182,12 +197,15 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 		if frep.Trace != nil {
 			failDur = frep.Trace.Duration
 		}
-		fill(j, frep, j.start+failDur, outcome, err.Error())
+		done := j.start + failDur
+		fill(j, frep, done, outcome, err.Error())
 		for k := 0; k < j.unit.Size; k++ {
 			if deadlined {
 				mx.Inc("serving_deadline_failures_total", 1)
+				ts.Inc(done, "serving_deadline_failures_total", 1)
 			} else {
 				mx.Inc("serving_failures_total", 1)
+				ts.Inc(done, "serving_failures_total", 1)
 			}
 		}
 		return nil
@@ -243,6 +261,7 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 
 		pl.AdvanceTo(bestAt)
 		now := pl.Now()
+		ts.Advance(now)
 
 		switch bestKind {
 		case evFinish:
@@ -264,7 +283,11 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 				mx.Inc("serving_jobs_total", 1)
 				mx.Observe("serving_queue_seconds", obs.DurationBounds, rep.Jobs[idx].Queue.Seconds())
 				mx.Observe("serving_latency_seconds", obs.DurationBounds, rep.Jobs[idx].Latency.Seconds())
+				ts.Inc(now, "serving_jobs_total", 1)
+				ts.Observe(now, "serving_queue_seconds", rep.Jobs[idx].Queue.Seconds())
+				ts.Observe(now, "serving_latency_seconds", rep.Jobs[idx].Latency.Seconds())
 			}
+			ts.Gauge(now, "serving_pipeline_running", float64(running))
 
 		case evStage:
 			i := bestIdx
@@ -282,6 +305,9 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 			freeAt[i] = now + svc
 			j.prevEnd = now + svc
 			j.next++
+			// Stage utilization: the slot for partition stage i is busy for
+			// svc from now — accounted in the window the stage started in.
+			ts.Add(now, fmt.Sprintf("serving_stage_busy_seconds_total{stage=%q}", strconv.Itoa(i)), svc.Seconds())
 			if j.next == width {
 				finishQ = append(finishQ, j)
 			} else {
@@ -297,10 +323,11 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 			u := p.unit
 			leader := u.First
 			elapsed := now - arrivals[leader]
+			ts.Gauge(now, "serving_queue_depth", float64(len(queue)))
 
 			if slo.Shed && (elapsed >= slo.Deadline ||
 				(estN > 0 && elapsed+estSum/time.Duration(estN) > slo.Deadline)) {
-				shedUnit(rep, arrivals, p, now, mx)
+				shedUnit(rep, arrivals, p, now, mx, ts)
 				continue
 			}
 
@@ -308,12 +335,13 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 				p.attempts++
 				rep.Throttles++
 				mx.Inc("serving_throttles_total", 1)
+				ts.Inc(now, "serving_throttles_total", 1)
 				if p.attempts >= cfg.Throttle.attempts() {
 					if !slo.TolerateFailures {
 						return nil, fmt.Errorf("serving: request %d throttled %d times (limit %d, width %d)",
 							leader, p.attempts, limit, width)
 					}
-					throttleOutUnit(rep, arrivals, p, now, mx)
+					throttleOutUnit(rep, arrivals, p, now, mx, ts)
 					continue
 				}
 				bo := backoff(cfg.Throttle, p.attempts, rng)
@@ -340,8 +368,14 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 				}
 				in = stacked
 				mx.Inc("serving_batches_total", 1)
+				ts.Inc(now, "serving_batches_total", 1)
 			}
-			sj, err := dep.BeginStaged(in, coordinator.StagedOptions{Deadline: jobDeadline, Batch: u.Size})
+			ts.Observe(now, "serving_batch_size", float64(u.Size))
+			sj, err := dep.BeginStaged(in, coordinator.StagedOptions{
+				Deadline: jobDeadline,
+				Batch:    u.Size,
+				NoTrace:  !sampler.Keep(uint64(leader)),
+			})
 			j := &stageJob{
 				seq: seqCounter, unit: u, sj: sj, start: now,
 				throttles: p.attempts, wait: p.wait, waits: p.waits,
@@ -361,12 +395,13 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 
 	summarize(rep)
 	mx.Gauge("serving_peak_in_flight", float64(rep.PeakInFlight))
+	cfg.Series.Advance(rep.Makespan)
 	return rep, nil
 }
 
 // shedUnit records an admission-control rejection for every member of a
 // pending unit, mirroring the sequential loop's shed bookkeeping.
-func shedUnit(rep *Report, arrivals []time.Duration, p *pendingUnit, now time.Duration, mx *obs.Metrics) {
+func shedUnit(rep *Report, arrivals []time.Duration, p *pendingUnit, now time.Duration, mx *obs.Metrics, ts *obs.TimeSeries) {
 	for k := 0; k < p.unit.Size; k++ {
 		idx := p.unit.First + k
 		jr := &rep.Jobs[idx]
@@ -381,12 +416,13 @@ func shedUnit(rep *Report, arrivals []time.Duration, p *pendingUnit, now time.Du
 		jr.Outcome = OutcomeShed
 		jr.Trace = requestSpan(jr, p.waits, nil)
 		mx.Inc("serving_shed_total", 1)
+		ts.Inc(now, "serving_shed_total", 1)
 	}
 }
 
 // throttleOutUnit records an exhausted admission for every member of a
 // pending unit (recorded only under TolerateFailures).
-func throttleOutUnit(rep *Report, arrivals []time.Duration, p *pendingUnit, now time.Duration, mx *obs.Metrics) {
+func throttleOutUnit(rep *Report, arrivals []time.Duration, p *pendingUnit, now time.Duration, mx *obs.Metrics, ts *obs.TimeSeries) {
 	for k := 0; k < p.unit.Size; k++ {
 		idx := p.unit.First + k
 		jr := &rep.Jobs[idx]
@@ -402,6 +438,7 @@ func throttleOutUnit(rep *Report, arrivals []time.Duration, p *pendingUnit, now 
 		jr.Err = fmt.Sprintf("throttled %d times", p.attempts)
 		jr.Trace = requestSpan(jr, p.waits, nil)
 		mx.Inc("serving_admission_failures_total", 1)
+		ts.Inc(now, "serving_admission_failures_total", 1)
 	}
 }
 

@@ -354,10 +354,24 @@ func TestServePipelinedValidation(t *testing.T) {
 
 // BenchmarkServePipelinedThroughput mirrors BenchmarkServeThroughput
 // for the staged scheduler: a 64-request Poisson trace served with
-// pipelining and batching enabled.
+// pipelining and batching enabled, under the production-style 10%
+// span-sampling rate (dropped requests skip building their trees).
 func BenchmarkServePipelinedThroughput(b *testing.B) {
+	benchServePipelined(b, SamplePolicy{Rate: 0.1, Seed: 1})
+}
+
+// BenchmarkServePipelinedThroughputAllSpans is the always-on tracing
+// comparator: identical workload with every span tree materialized.
+// Diffing its allocs/op against BenchmarkServePipelinedThroughput shows
+// what head sampling saves.
+func BenchmarkServePipelinedThroughputAllSpans(b *testing.B) {
+	benchServePipelined(b, SamplePolicy{})
+}
+
+func benchServePipelined(b *testing.B, sample SamplePolicy) {
 	n := 64
 	arrivals := workload.PoissonArrivals(n, 10, 7)
+	total := 0
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		e := deployTiny(b, false)
@@ -369,10 +383,15 @@ func BenchmarkServePipelinedThroughput(b *testing.B) {
 			Pipeline:   PipelinePolicy{Depth: 4},
 			Batch:      BatchPolicy{MaxBatch: 4, Window: 200 * time.Millisecond, JitterSeed: 1},
 			Throttle:   ThrottlePolicy{MaxAttempts: 500, JitterSeed: 1},
+			Sample:     sample,
 		}, ins, arrivals)
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(float64(len(rep.Jobs)), "requests/op")
+		total += len(rep.Jobs)
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "requests/op")
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(total)/s, "req/s")
 	}
 }

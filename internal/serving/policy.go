@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/rand"
 	"time"
+
+	"ampsinf/internal/obs"
 )
 
 // PipelinePolicy enables pipelined partition execution: instead of
@@ -64,6 +66,49 @@ func (p BatchPolicy) Validate() error {
 		return fmt.Errorf("batch policy: Window %v is negative", p.Window)
 	}
 	return nil
+}
+
+// SamplePolicy head-samples request span trees: each request's keep
+// decision is drawn deterministically from (Seed, request index), so the
+// same trace and seed always materialize the same trees. Dropped
+// requests skip building their span tree entirely — the dominant
+// per-request allocation under always-on tracing — while every cost
+// stays exact (request charges are meter deltas, not span replays).
+// Requests with noteworthy outcomes (shed, throttled, deadline, failed,
+// hedge-won) are always sampled regardless of the rate. The zero value
+// disables sampling: every tree is built, the legacy behaviour byte for
+// byte — as does Rate 1, which keeps every tree by construction.
+type SamplePolicy struct {
+	// Rate is the fraction of requests whose span trees are kept,
+	// in [0, 1]. 0 disables sampling (always-on tracing); 1 keeps
+	// everything, bit-identical to disabled.
+	Rate float64
+	// Seed seeds the per-request keep draw (0 behaves as seed 1).
+	Seed int64
+}
+
+func (p SamplePolicy) enabled() bool { return p.Rate > 0 && p.Rate < 1 }
+
+// Validate rejects nonsensical sample policies before a serving run
+// starts.
+func (p SamplePolicy) Validate() error {
+	if p.Rate < 0 || p.Rate > 1 {
+		return fmt.Errorf("sample policy: Rate %v outside [0, 1]", p.Rate)
+	}
+	return nil
+}
+
+// sampler returns the policy's keep decider: nil when sampling is
+// disabled (a nil obs.Sampler keeps everything).
+func (p SamplePolicy) sampler() *obs.Sampler {
+	if !p.enabled() {
+		return nil
+	}
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return obs.NewSampler(seed, p.Rate)
 }
 
 // defaultBatchWindow is the coalescing window when the policy leaves it

@@ -143,8 +143,16 @@ type Config struct {
 	// The zero value (or MaxBatch 1) keeps one invocation per request
 	// byte for byte.
 	Batch BatchPolicy
+	// Sample head-samples request span trees (see SamplePolicy). The
+	// zero value keeps always-on tracing byte for byte.
+	Sample SamplePolicy
 	// Metrics, when set, receives serving-level counters and histograms.
 	Metrics *obs.Metrics
+	// Series, when set, receives the windowed time-series stream of the
+	// run (queue depth, outcomes, latency, cost) on the simulated clock.
+	// The serving loop advances and records it; the caller owns its
+	// lifecycle (Close before exporting frames).
+	Series *obs.TimeSeries
 }
 
 // JobResult reports one served request.
@@ -236,12 +244,17 @@ type Report struct {
 	ShortCircuits int
 }
 
-// Traces returns every job's span tree in arrival order — the input
-// obs.SumCostsAll needs to reproduce the shared meter's total.
+// Traces returns the jobs' span trees in arrival order — the input
+// obs.SumCostsAll needs to reproduce the shared meter's total when
+// every tree was kept. Under span sampling, dropped requests carry no
+// tree and are skipped (their charges are still in their JobResult
+// Cost, exactly — just not replayable from spans).
 func (r *Report) Traces() []*obs.Span {
-	roots := make([]*obs.Span, len(r.Jobs))
+	roots := make([]*obs.Span, 0, len(r.Jobs))
 	for i := range r.Jobs {
-		roots[i] = r.Jobs[i].Trace
+		if r.Jobs[i].Trace != nil {
+			roots = append(roots, r.Jobs[i].Trace)
+		}
 	}
 	return roots
 }
@@ -291,6 +304,9 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 	if err := cfg.Batch.Validate(); err != nil {
 		return nil, fmt.Errorf("serving: %w", err)
 	}
+	if err := cfg.Sample.Validate(); err != nil {
+		return nil, fmt.Errorf("serving: %w", err)
+	}
 	if cfg.Pipeline.enabled() || cfg.Batch.enabled() {
 		// Depth 1 and batch size 1 are exactly today's scheduler, so only
 		// a policy that actually overlaps or coalesces takes the staged
@@ -302,6 +318,8 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 	width := dep.Partitions()
 	limit := pl.AccountConcurrency()
 	mx := cfg.Metrics
+	ts := cfg.Series
+	sampler := cfg.Sample.sampler()
 
 	seed := cfg.Throttle.JitterSeed
 	if seed == 0 {
@@ -341,6 +359,8 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 
 		pl.AdvanceTo(p.readyAt)
 		now := pl.Now()
+		ts.Advance(now)
+		ts.Gauge(now, "serving_queue_depth", float64(len(queue)))
 		elapsed := now - arrivals[p.idx]
 
 		// SLO-aware load shedding: reject at admission when the request
@@ -360,6 +380,7 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 			jr.Outcome = OutcomeShed
 			jr.Trace = requestSpan(jr, p.waits, nil)
 			mx.Inc("serving_shed_total", 1)
+			ts.Inc(now, "serving_shed_total", 1)
 			continue
 		}
 
@@ -369,6 +390,7 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 			p.attempts++
 			rep.Throttles++
 			mx.Inc("serving_throttles_total", 1)
+			ts.Inc(now, "serving_throttles_total", 1)
 			if p.attempts >= cfg.Throttle.attempts() {
 				if !slo.TolerateFailures {
 					return nil, fmt.Errorf("serving: request %d throttled %d times (limit %d, width %d)",
@@ -387,6 +409,7 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 				jr.Err = fmt.Sprintf("throttled %d times", p.attempts)
 				jr.Trace = requestSpan(jr, p.waits, nil)
 				mx.Inc("serving_admission_failures_total", 1)
+				ts.Inc(now, "serving_admission_failures_total", 1)
 				continue
 			}
 			bo := backoff(cfg.Throttle, p.attempts, rng)
@@ -413,6 +436,7 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 		jrep, err := dep.Run(inputs[p.idx], coordinator.RunOptions{
 			Sequential: cfg.Sequential,
 			Deadline:   jobDeadline,
+			NoTrace:    !sampler.Keep(uint64(p.idx)),
 		})
 
 		jr := &rep.Jobs[p.idx]
@@ -453,8 +477,10 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 			if deadlined {
 				jr.Outcome = OutcomeDeadline
 				mx.Inc("serving_deadline_failures_total", 1)
+				ts.Inc(now, "serving_deadline_failures_total", 1)
 			} else {
 				mx.Inc("serving_failures_total", 1)
+				ts.Inc(now, "serving_failures_total", 1)
 			}
 			jr.Err = err.Error()
 			// The failed job still consumed simulated time before giving
@@ -472,6 +498,7 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 				rep.Makespan = jr.Done
 			}
 			mx.Add("serving_cost_usd_total", jr.Cost)
+			ts.Add(jr.Done, "serving_cost_usd_total", jr.Cost)
 			continue
 		}
 
@@ -480,7 +507,19 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 		jr.Outcome = OutcomeOK
 		estSum += jrep.Completion
 		estN++
-		jr.Trace = requestSpan(jr, p.waits, jrep.Trace)
+		// Under sampling a dropped job carries no coordinator tree (unless
+		// its hedge won, which forces the sample); the request then keeps
+		// no span tree at all, only its exact meter-delta cost.
+		if jrep.Trace != nil {
+			jr.Trace = requestSpan(jr, p.waits, jrep.Trace)
+			if sampler != nil {
+				mx.Inc("serving_spans_sampled_total", 1)
+				ts.Inc(jr.Done, "serving_spans_sampled_total", 1)
+			}
+		} else if sampler != nil {
+			mx.Inc("serving_spans_dropped_total", 1)
+			ts.Inc(jr.Done, "serving_spans_dropped_total", 1)
+		}
 
 		if inFlight := pl.InFlightAt(now); inFlight > rep.PeakInFlight {
 			rep.PeakInFlight = inFlight
@@ -492,9 +531,14 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 		mx.Observe("serving_queue_seconds", obs.DurationBounds, jr.Queue.Seconds())
 		mx.Observe("serving_latency_seconds", obs.DurationBounds, jr.Latency.Seconds())
 		mx.Add("serving_cost_usd_total", jr.Cost)
+		ts.Inc(jr.Done, "serving_jobs_total", 1)
+		ts.Observe(now, "serving_queue_seconds", jr.Queue.Seconds())
+		ts.Observe(jr.Done, "serving_latency_seconds", jr.Latency.Seconds())
+		ts.Add(jr.Done, "serving_cost_usd_total", jr.Cost)
 	}
 
 	summarize(rep)
+	cfg.Series.Advance(rep.Makespan)
 	mx.Gauge("serving_peak_in_flight", float64(rep.PeakInFlight))
 	return rep, nil
 }
