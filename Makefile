@@ -36,12 +36,13 @@ staticcheck:
 	fi
 
 # Chaos smoke: the resilience and pipelining×batching ladders at a 60%
-# base fault rate with 8× correlated storms, under the race detector, so
-# the hedge/breaker/deadline/shed paths and the staged scheduler's batch
-# coalescing, retry chains and cost attribution are exercised together
-# on every push.
+# base fault rate with 8× correlated storms, plus a 100k-request
+# streaming storm through the discrete-event core, under the race
+# detector, so the hedge/breaker/deadline/shed paths, the staged
+# scheduler's batch coalescing and the event-heap/slab pool reuse are
+# exercised together on every push.
 chaos:
-	$(GO) test -race -run 'TestChaosStormSmoke|TestChaosPipelineBatch' ./internal/experiments/
+	$(GO) test -race -run 'TestChaosStormSmoke|TestChaosPipelineBatch|TestChaosSim' ./internal/experiments/
 
 build:
 	$(GO) build ./...

@@ -19,6 +19,7 @@ import (
 	"ampsinf/internal/cloud/pricing"
 	"ampsinf/internal/obs"
 	"ampsinf/internal/perf"
+	"ampsinf/internal/sim"
 )
 
 // Handler is the function entry point. It receives the invocation
@@ -73,8 +74,17 @@ type Platform struct {
 	// pooled/clocked semantics are on, and the account concurrency
 	// override (0 = quota default).
 	clocked     bool
-	now         time.Duration
+	clock       sim.Clock
 	concurrency int
+
+	// O(1) in-flight accounting (clocked mode): busy counts containers
+	// whose busyUntil exceeds the clock (executing included), expiry
+	// holds their pending idle transitions, and registry maps container
+	// slots to live containers (nil once discarded) so stale expiry
+	// events can be skipped. See pool.go.
+	busy     int
+	expiry   sim.Heap
+	registry []*container
 }
 
 // New creates a platform charging into meter with the given performance
@@ -148,13 +158,20 @@ func (pl *Platform) ResetWarm(name string) {
 		return
 	}
 	if !pl.clocked {
+		for _, c := range fn.pool {
+			pl.unregisterLocked(c)
+		}
 		fn.pool = nil
 		return
 	}
 	kept := fn.pool[:0]
 	for _, c := range fn.pool {
-		if c.busyUntil > pl.now {
+		if c.busyUntil > pl.clock.Now() {
 			kept = append(kept, c)
+		} else {
+			// Discarded idle containers were not counted in-flight, so
+			// busy is untouched; their registry slots are released.
+			pl.unregisterLocked(c)
 		}
 	}
 	fn.pool = kept
@@ -282,12 +299,12 @@ func (pl *Platform) Invoke(name string, payload []byte, opts InvokeOptions) (*Re
 	inj := pl.inj
 	mx := pl.mx
 	ts := pl.series
-	now := pl.now
+	now := pl.clock.Now()
 	// An injected throttle (429) rejects the invocation before any
 	// container is assigned: warm state is untouched and nothing bills.
 	// The clocked-mode offset is passed explicitly — pl.mu is held here,
 	// so the injector must not call back into pl.Now().
-	fault, hang := inj.InvokeFaultAt(name, pl.now)
+	fault, hang := inj.InvokeFaultAt(name, now)
 	if fault == faults.Throttle {
 		pl.mu.Unlock()
 		mx.Inc(`lambda_faults_total{kind="throttle"}`, 1)

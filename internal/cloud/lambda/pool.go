@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"ampsinf/internal/cloud/pricing"
+	"ampsinf/internal/sim"
 )
 
 // container is one execution sandbox of a function. A function keeps a
@@ -17,6 +18,11 @@ type container struct {
 	// so in-flight accounting is conservative for pipelines whose later
 	// stages begin after the job starts.
 	busyUntil time.Duration
+	// slot indexes the platform registry (stable for the container's
+	// lifetime); counted mirrors busyUntil > now into the platform's
+	// O(1) busy counter while clocked (see AdvanceTo).
+	slot    int32
+	counted bool
 }
 
 // executing marks a container whose invocation is still running; Invoke
@@ -30,19 +36,60 @@ const executing = time.Duration(1<<62 - 1)
 // simulated clock advanced via AdvanceTo. Without the clock the platform
 // keeps its single-container-stream semantics: invocations of one
 // function are assumed sequential and always reuse the warm container.
+//
+// Enabling (re-)derives the O(1) in-flight accounting from the registry,
+// so it is idempotent and safe to call on a platform that already served
+// unclocked traffic.
 func (pl *Platform) EnableClock() {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
 	pl.clocked = true
+	pl.expiry.Reset()
+	pl.busy = 0
+	now := pl.clock.Now()
+	for _, c := range pl.registry {
+		if c == nil {
+			continue
+		}
+		c.counted = c.busyUntil == executing || c.busyUntil > now
+		if c.counted {
+			pl.busy++
+			if c.busyUntil != executing {
+				pl.expiry.Push(sim.Event{At: c.busyUntil, Seq: uint64(c.slot), ID: c.slot})
+			}
+		}
+	}
 }
 
 // AdvanceTo moves the simulated clock forward to t (the clock never goes
-// backwards; earlier instants are ignored).
+// backwards; earlier instants are ignored), draining every container
+// busy-window that expires on the way so the busy counter always equals
+// the scan count at the new instant. Each drained event is O(log n) and
+// fires at most once per (container, busy window), so a whole serving
+// run spends O(total invocations · log pool) here instead of the former
+// O(events · pool) rescans.
 func (pl *Platform) AdvanceTo(t time.Duration) {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
-	if t > pl.now {
-		pl.now = t
+	if !pl.clock.AdvanceTo(t) || !pl.clocked {
+		return
+	}
+	now := pl.clock.Now()
+	for {
+		e, ok := pl.expiry.Peek()
+		if !ok || e.At > now {
+			break
+		}
+		pl.expiry.Pop()
+		c := pl.registry[e.ID]
+		if c == nil || !c.counted || c.busyUntil == executing || c.busyUntil > now {
+			// Stale entry: the container was discarded, already went
+			// idle, was re-acquired, or had its window extended (a later
+			// entry exists for the extension).
+			continue
+		}
+		c.counted = false
+		pl.busy--
 	}
 }
 
@@ -50,7 +97,7 @@ func (pl *Platform) AdvanceTo(t time.Duration) {
 func (pl *Platform) Now() time.Duration {
 	pl.mu.RLock()
 	defer pl.mu.RUnlock()
-	return pl.now
+	return pl.clock.Now()
 }
 
 // SetAccountConcurrency overrides the account-wide concurrent-execution
@@ -79,7 +126,10 @@ func (pl *Platform) concurrencyLocked() int {
 }
 
 // InFlightAt counts the containers executing at simulated time t across
-// every function — the quantity the account concurrency limit caps.
+// every function — the quantity the account concurrency limit caps. At
+// the current clock reading (the admission-control hot path) it is the
+// O(1) busy counter; other instants (telemetry probing an invocation's
+// future end) fall back to the scan.
 func (pl *Platform) InFlightAt(t time.Duration) int {
 	pl.mu.RLock()
 	defer pl.mu.RUnlock()
@@ -87,6 +137,9 @@ func (pl *Platform) InFlightAt(t time.Duration) int {
 }
 
 func (pl *Platform) inFlightLocked(t time.Duration) int {
+	if pl.clocked && t == pl.clock.Now() {
+		return pl.busy
+	}
 	n := 0
 	for _, fn := range pl.fns {
 		for _, c := range fn.pool {
@@ -109,13 +162,59 @@ func (pl *Platform) PoolSize(name string) int {
 	return 0
 }
 
+// registerLocked assigns a fresh container its registry slot. Callers
+// hold pl.mu.
+func (pl *Platform) registerLocked(c *container) {
+	c.slot = int32(len(pl.registry))
+	pl.registry = append(pl.registry, c)
+}
+
+// unregisterLocked releases a discarded container's registry slot so
+// stale expiry events skip it. Callers hold pl.mu.
+func (pl *Platform) unregisterLocked(c *container) {
+	if int(c.slot) < len(pl.registry) && pl.registry[c.slot] == c {
+		pl.registry[c.slot] = nil
+	}
+}
+
+// markBusyLocked flips an acquired container into the busy count.
+// Callers hold pl.mu.
+func (pl *Platform) markBusyLocked(c *container) {
+	if pl.clocked && !c.counted {
+		c.counted = true
+		pl.busy++
+	}
+}
+
+// settleWindowLocked registers a container's new busy-window end: if it
+// is already past, the container goes idle immediately; otherwise the
+// expiry heap will release it when the clock reaches until. Callers
+// hold pl.mu and have set c.busyUntil = until.
+func (pl *Platform) settleWindowLocked(c *container, until time.Duration) {
+	if !pl.clocked {
+		return
+	}
+	if until > pl.clock.Now() {
+		if !c.counted {
+			c.counted = true
+			pl.busy++
+		}
+		pl.expiry.Push(sim.Event{At: until, Seq: uint64(c.slot), ID: c.slot})
+		return
+	}
+	if c.counted {
+		c.counted = false
+		pl.busy--
+	}
+}
+
 // acquireLocked hands out a container for one invocation: the
 // lowest-numbered idle warm container when one exists, otherwise a fresh
 // cold container — subject, in clocked mode, to the account concurrency
 // limit. Callers hold pl.mu.
 func (fn *Function) acquireLocked(pl *Platform) (c *container, cold, throttled bool) {
 	for _, cc := range fn.pool {
-		if !pl.clocked || cc.busyUntil <= pl.now {
+		if !pl.clocked || cc.busyUntil <= pl.clock.Now() {
 			if c == nil || cc.id < c.id {
 				c = cc
 			}
@@ -123,14 +222,17 @@ func (fn *Function) acquireLocked(pl *Platform) (c *container, cold, throttled b
 	}
 	if c != nil {
 		c.busyUntil = executing
+		pl.markBusyLocked(c)
 		return c, false, false
 	}
-	if pl.clocked && pl.inFlightLocked(pl.now) >= pl.concurrencyLocked() {
+	if pl.clocked && pl.inFlightLocked(pl.clock.Now()) >= pl.concurrencyLocked() {
 		return nil, false, true
 	}
 	c = &container{id: fn.nextID, busyUntil: executing}
 	fn.nextID++
 	fn.pool = append(fn.pool, c)
+	pl.registerLocked(c)
+	pl.markBusyLocked(c)
 	return c, true, false
 }
 
@@ -146,6 +248,7 @@ func (pl *Platform) finishContainer(name string, id int, until time.Duration) {
 	for _, c := range fn.pool {
 		if c.id == id {
 			c.busyUntil = until
+			pl.settleWindowLocked(c, until)
 			return
 		}
 	}
@@ -167,6 +270,7 @@ func (pl *Platform) OccupyUntil(name string, containerID int, until time.Duratio
 		if c.id == containerID {
 			if c.busyUntil != executing && until > c.busyUntil {
 				c.busyUntil = until
+				pl.settleWindowLocked(c, until)
 			}
 			return
 		}
@@ -186,6 +290,11 @@ func (pl *Platform) discardContainer(name string, id int) {
 	for i, c := range fn.pool {
 		if c.id == id {
 			fn.pool = append(fn.pool[:i], fn.pool[i+1:]...)
+			if pl.clocked && c.counted {
+				c.counted = false
+				pl.busy--
+			}
+			pl.unregisterLocked(c)
 			return
 		}
 	}

@@ -198,6 +198,31 @@ func (ts *TimeSeries) Advance(now time.Duration) {
 	ts.flushLocked(target)
 }
 
+// Flush emits every window that has received a recording — the final
+// partial window of a trace included — while keeping the series open
+// for later recordings at later instants. Advance can only flush
+// windows whose end the simulated clock has passed, so a run whose
+// last events land mid-window would otherwise leave its final frame
+// pending until Close; the serving schedulers call Flush at the end of
+// each run so that frame is never silently dropped.
+func (ts *TimeSeries) Flush() {
+	if ts == nil {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	var max int64
+	any := false
+	for idx := range ts.pending {
+		if !any || idx > max {
+			max, any = idx, true
+		}
+	}
+	if any {
+		ts.flushLocked(max + 1)
+	}
+}
+
 // Close flushes every still-open window. Call it once the run is over,
 // before exporting the stream.
 func (ts *TimeSeries) Close() {

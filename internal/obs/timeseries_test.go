@@ -204,3 +204,48 @@ func TestHistFrameQuantiles(t *testing.T) {
 		t.Fatalf("bucket counts %d ≠ count %d", n, h.Count)
 	}
 }
+
+// TestTimeSeriesFlushEmitsFinalPartialWindow: a run whose last events
+// land mid-window can only surface that frame through Flush (Advance
+// never flushes a window the clock has not passed); the series then
+// stays usable for later recordings, unlike Close.
+func TestTimeSeriesFlushEmitsFinalPartialWindow(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	ts.Inc(200*time.Millisecond, "reqs_total", 1)
+	ts.Inc(2300*time.Millisecond, "reqs_total", 2) // final partial window [2s, 3s)
+
+	// The run ends at 2.3s: Advance flushes up to the window containing
+	// the makespan, silently dropping the last frame...
+	ts.Advance(2300 * time.Millisecond)
+	if got := len(ts.Frames()); got != 1 {
+		t.Fatalf("want 1 frame after Advance(makespan), got %d", got)
+	}
+	// ...Flush emits it.
+	ts.Flush()
+	frames := ts.Frames()
+	if len(frames) != 2 {
+		t.Fatalf("want 2 frames after Flush, got %d", len(frames))
+	}
+	if frames[1].Index != 2 || frames[1].Counters["reqs_total"] != 2 {
+		t.Fatalf("final partial frame wrong: %+v", frames[1])
+	}
+
+	// Flush with nothing pending is a no-op.
+	ts.Flush()
+	if got := len(ts.Frames()); got != 2 {
+		t.Fatalf("idempotent Flush emitted extra frames: %d", got)
+	}
+
+	// The series is still open: later recordings land in their own
+	// windows and flush normally.
+	ts.Inc(5500*time.Millisecond, "reqs_total", 7)
+	ts.Close()
+	frames = ts.Frames()
+	if len(frames) != 3 || frames[2].Index != 5 || frames[2].Counters["reqs_total"] != 7 {
+		t.Fatalf("post-Flush recording lost: %+v", frames[len(frames)-1])
+	}
+
+	// Nil-safety, matching every other method.
+	var nilTS *TimeSeries
+	nilTS.Flush()
+}

@@ -1,0 +1,69 @@
+package serving
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"ampsinf/internal/obs"
+	"ampsinf/internal/sim"
+	"ampsinf/internal/tensor"
+)
+
+// stormArtifacts runs one streaming storm on a fresh deployment and
+// returns every externally observable byte: the summary text, the
+// metrics snapshot, the windowed time-series stream and the meter
+// total.
+func stormArtifacts(t *testing.T, n int) (string, []byte, []byte, float64) {
+	t.Helper()
+	e := deployWide(t, 16)
+	e.pl.SetAccountConcurrency(256)
+	in := randomInput(e.model, 1)
+	mx := obs.NewMetrics()
+	series := obs.NewTimeSeries(500 * time.Millisecond)
+	rep, err := ServeStream(Config{
+		Deployment: e.dep,
+		Throttle:   ThrottlePolicy{MaxAttempts: 500, JitterSeed: 3},
+		Metrics:    mx,
+		Series:     series,
+	}, sim.NewPoisson(n, 100, 7), func(int) *tensor.Tensor { return in })
+	if err != nil {
+		t.Fatal(err)
+	}
+	series.Close()
+	var mb, sb bytes.Buffer
+	if err := mx.WriteJSON(&mb); err != nil {
+		t.Fatal(err)
+	}
+	if err := series.WriteNDJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return rep.Summary(), mb.Bytes(), sb.Bytes(), e.meter.Total()
+}
+
+// TestSimDeterminismSmoke is the CI determinism gate, scaled down from
+// the million-request benchmark: two same-seed streaming storms on
+// independent deployments must produce byte-identical summaries,
+// metrics snapshots, time-series streams and meter totals. Any hidden
+// source of nondeterminism in the event heap, the slab recycling, the
+// arrival generator or the pool clock shows up here as a diff.
+func TestSimDeterminismSmoke(t *testing.T) {
+	n := 20_000
+	if testing.Short() {
+		n = 5_000
+	}
+	sum1, mx1, ts1, total1 := stormArtifacts(t, n)
+	sum2, mx2, ts2, total2 := stormArtifacts(t, n)
+	if sum1 != sum2 {
+		t.Errorf("summaries diverge across same-seed runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", sum1, sum2)
+	}
+	if !bytes.Equal(mx1, mx2) {
+		t.Errorf("metrics snapshots diverge:\n%s\nvs\n%s", mx1, mx2)
+	}
+	if !bytes.Equal(ts1, ts2) {
+		t.Errorf("time-series streams diverge across same-seed runs")
+	}
+	if total1 != total2 {
+		t.Errorf("meter totals diverge: %v vs %v", total1, total2)
+	}
+}

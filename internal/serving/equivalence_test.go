@@ -24,7 +24,7 @@ import (
 // own platform, meter and (optional) fault injector — the parameterized
 // environment behind the equivalence property. Identical arguments
 // produce byte-identical environments.
-func deployModel(t testing.TB, build func(int) *nn.Model, faultRate float64, faultSeed int64) *testEnv {
+func deployModel(t testing.TB, build func(int) *nn.Model, faultRate float64, faultSeed int64, opts ...func(*coordinator.Config)) *testEnv {
 	t.Helper()
 	m := build(0)
 	plan, err := optimizer.Optimize(optimizer.Request{
@@ -54,6 +54,9 @@ func deployModel(t testing.TB, build func(int) *nn.Model, faultRate float64, fau
 		retry.MaxAttempts = 8
 		retry.JitterSeed = faultSeed
 		cfg.Retry = retry
+	}
+	for _, o := range opts {
+		o(&cfg)
 	}
 	meter.SetObserver(cfg.Tracer.RecordCost)
 	dep, err := coordinator.Deploy(cfg, m, w, plan)

@@ -8,12 +8,14 @@ import (
 
 	"ampsinf/internal/coordinator"
 	"ampsinf/internal/obs"
+	"ampsinf/internal/sim"
 	"ampsinf/internal/tensor"
 )
 
 // stageJob is one admitted batch unit moving through the pipeline: its
 // staged coordinator job plus the scheduling state the event loop needs
-// — which stage runs next and when the previous one ended.
+// — which stage runs next and when the previous one ended. Records are
+// slab-recycled; the waits slice keeps its capacity across reuse.
 type stageJob struct {
 	seq  int
 	unit batchUnit
@@ -51,6 +53,32 @@ const (
 	evNone
 )
 
+// fifo is an index queue over slab ids with an advancing head, so
+// steady-state push/pop allocates nothing once capacity has grown.
+type fifo struct {
+	ids  []int32
+	head int
+}
+
+func (f *fifo) push(id int32) { f.ids = append(f.ids, id) }
+
+func (f *fifo) pop() int32 {
+	id := f.ids[f.head]
+	f.head++
+	if f.head == len(f.ids) {
+		f.ids = f.ids[:0]
+		f.head = 0
+	}
+	return id
+}
+
+func (f *fifo) peek() (int32, bool) {
+	if f.head == len(f.ids) {
+		return 0, false
+	}
+	return f.ids[f.head], true
+}
+
 // servePipelined is the staged serving scheduler behind PipelinePolicy
 // and BatchPolicy: requests are coalesced into batch units, admitted
 // units execute partition stages through coordinator.StagedJob, and a
@@ -59,10 +87,18 @@ const (
 // n−1. Each partition stage has one pipeline slot, so a deployment's
 // warm container per function is reused back to back instead of
 // fanning out; Depth bounds how many units occupy the pipeline at once
-// and the account concurrency limit still gates every admission. The
-// loop is single-threaded and picks events deterministically (time,
-// then class, then admission order), so the whole run remains
-// byte-reproducible.
+// and the account concurrency limit still gates every admission.
+//
+// The loop runs on the unified discrete-event core (internal/sim): one
+// event heap orders stage starts and finishes by (time, class, seq),
+// a second orders admissions by raw (readyAt, leader index) exactly as
+// the former per-iteration scans did. Stage events are pushed when a
+// job becomes the head of its stage queue — the instant max(prevEnd,
+// freeAt) is fixed from then until the event fires, because only the
+// head can change a slot's freeAt — so every event's time is final at
+// push and the pop order reproduces the scan order byte for byte
+// (pinned by the equivalence battery against the preserved legacy
+// implementation).
 func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Report, error) {
 	dep := cfg.Deployment
 	pl := dep.Platform()
@@ -96,23 +132,60 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 	case cfg.Batch.enabled():
 		mode = "batched"
 	}
-	rep := &Report{Mode: mode, Jobs: make([]JobResult, len(inputs))}
+	rep := &Report{Mode: mode, Jobs: make([]JobResult, len(inputs)), Requests: len(inputs)}
 	rep.SLOActive = slo.enabled()
 	rep.SLODeadline = slo.Deadline
 
-	queue := make([]*pendingUnit, 0, len(inputs))
+	var units sim.Slab[pendingUnit]
+	var jobs sim.Slab[stageJob]
+	// admitQ orders waiting units by raw (readyAt, leader index); the
+	// clamp to now happens only when comparing against the event heap,
+	// mirroring the former scan's selection exactly.
+	var admitQ sim.Heap
+	var evs sim.Heap
 	for _, u := range coalesce(arrivals, cfg.Batch, brng) {
-		queue = append(queue, &pendingUnit{unit: u, readyAt: u.DispatchAt})
+		id, p := units.Alloc()
+		p.unit = u
+		p.readyAt = u.DispatchAt
+		p.attempts = 0
+		p.wait = 0
+		p.waits = p.waits[:0]
+		admitQ.Push(sim.Event{At: u.DispatchAt, Class: evAdmit, Seq: uint64(u.First), ID: id})
 	}
 
 	// One pipeline slot per partition stage: freeAt[i] is when stage i's
-	// slot is next available, stageQ[i] the units waiting for it in
-	// admission order.
+	// slot is next available, stageQ[i] the jobs waiting for it in
+	// admission order. Only the fifo head holds a live stage event.
 	freeAt := make([]time.Duration, width)
-	stageQ := make([][]*stageJob, width)
-	var finishQ []*stageJob
+	stageQ := make([]fifo, width)
 	running := 0 // units admitted into the pipeline and not yet settled
 	seqCounter := 0
+
+	// pushStage schedules the head job of its next stage's queue; the
+	// slot-free and input-ready instants are both fixed at this point.
+	pushStage := func(id int32, j *stageJob) {
+		at := j.prevEnd
+		if freeAt[j.next] > at {
+			at = freeAt[j.next]
+		}
+		evs.Push(sim.Event{At: at, Class: evStage, Seq: uint64(j.seq), ID: id})
+	}
+	// enqueueStage appends a job to its next stage's queue, scheduling it
+	// immediately when it becomes the head.
+	enqueueStage := func(id int32, j *stageJob) {
+		q := &stageQ[j.next]
+		q.push(id)
+		if q.head == len(q.ids)-1 {
+			pushStage(id, j)
+		}
+	}
+	// promote schedules the new head of stage i's queue after the old
+	// head ran (freeAt[i] has just been updated).
+	promote := func(i int) {
+		if hid, ok := stageQ[i].peek(); ok {
+			pushStage(hid, jobs.Get(hid))
+		}
+	}
 
 	// Completion predictor for SLO shedding, as in the sequential loop.
 	var estSum time.Duration
@@ -211,123 +284,47 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 		return nil
 	}
 
-	for len(queue) > 0 || running > 0 {
-		// Pick the earliest next event; ties resolve by class priority
-		// (finish, stage, admission) and then by admission order.
-		bestKind := evNone
-		var bestAt time.Duration
-		bestSeq := 0
-		bestIdx := 0
-		consider := func(kind int, at time.Duration, seq, idx int) {
-			if at < pl.Now() {
-				at = pl.Now()
-			}
-			if bestKind == evNone || at < bestAt ||
-				(at == bestAt && (kind < bestKind || (kind == bestKind && seq < bestSeq))) {
-				bestKind, bestAt, bestSeq, bestIdx = kind, at, seq, idx
+	for evs.Len() > 0 || admitQ.Len() > 0 {
+		ev, haveEv := evs.Peek()
+		adm, haveAdm := admitQ.Peek()
+		canAdmit := haveAdm && running < depth
+		var admitAt time.Duration
+		if canAdmit {
+			// Units released into the past (the depth gate held them while
+			// the clock moved on) admit now.
+			admitAt = adm.At
+			if admitAt < pl.Now() {
+				admitAt = pl.Now()
 			}
 		}
-		for fi, j := range finishQ {
-			consider(evFinish, j.prevEnd, j.seq, fi)
-		}
-		for i := 0; i < width; i++ {
-			if len(stageQ[i]) == 0 {
-				continue
-			}
-			j := stageQ[i][0]
-			at := j.prevEnd
-			if freeAt[i] > at {
-				at = freeAt[i]
-			}
-			consider(evStage, at, j.seq, i)
-		}
-		if running < depth && len(queue) > 0 {
-			sel := 0
-			for qi := 1; qi < len(queue); qi++ {
-				if queue[qi].readyAt < queue[sel].readyAt ||
-					(queue[qi].readyAt == queue[sel].readyAt && queue[qi].unit.First < queue[sel].unit.First) {
-					sel = qi
-				}
-			}
-			consider(evAdmit, queue[sel].readyAt, queue[sel].unit.First, sel)
-		}
-		if bestKind == evNone {
+		// At equal instants finishes and stage starts precede admissions
+		// (class order), so admission wins only strictly earlier.
+		chooseAdmit := canAdmit && (!haveEv || admitAt < ev.At)
+		if !chooseAdmit && !haveEv {
 			// Pipeline at depth capacity with nothing left to run: every
 			// slot is waiting on an admission the depth gate blocks. This
-			// cannot happen (finishing jobs free capacity), but guard
-			// against looping forever if it ever does.
-			return nil, fmt.Errorf("serving: pipelined scheduler stalled with %d queued, %d running", len(queue), running)
+			// cannot happen (finishing jobs free capacity and always hold a
+			// live event), but guard against looping forever if it ever
+			// does.
+			return nil, fmt.Errorf("serving: pipelined scheduler stalled with %d queued, %d running", admitQ.Len(), running)
 		}
 
-		pl.AdvanceTo(bestAt)
-		now := pl.Now()
-		ts.Advance(now)
-
-		switch bestKind {
-		case evFinish:
-			j := finishQ[bestIdx]
-			finishQ = append(finishQ[:bestIdx], finishQ[bestIdx+1:]...)
-			running--
-			jrep, err := j.sj.Finish(now - j.start)
-			if err != nil {
-				if ferr := failUnit(j, err); ferr != nil {
-					return nil, ferr
-				}
-				continue
-			}
-			fill(j, jrep, now, OutcomeOK, "")
-			estSum += jrep.Completion
-			estN++
-			for k := 0; k < j.unit.Size; k++ {
-				idx := j.unit.First + k
-				mx.Inc("serving_jobs_total", 1)
-				mx.Observe("serving_queue_seconds", obs.DurationBounds, rep.Jobs[idx].Queue.Seconds())
-				mx.Observe("serving_latency_seconds", obs.DurationBounds, rep.Jobs[idx].Latency.Seconds())
-				ts.Inc(now, "serving_jobs_total", 1)
-				ts.Observe(now, "serving_queue_seconds", rep.Jobs[idx].Queue.Seconds())
-				ts.Observe(now, "serving_latency_seconds", rep.Jobs[idx].Latency.Seconds())
-			}
-			ts.Gauge(now, "serving_pipeline_running", float64(running))
-
-		case evStage:
-			i := bestIdx
-			j := stageQ[i][0]
-			stageQ[i] = stageQ[i][1:]
-			svc, err := j.sj.RunStage(now - j.start)
-			if err != nil {
-				freeAt[i] = now + svc
-				running--
-				if ferr := failUnit(j, err); ferr != nil {
-					return nil, ferr
-				}
-				continue
-			}
-			freeAt[i] = now + svc
-			j.prevEnd = now + svc
-			j.next++
-			// Stage utilization: the slot for partition stage i is busy for
-			// svc from now — accounted in the window the stage started in.
-			ts.Add(now, fmt.Sprintf("serving_stage_busy_seconds_total{stage=%q}", strconv.Itoa(i)), svc.Seconds())
-			if j.next == width {
-				finishQ = append(finishQ, j)
-			} else {
-				stageQ[j.next] = append(stageQ[j.next], j)
-			}
-			if inFlight := pl.InFlightAt(now); inFlight > rep.PeakInFlight {
-				rep.PeakInFlight = inFlight
-			}
-
-		case evAdmit:
-			p := queue[bestIdx]
-			queue = append(queue[:bestIdx], queue[bestIdx+1:]...)
+		if chooseAdmit {
+			admitQ.Pop()
+			uid := adm.ID
+			p := units.Get(uid)
+			pl.AdvanceTo(admitAt)
+			now := pl.Now()
+			ts.Advance(now)
 			u := p.unit
 			leader := u.First
 			elapsed := now - arrivals[leader]
-			ts.Gauge(now, "serving_queue_depth", float64(len(queue)))
+			ts.Gauge(now, "serving_queue_depth", float64(admitQ.Len()))
 
 			if slo.Shed && (elapsed >= slo.Deadline ||
 				(estN > 0 && elapsed+estSum/time.Duration(estN) > slo.Deadline)) {
 				shedUnit(rep, arrivals, p, now, mx, ts)
+				units.Free(uid)
 				continue
 			}
 
@@ -342,13 +339,14 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 							leader, p.attempts, limit, width)
 					}
 					throttleOutUnit(rep, arrivals, p, now, mx, ts)
+					units.Free(uid)
 					continue
 				}
 				bo := backoff(cfg.Throttle, p.attempts, rng)
 				p.wait += bo
 				p.waits = append(p.waits, bo)
 				p.readyAt = now + bo
-				queue = append(queue, p)
+				admitQ.Push(sim.Event{At: p.readyAt, Class: evAdmit, Seq: uint64(leader), ID: uid})
 				continue
 			}
 
@@ -376,26 +374,103 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 				Batch:    u.Size,
 				NoTrace:  !sampler.Keep(uint64(leader)),
 			})
-			j := &stageJob{
-				seq: seqCounter, unit: u, sj: sj, start: now,
-				throttles: p.attempts, wait: p.wait, waits: p.waits,
-			}
+			jid, j := jobs.Alloc()
+			j.seq = seqCounter
+			j.unit = u
+			j.sj = sj
+			j.start = now
+			j.prevEnd = 0
+			j.next = 0
+			j.throttles = p.attempts
+			j.wait = p.wait
+			// Copied, not aliased: the unit's slab slot (and with it the
+			// waits backing array) is recycled by later admissions.
+			j.waits = append(j.waits[:0], p.waits...)
 			seqCounter++
+			units.Free(uid)
 			if err != nil {
 				if ferr := failUnit(j, err); ferr != nil {
 					return nil, ferr
 				}
+				jobs.Free(jid)
 				continue
 			}
 			j.prevEnd = now + sj.InputReady()
 			running++
-			stageQ[0] = append(stageQ[0], j)
+			enqueueStage(jid, j)
+			continue
+		}
+
+		e, _ := evs.Pop()
+		j := jobs.Get(e.ID)
+		pl.AdvanceTo(e.At)
+		now := pl.Now()
+		ts.Advance(now)
+
+		switch e.Class {
+		case evFinish:
+			running--
+			jrep, err := j.sj.Finish(now - j.start)
+			if err != nil {
+				ferr := failUnit(j, err)
+				jobs.Free(e.ID)
+				if ferr != nil {
+					return nil, ferr
+				}
+				continue
+			}
+			fill(j, jrep, now, OutcomeOK, "")
+			estSum += jrep.Completion
+			estN++
+			for k := 0; k < j.unit.Size; k++ {
+				idx := j.unit.First + k
+				mx.Inc("serving_jobs_total", 1)
+				mx.Observe("serving_queue_seconds", obs.DurationBounds, rep.Jobs[idx].Queue.Seconds())
+				mx.Observe("serving_latency_seconds", obs.DurationBounds, rep.Jobs[idx].Latency.Seconds())
+				ts.Inc(now, "serving_jobs_total", 1)
+				ts.Observe(now, "serving_queue_seconds", rep.Jobs[idx].Queue.Seconds())
+				ts.Observe(now, "serving_latency_seconds", rep.Jobs[idx].Latency.Seconds())
+			}
+			ts.Gauge(now, "serving_pipeline_running", float64(running))
+			jobs.Free(e.ID)
+
+		case evStage:
+			i := j.next
+			stageQ[i].pop() // e.ID: only the head holds a live event
+			svc, err := j.sj.RunStage(now - j.start)
+			if err != nil {
+				freeAt[i] = now + svc
+				running--
+				ferr := failUnit(j, err)
+				jobs.Free(e.ID)
+				if ferr != nil {
+					return nil, ferr
+				}
+				promote(i)
+				continue
+			}
+			freeAt[i] = now + svc
+			j.prevEnd = now + svc
+			j.next++
+			// Stage utilization: the slot for partition stage i is busy for
+			// svc from now — accounted in the window the stage started in.
+			ts.Add(now, fmt.Sprintf("serving_stage_busy_seconds_total{stage=%q}", strconv.Itoa(i)), svc.Seconds())
+			if j.next == width {
+				evs.Push(sim.Event{At: j.prevEnd, Class: evFinish, Seq: uint64(j.seq), ID: e.ID})
+			} else {
+				enqueueStage(e.ID, j)
+			}
+			if inFlight := pl.InFlightAt(now); inFlight > rep.PeakInFlight {
+				rep.PeakInFlight = inFlight
+			}
+			promote(i)
 		}
 	}
 
 	summarize(rep)
 	mx.Gauge("serving_peak_in_flight", float64(rep.PeakInFlight))
 	cfg.Series.Advance(rep.Makespan)
+	cfg.Series.Flush()
 	return rep, nil
 }
 

@@ -20,6 +20,7 @@ import (
 
 	"ampsinf/internal/coordinator"
 	"ampsinf/internal/obs"
+	"ampsinf/internal/sim"
 	"ampsinf/internal/tensor"
 	"ampsinf/internal/workload"
 )
@@ -195,6 +196,10 @@ type JobResult struct {
 type Report struct {
 	Mode string
 	Jobs []JobResult
+	// Requests is the number of requests the run served. It equals
+	// len(Jobs) for retained runs; streaming runs (ServeStream) keep no
+	// per-request results, so this field is the only record of the count.
+	Requests int
 	// Makespan is the simulated time from the first arrival to the last
 	// response; Throughput is completed requests per simulated second.
 	Makespan   time.Duration
@@ -259,10 +264,22 @@ func (r *Report) Traces() []*obs.Span {
 	return roots
 }
 
+// requests returns the run's request count regardless of whether
+// per-job results were retained.
+func (r *Report) requests() int {
+	if r.Requests > 0 {
+		return r.Requests
+	}
+	return len(r.Jobs)
+}
+
 // pending is one request waiting to run: its next admission instant and
 // how many times the concurrency limit has already turned it away.
+// Records are slab-recycled; the waits slice keeps its capacity across
+// reuse.
 type pending struct {
 	idx      int
+	arrival  time.Duration
 	readyAt  time.Duration
 	attempts int
 	wait     time.Duration
@@ -313,6 +330,24 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 		// path — the equivalence property the test suite locks down.
 		return servePipelined(cfg, inputs, arrivals)
 	}
+	return runSequential(cfg, sim.NewSlice(arrivals), func(i int) *tensor.Tensor { return inputs[i] }, false)
+}
+
+// runSequential is the sequential serving scheduler on the unified
+// discrete-event core (internal/sim): a binary event heap orders
+// throttle re-admissions by (readyAt, index), a slab recycles pending
+// records, and arrivals stream from src one at a time so the full
+// trace is never materialized. Because arrivals are non-decreasing
+// with increasing indices, the globally earliest-ready request is
+// always either the heap top or the source head — the selection is
+// exactly the (readyAt, idx) lexicographic minimum the former
+// linear-scan loop picked, so runs are byte-identical to it.
+//
+// In stream mode per-request results fold into the summary accumulator
+// as they settle instead of being retained, and span trees are never
+// built, so memory stays O(backlog) over million-request traces.
+func runSequential(cfg Config, src sim.Source, input func(int) *tensor.Tensor, stream bool) (*Report, error) {
+	dep := cfg.Deployment
 	pl := dep.Platform()
 	pl.EnableClock()
 	width := dep.Partitions()
@@ -327,9 +362,13 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 	}
 	rng := rand.New(rand.NewSource(seed))
 
-	rep := &Report{Mode: "eager", Jobs: make([]JobResult, len(inputs))}
+	n := src.Remaining()
+	rep := &Report{Mode: "eager", Requests: n}
 	if cfg.Sequential {
 		rep.Mode = "sequential"
+	}
+	if !stream {
+		rep.Jobs = make([]JobResult, n)
 	}
 	slo := cfg.SLO
 	rep.SLOActive = slo.enabled()
@@ -340,37 +379,73 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 	var estSum time.Duration
 	var estN int
 
-	queue := make([]*pending, len(inputs))
-	for i := range inputs {
-		queue[i] = &pending{idx: i, readyAt: arrivals[i]}
-	}
-	for len(queue) > 0 {
-		// Earliest-ready request first; ties break by arrival index so
-		// the event order — and with it the whole run — is deterministic.
-		sel := 0
-		for j := 1; j < len(queue); j++ {
-			if queue[j].readyAt < queue[sel].readyAt ||
-				(queue[j].readyAt == queue[sel].readyAt && queue[j].idx < queue[sel].idx) {
-				sel = j
+	var acc summaryAcc
+	var scratch JobResult
+
+	var pq sim.Heap // backed-off re-admissions: (readyAt, idx)
+	var slab sim.Slab[pending]
+	// One-arrival lookahead into the source; the trace beyond it stays
+	// unmaterialized.
+	nextArr, haveNext := src.Next()
+	nextIdx := 0
+	var lastArr time.Duration
+
+	for {
+		var p *pending
+		var id int32
+		top, havePQ := pq.Peek()
+		// The next request is the earlier of the heap top and the source
+		// head (ties break toward the smaller index; every heap entry's
+		// index precedes the source head's).
+		if haveNext && (!havePQ || nextArr < top.At ||
+			(nextArr == top.At && uint64(nextIdx) < top.Seq)) {
+			if nextArr < lastArr {
+				return nil, fmt.Errorf("serving: arrivals not sorted at %d", nextIdx)
 			}
+			lastArr = nextArr
+			id, p = slab.Alloc()
+			p.idx = nextIdx
+			p.arrival = nextArr
+			p.readyAt = nextArr
+			p.attempts = 0
+			p.wait = 0
+			p.waits = p.waits[:0]
+			nextIdx++
+			nextArr, haveNext = src.Next()
+		} else if havePQ {
+			e, _ := pq.Pop()
+			id = e.ID
+			p = slab.Get(id)
+		} else {
+			break
 		}
-		p := queue[sel]
-		queue = append(queue[:sel], queue[sel+1:]...)
 
 		pl.AdvanceTo(p.readyAt)
 		now := pl.Now()
 		ts.Advance(now)
-		ts.Gauge(now, "serving_queue_depth", float64(len(queue)))
-		elapsed := now - arrivals[p.idx]
+		// Queue depth after this request leaves the queue: re-admissions
+		// waiting in the heap plus every arrival not yet admitted.
+		depth := pq.Len() + src.Remaining()
+		if haveNext {
+			depth++
+		}
+		ts.Gauge(now, "serving_queue_depth", float64(depth))
+		elapsed := now - p.arrival
+
+		jr := &scratch
+		if stream {
+			scratch = JobResult{}
+		} else {
+			jr = &rep.Jobs[p.idx]
+		}
 
 		// SLO-aware load shedding: reject at admission when the request
 		// has already missed its deadline in the queue, or when the
 		// running service-time estimate predicts it will.
 		if slo.Shed && (elapsed >= slo.Deadline ||
 			(estN > 0 && elapsed+estSum/time.Duration(estN) > slo.Deadline)) {
-			jr := &rep.Jobs[p.idx]
 			jr.Index = p.idx
-			jr.Arrival = arrivals[p.idx]
+			jr.Arrival = p.arrival
 			jr.Start = now
 			jr.Done = now
 			jr.Queue = elapsed
@@ -378,9 +453,15 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 			jr.Throttles = p.attempts
 			jr.ThrottleWait = p.wait
 			jr.Outcome = OutcomeShed
-			jr.Trace = requestSpan(jr, p.waits, nil)
+			if !stream {
+				jr.Trace = requestSpan(jr, p.waits, nil)
+			}
 			mx.Inc("serving_shed_total", 1)
 			ts.Inc(now, "serving_shed_total", 1)
+			if stream {
+				acc.fold(rep, jr)
+			}
+			slab.Free(id)
 			continue
 		}
 
@@ -396,9 +477,8 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 					return nil, fmt.Errorf("serving: request %d throttled %d times (limit %d, width %d)",
 						p.idx, p.attempts, limit, width)
 				}
-				jr := &rep.Jobs[p.idx]
 				jr.Index = p.idx
-				jr.Arrival = arrivals[p.idx]
+				jr.Arrival = p.arrival
 				jr.Start = now
 				jr.Done = now
 				jr.Queue = elapsed
@@ -407,16 +487,22 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 				jr.ThrottleWait = p.wait
 				jr.Outcome = OutcomeThrottled
 				jr.Err = fmt.Sprintf("throttled %d times", p.attempts)
-				jr.Trace = requestSpan(jr, p.waits, nil)
+				if !stream {
+					jr.Trace = requestSpan(jr, p.waits, nil)
+				}
 				mx.Inc("serving_admission_failures_total", 1)
 				ts.Inc(now, "serving_admission_failures_total", 1)
+				if stream {
+					acc.fold(rep, jr)
+				}
+				slab.Free(id)
 				continue
 			}
 			bo := backoff(cfg.Throttle, p.attempts, rng)
 			p.wait += bo
 			p.waits = append(p.waits, bo)
 			p.readyAt = now + bo
-			queue = append(queue, p)
+			pq.Push(sim.Event{At: p.readyAt, Seq: uint64(p.idx), ID: id})
 			continue
 		}
 
@@ -433,15 +519,14 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 		}
 
 		before := pl.Meter().Total()
-		jrep, err := dep.Run(inputs[p.idx], coordinator.RunOptions{
+		jrep, err := dep.Run(input(p.idx), coordinator.RunOptions{
 			Sequential: cfg.Sequential,
 			Deadline:   jobDeadline,
-			NoTrace:    !sampler.Keep(uint64(p.idx)),
+			NoTrace:    stream || !sampler.Keep(uint64(p.idx)),
 		})
 
-		jr := &rep.Jobs[p.idx]
 		jr.Index = p.idx
-		jr.Arrival = arrivals[p.idx]
+		jr.Arrival = p.arrival
 		jr.Start = now
 		jr.Queue = elapsed
 		jr.Cost = pl.Meter().Total() - before
@@ -492,33 +577,41 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 				failDur = failTrace.Duration
 			}
 			jr.Done = now + failDur
-			jr.Latency = jr.Done - arrivals[p.idx]
-			jr.Trace = requestSpan(jr, p.waits, failTrace)
+			jr.Latency = jr.Done - p.arrival
+			if !stream {
+				jr.Trace = requestSpan(jr, p.waits, failTrace)
+			}
 			if jr.Done > rep.Makespan {
 				rep.Makespan = jr.Done
 			}
 			mx.Add("serving_cost_usd_total", jr.Cost)
 			ts.Add(jr.Done, "serving_cost_usd_total", jr.Cost)
+			if stream {
+				acc.fold(rep, jr)
+			}
+			slab.Free(id)
 			continue
 		}
 
 		jr.Done = now + jrep.Completion
-		jr.Latency = jr.Done - arrivals[p.idx]
+		jr.Latency = jr.Done - p.arrival
 		jr.Outcome = OutcomeOK
 		estSum += jrep.Completion
 		estN++
 		// Under sampling a dropped job carries no coordinator tree (unless
 		// its hedge won, which forces the sample); the request then keeps
 		// no span tree at all, only its exact meter-delta cost.
-		if jrep.Trace != nil {
-			jr.Trace = requestSpan(jr, p.waits, jrep.Trace)
-			if sampler != nil {
-				mx.Inc("serving_spans_sampled_total", 1)
-				ts.Inc(jr.Done, "serving_spans_sampled_total", 1)
+		if !stream {
+			if jrep.Trace != nil {
+				jr.Trace = requestSpan(jr, p.waits, jrep.Trace)
+				if sampler != nil {
+					mx.Inc("serving_spans_sampled_total", 1)
+					ts.Inc(jr.Done, "serving_spans_sampled_total", 1)
+				}
+			} else if sampler != nil {
+				mx.Inc("serving_spans_dropped_total", 1)
+				ts.Inc(jr.Done, "serving_spans_dropped_total", 1)
 			}
-		} else if sampler != nil {
-			mx.Inc("serving_spans_dropped_total", 1)
-			ts.Inc(jr.Done, "serving_spans_dropped_total", 1)
 		}
 
 		if inFlight := pl.InFlightAt(now); inFlight > rep.PeakInFlight {
@@ -535,10 +628,19 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 		ts.Observe(now, "serving_queue_seconds", jr.Queue.Seconds())
 		ts.Observe(jr.Done, "serving_latency_seconds", jr.Latency.Seconds())
 		ts.Add(jr.Done, "serving_cost_usd_total", jr.Cost)
+		if stream {
+			acc.fold(rep, jr)
+		}
+		slab.Free(id)
 	}
 
-	summarize(rep)
+	if stream {
+		acc.finalize(rep, n)
+	} else {
+		summarize(rep)
+	}
 	cfg.Series.Advance(rep.Makespan)
+	cfg.Series.Flush()
 	mx.Gauge("serving_peak_in_flight", float64(rep.PeakInFlight))
 	return rep, nil
 }
@@ -614,60 +716,64 @@ func requestSpan(jr *JobResult, waits []time.Duration, job *obs.Span) *obs.Span 
 	return root
 }
 
-// summarize fills the report's aggregates from its per-job results.
-// Latency and queueing aggregates cover completed requests only; shed
-// and failed requests are counted by outcome, their spend folded into
-// WastedSpend (a non-answer buys nothing).
-func summarize(rep *Report) {
-	lats := make([]time.Duration, 0, len(rep.Jobs))
-	var latSum, qSum time.Duration
-	for i := range rep.Jobs {
-		jr := &rep.Jobs[i]
-		rep.ColdStarts += jr.ColdStarts
-		rep.Retries += jr.Retries
-		rep.Faults += jr.Faults
-		rep.TotalCost += jr.Cost
-		rep.Hedges += jr.Hedges
-		rep.HedgeWins += jr.HedgeWins
-		rep.ShortCircuits += jr.ShortCircuits
-		switch jr.Outcome {
-		case OutcomeShed:
-			rep.Shed++
-		case OutcomeDeadline:
-			rep.Deadline++
-		case OutcomeThrottled:
-			rep.Throttled++
-		case OutcomeFailed:
-			rep.Failed++
-		default: // "" (legacy) or OutcomeOK
-			rep.Completed++
-			lats = append(lats, jr.Latency)
-			latSum += jr.Latency
-			qSum += jr.Queue
-			if jr.Latency > rep.MaxLatency {
-				rep.MaxLatency = jr.Latency
-			}
-			if jr.Queue > rep.MaxQueue {
-				rep.MaxQueue = jr.Queue
-			}
-			if rep.SLODeadline == 0 || jr.Latency <= rep.SLODeadline {
-				rep.Good++
-			}
-			rep.WastedSpend += jr.WastedSpend
-			continue
+// summaryAcc folds settled requests into a report's aggregates one at
+// a time, so streaming runs summarize without retaining per-job
+// results. Latency and queueing aggregates cover completed requests
+// only; shed and failed requests are counted by outcome, their spend
+// folded into WastedSpend (a non-answer buys nothing).
+type summaryAcc struct {
+	lats         []time.Duration
+	latSum, qSum time.Duration
+}
+
+func (a *summaryAcc) fold(rep *Report, jr *JobResult) {
+	rep.ColdStarts += jr.ColdStarts
+	rep.Retries += jr.Retries
+	rep.Faults += jr.Faults
+	rep.TotalCost += jr.Cost
+	rep.Hedges += jr.Hedges
+	rep.HedgeWins += jr.HedgeWins
+	rep.ShortCircuits += jr.ShortCircuits
+	switch jr.Outcome {
+	case OutcomeShed:
+		rep.Shed++
+	case OutcomeDeadline:
+		rep.Deadline++
+	case OutcomeThrottled:
+		rep.Throttled++
+	case OutcomeFailed:
+		rep.Failed++
+	default: // "" (legacy) or OutcomeOK
+		rep.Completed++
+		a.lats = append(a.lats, jr.Latency)
+		a.latSum += jr.Latency
+		a.qSum += jr.Queue
+		if jr.Latency > rep.MaxLatency {
+			rep.MaxLatency = jr.Latency
 		}
-		rep.WastedSpend += jr.Cost
+		if jr.Queue > rep.MaxQueue {
+			rep.MaxQueue = jr.Queue
+		}
+		if rep.SLODeadline == 0 || jr.Latency <= rep.SLODeadline {
+			rep.Good++
+		}
+		rep.WastedSpend += jr.WastedSpend
+		return
 	}
+	rep.WastedSpend += jr.Cost
+}
+
+func (a *summaryAcc) finalize(rep *Report, requests int) {
 	if rep.Completed > 0 {
 		n := time.Duration(rep.Completed)
-		rep.AvgLatency = latSum / n
-		rep.AvgQueue = qSum / n
-		rep.P50Latency = workload.Percentile(lats, 50)
-		rep.P90Latency = workload.Percentile(lats, 90)
-		rep.P95Latency = workload.Percentile(lats, 95)
-		rep.P99Latency = workload.Percentile(lats, 99)
+		rep.AvgLatency = a.latSum / n
+		rep.AvgQueue = a.qSum / n
+		rep.P50Latency = workload.Percentile(a.lats, 50)
+		rep.P90Latency = workload.Percentile(a.lats, 90)
+		rep.P95Latency = workload.Percentile(a.lats, 95)
+		rep.P99Latency = workload.Percentile(a.lats, 99)
 	}
-	rep.CostPerJob = rep.TotalCost / float64(len(rep.Jobs))
+	rep.CostPerJob = rep.TotalCost / float64(requests)
 	if rep.Makespan > 0 {
 		rep.Throughput = float64(rep.Completed) / rep.Makespan.Seconds()
 		rep.Goodput = float64(rep.Good) / rep.Makespan.Seconds()
@@ -675,6 +781,16 @@ func summarize(rep *Report) {
 	if rep.Good > 0 {
 		rep.CostPerGood = rep.TotalCost / float64(rep.Good)
 	}
+}
+
+// summarize fills a retained report's aggregates from its per-job
+// results by folding each through the summary accumulator.
+func summarize(rep *Report) {
+	acc := summaryAcc{lats: make([]time.Duration, 0, len(rep.Jobs))}
+	for i := range rep.Jobs {
+		acc.fold(rep, &rep.Jobs[i])
+	}
+	acc.finalize(rep, len(rep.Jobs))
 }
 
 // Summary formats the report's aggregates deterministically.
@@ -702,7 +818,7 @@ func (r *Report) Render() string {
 }
 
 func (r *Report) writeSummary(b *strings.Builder) {
-	fmt.Fprintf(b, "serving: %d requests, mode %s\n", len(r.Jobs), r.Mode)
+	fmt.Fprintf(b, "serving: %d requests, mode %s\n", r.requests(), r.Mode)
 	fmt.Fprintf(b, "  makespan %v, throughput %.4f req/s\n", r.Makespan, r.Throughput)
 	fmt.Fprintf(b, "  latency avg %v p50 %v p90 %v p95 %v p99 %v max %v\n",
 		r.AvgLatency, r.P50Latency, r.P90Latency, r.P95Latency, r.P99Latency, r.MaxLatency)

@@ -1,0 +1,242 @@
+package serving
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"ampsinf/internal/coordinator"
+	"ampsinf/internal/nn"
+	"ampsinf/internal/nn/zoo"
+	"ampsinf/internal/obs"
+	"ampsinf/internal/sim"
+	"ampsinf/internal/tensor"
+	"ampsinf/internal/workload"
+)
+
+// serveFn is either the shipped scheduler (Serve) or the preserved
+// legacy scan-based implementation (serveLegacy).
+type serveFn func(Config, []*tensor.Tensor, []time.Duration) (*Report, error)
+
+// simArtifacts runs one serve through fn and captures every observable
+// artifact: the rendered report, the JSON span forest, the metrics
+// snapshot, the windowed time-series NDJSON stream and the meter total.
+func simArtifacts(t *testing.T, e *testEnv, cfg Config, fn serveFn, n int, arrivals []time.Duration) (string, []byte, []byte, []byte, float64) {
+	t.Helper()
+	mx := obs.NewMetrics()
+	series := obs.NewTimeSeries(500 * time.Millisecond)
+	cfg.Deployment = e.dep
+	cfg.Metrics = mx
+	cfg.Series = series
+	rep, err := fn(cfg, inputs(e.model, n), arrivals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series.Close()
+	traces, err := json.Marshal(rep.Traces())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mb, sb bytes.Buffer
+	if err := mx.WriteJSON(&mb); err != nil {
+		t.Fatal(err)
+	}
+	if err := series.WriteNDJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return rep.Render(), traces, mb.Bytes(), sb.Bytes(), e.meter.Total()
+}
+
+// TestSimSchedulerEquivalence pins the sim.Heap-based schedulers
+// byte-identical to the preserved legacy implementations — the O(n²)
+// linear-scan sequential loop and the scan-per-iteration pipelined
+// event loop — across models × policy stacks × fault seeds. Every
+// observable artifact must match bit for bit: the rendered report
+// (every per-request line), the span forest, the metrics snapshot, the
+// time-series stream and the shared meter total. This is the contract
+// that allowed the legacy loops to be replaced.
+func TestSimSchedulerEquivalence(t *testing.T) {
+	n := 12
+	if testing.Short() {
+		n = 6
+	}
+	models := []struct {
+		name  string
+		build func(int) *nn.Model
+	}{
+		{"tinycnn", zoo.TinyCNN},
+		{"linearnet", zoo.LinearNet},
+		{"tinytransformer", zoo.TinyTransformer},
+	}
+	stacks := []struct {
+		name string
+		cfg  Config
+	}{
+		{"plain", Config{
+			Throttle: ThrottlePolicy{MaxAttempts: 500, JitterSeed: 3},
+		}},
+		{"pipeline", Config{
+			Throttle: ThrottlePolicy{MaxAttempts: 500, JitterSeed: 3},
+			Pipeline: PipelinePolicy{Depth: 3},
+		}},
+		{"batch", Config{
+			Throttle: ThrottlePolicy{MaxAttempts: 500, JitterSeed: 3},
+			Batch:    BatchPolicy{MaxBatch: 3, Window: 300 * time.Millisecond, JitterSeed: 5},
+		}},
+		{"full", Config{
+			Throttle: ThrottlePolicy{MaxAttempts: 500, JitterSeed: 3},
+			Pipeline: PipelinePolicy{Depth: 3},
+			Batch:    BatchPolicy{MaxBatch: 2, Window: 250 * time.Millisecond, JitterSeed: 7},
+			SLO:      SLOPolicy{Deadline: 2 * time.Second, Shed: true, TolerateFailures: true},
+		}},
+	}
+	// The resilient variants layer hedged invocations and a circuit
+	// breaker onto the deployment: their timers (hedge delay, breaker
+	// open-for window) are pure duration arithmetic on the same virtual
+	// clock the event heap orders, so they must survive the scheduler
+	// port untouched.
+	faults := []struct {
+		rate      float64
+		seed      int64
+		resilient bool
+	}{
+		{0, 0, false},
+		{0.25, 11, false},
+		{0.25, 23, true},
+		{0.4, 31, false},
+		{0.4, 47, true},
+	}
+	for _, m := range models {
+		arrivals := workload.PoissonArrivals(n, 4, 9)
+		for _, st := range stacks {
+			for _, f := range faults {
+				name := fmt.Sprintf("%s/%s/fault%.0f@%d", m.name, st.name, f.rate*100, f.seed)
+				if f.resilient {
+					name += "/hedge+breaker"
+				}
+				t.Run(name, func(t *testing.T) {
+					cfg := st.cfg
+					if f.rate > 0 {
+						cfg.SLO.TolerateFailures = true
+					}
+					var opts []func(*coordinator.Config)
+					if f.resilient {
+						opts = append(opts, func(c *coordinator.Config) {
+							c.Hedge = coordinator.HedgePolicy{
+								Percentile: 95, Delay: 400 * time.Millisecond,
+								MinSamples: 4, MaxRate: 0.5, JitterSeed: f.seed,
+							}
+							c.Breaker = coordinator.BreakerPolicy{
+								FailureRate: 0.8, MinSamples: 6,
+								Window: 10 * time.Second, OpenFor: 2 * time.Second,
+							}
+						})
+					}
+
+					eNew := deployModel(t, m.build, f.rate, f.seed, opts...)
+					eNew.pl.SetAccountConcurrency(3 * eNew.dep.Partitions())
+					outN, trN, mxN, tsN, totalN := simArtifacts(t, eNew, cfg, Serve, n, arrivals)
+
+					eOld := deployModel(t, m.build, f.rate, f.seed, opts...)
+					eOld.pl.SetAccountConcurrency(3 * eOld.dep.Partitions())
+					outO, trO, mxO, tsO, totalO := simArtifacts(t, eOld, cfg, serveLegacy, n, arrivals)
+
+					if outN != outO {
+						t.Errorf("rendered reports diverge:\n--- sim ---\n%s\n--- legacy ---\n%s", outN, outO)
+					}
+					if !bytes.Equal(trN, trO) {
+						t.Error("span forests diverge")
+					}
+					if !bytes.Equal(mxN, mxO) {
+						t.Errorf("metrics snapshots diverge:\n%s\nvs\n%s", mxN, mxO)
+					}
+					if !bytes.Equal(tsN, tsO) {
+						t.Errorf("time-series streams diverge:\n%s\nvs\n%s", tsN, tsO)
+					}
+					if totalN != totalO {
+						t.Errorf("meter totals diverge: %v vs %v", totalN, totalO)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestServeStreamMatchesServe: the streaming entry point must
+// reproduce the retained sequential serve's summary, time-series
+// stream and meter total from the same lazy source — the per-request
+// results are the only thing it may drop.
+func TestServeStreamMatchesServe(t *testing.T) {
+	n := 64
+	if testing.Short() {
+		n = 24
+	}
+	for _, fr := range []struct {
+		rate float64
+		seed int64
+	}{{0, 0}, {0.3, 19}} {
+		t.Run(fmt.Sprintf("fault%.0f@%d", fr.rate*100, fr.seed), func(t *testing.T) {
+			cfg := Config{Throttle: ThrottlePolicy{MaxAttempts: 500, JitterSeed: 3}}
+			if fr.rate > 0 {
+				cfg.SLO = SLOPolicy{TolerateFailures: true}
+			}
+			arrivals := workload.PoissonArrivals(n, 6, 21)
+
+			e1 := deployModel(t, zoo.LinearNet, fr.rate, fr.seed)
+			e1.pl.SetAccountConcurrency(3 * e1.dep.Partitions())
+			in1 := inputs(e1.model, n)
+			cfgR := cfg
+			cfgR.Deployment = e1.dep
+			cfgR.Sample = SamplePolicy{} // retained run builds all trees
+			mx1 := obs.NewMetrics()
+			ts1 := obs.NewTimeSeries(500 * time.Millisecond)
+			cfgR.Metrics = mx1
+			cfgR.Series = ts1
+			repR, err := Serve(cfgR, in1, arrivals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts1.Close()
+
+			e2 := deployModel(t, zoo.LinearNet, fr.rate, fr.seed)
+			e2.pl.SetAccountConcurrency(3 * e2.dep.Partitions())
+			in2 := inputs(e2.model, n)
+			cfgS := cfg
+			cfgS.Deployment = e2.dep
+			mx2 := obs.NewMetrics()
+			ts2 := obs.NewTimeSeries(500 * time.Millisecond)
+			cfgS.Metrics = mx2
+			cfgS.Series = ts2
+			repS, err := ServeStream(cfgS, sim.NewSlice(arrivals), func(i int) *tensor.Tensor { return in2[i] })
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts2.Close()
+
+			if a, b := repR.Summary(), repS.Summary(); a != b {
+				t.Errorf("summaries diverge:\n--- retained ---\n%s\n--- stream ---\n%s", a, b)
+			}
+			if repS.Requests != n || len(repS.Jobs) != 0 {
+				t.Errorf("stream run retained %d jobs (requests %d)", len(repS.Jobs), repS.Requests)
+			}
+			var a, b bytes.Buffer
+			if err := ts1.WriteNDJSON(&a); err != nil {
+				t.Fatal(err)
+			}
+			if err := ts2.WriteNDJSON(&b); err != nil {
+				t.Fatal(err)
+			}
+			// The retained run builds span trees (coordinator tracing) while
+			// the stream run forces NoTrace; neither difference may leak into
+			// the serving-level time-series stream or the meter.
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Errorf("time-series streams diverge:\n%s\nvs\n%s", a.Bytes(), b.Bytes())
+			}
+			if t1, t2 := e1.meter.Total(), e2.meter.Total(); t1 != t2 {
+				t.Errorf("meter totals diverge: %v vs %v", t1, t2)
+			}
+		})
+	}
+}

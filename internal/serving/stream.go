@@ -1,0 +1,45 @@
+package serving
+
+import (
+	"fmt"
+
+	"ampsinf/internal/sim"
+	"ampsinf/internal/tensor"
+)
+
+// ServeStream serves a trace produced lazily by src — request i
+// arrives at the i-th offset the source yields — with inputs built on
+// demand by input(i). Unlike Serve it retains no per-request results
+// and builds no span trees: settled requests fold straight into the
+// report's aggregates, so a million-request trace runs in O(backlog)
+// memory. Everything else matches Serve's sequential scheduler
+// byte for byte: same admission order, same throttle backoffs, same
+// metrics and time-series emissions, same meter totals.
+//
+// Streaming supports the sequential scheduler only: pipelining and
+// batching coalesce over the materialized trace, and span sampling
+// retains trees — both contradict the no-retention contract.
+func ServeStream(cfg Config, src sim.Source, input func(int) *tensor.Tensor) (*Report, error) {
+	if cfg.Deployment == nil {
+		return nil, fmt.Errorf("serving: config needs a deployment")
+	}
+	if src == nil || src.Remaining() == 0 {
+		return nil, fmt.Errorf("serving: empty trace")
+	}
+	if input == nil {
+		return nil, fmt.Errorf("serving: streaming serve needs an input builder")
+	}
+	if cfg.Pipeline.enabled() || cfg.Batch.enabled() {
+		return nil, fmt.Errorf("serving: streaming serve supports the sequential scheduler only")
+	}
+	if cfg.Sample.enabled() {
+		return nil, fmt.Errorf("serving: streaming serve keeps no span trees to sample")
+	}
+	if err := cfg.Throttle.Validate(); err != nil {
+		return nil, fmt.Errorf("serving: %w", err)
+	}
+	if err := cfg.SLO.Validate(); err != nil {
+		return nil, fmt.Errorf("serving: %w", err)
+	}
+	return runSequential(cfg, src, input, true)
+}

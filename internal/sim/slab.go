@@ -1,0 +1,37 @@
+package sim
+
+// Slab is a free-list allocator handing out stable int32 handles —
+// exactly the shape Event.ID wants. Freed slots are recycled LIFO, so
+// once a run's peak population has been reached, Alloc/Free cycles
+// allocate nothing.
+//
+// Alloc does not zero recycled slots: callers reset the fields they
+// use (which lets them keep grown slices, e.g. a backoff-wait list,
+// across reuses instead of reallocating them).
+type Slab[T any] struct {
+	items []*T
+	free  []int32
+}
+
+// Alloc returns a slot handle and its value. The value may hold a
+// previous occupant's state; reset what you use.
+func (s *Slab[T]) Alloc() (int32, *T) {
+	if n := len(s.free); n > 0 {
+		id := s.free[n-1]
+		s.free = s.free[:n-1]
+		return id, s.items[id]
+	}
+	id := int32(len(s.items))
+	s.items = append(s.items, new(T))
+	return id, s.items[id]
+}
+
+// Get returns the value at a live handle.
+func (s *Slab[T]) Get(id int32) *T { return s.items[id] }
+
+// Free recycles a handle. The caller must not use the handle (or the
+// pointer obtained from it) afterwards until Alloc hands it out again.
+func (s *Slab[T]) Free(id int32) { s.free = append(s.free, id) }
+
+// Live returns the number of allocated (not freed) slots.
+func (s *Slab[T]) Live() int { return len(s.items) - len(s.free) }

@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Source yields a workload's arrival offsets one at a time, in
+// non-decreasing order, without ever materializing the full trace: a
+// million-request Poisson source is one rng and two counters, not an
+// 8 MB slice. The generator sources below are bit-compatible with the
+// corresponding internal/workload slice generators — same seed, same
+// offsets — which the cross-package equality tests pin down.
+type Source interface {
+	// Next returns the next arrival offset, or ok=false when the trace
+	// is exhausted.
+	Next() (time.Duration, bool)
+	// Remaining is how many arrivals Next has not yet yielded.
+	Remaining() int
+}
+
+// maxOffset caps arrival offsets so float accumulation can never
+// overflow the time.Duration range (mirrors workload.maxOffset).
+const maxOffset = time.Duration(1) << 62
+
+// SliceSource adapts an already-materialized arrival trace.
+type SliceSource struct {
+	arrivals []time.Duration
+	i        int
+}
+
+// NewSlice wraps a materialized arrival trace as a Source.
+func NewSlice(arrivals []time.Duration) *SliceSource {
+	return &SliceSource{arrivals: arrivals}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (time.Duration, bool) {
+	if s.i >= len(s.arrivals) {
+		return 0, false
+	}
+	a := s.arrivals[s.i]
+	s.i++
+	return a, true
+}
+
+// Remaining implements Source.
+func (s *SliceSource) Remaining() int { return len(s.arrivals) - s.i }
+
+// PoissonSource streams n arrival offsets with exponentially
+// distributed inter-arrival gaps at ratePerSec requests per second,
+// deterministic in seed — bit-compatible with
+// workload.PoissonArrivals(n, ratePerSec, seed).
+type PoissonSource struct {
+	rng  *rand.Rand
+	rate float64
+	left int
+	t    float64
+}
+
+// NewPoisson creates a streaming Poisson arrival source. Non-positive
+// (or NaN) rates fall back to one request per second, as in
+// workload.PoissonArrivals.
+func NewPoisson(n int, ratePerSec float64, seed int64) *PoissonSource {
+	if n < 0 {
+		n = 0
+	}
+	if !(ratePerSec > 0) { // also catches NaN
+		ratePerSec = 1
+	}
+	return &PoissonSource{rng: rand.New(rand.NewSource(seed)), rate: ratePerSec, left: n}
+}
+
+// Next implements Source.
+func (s *PoissonSource) Next() (time.Duration, bool) {
+	if s.left <= 0 {
+		return 0, false
+	}
+	s.left--
+	s.t += s.rng.ExpFloat64() / s.rate
+	if ns := s.t * float64(time.Second); ns < float64(maxOffset) {
+		return time.Duration(ns), true
+	}
+	return maxOffset, true
+}
+
+// Remaining implements Source.
+func (s *PoissonSource) Remaining() int { return s.left }
+
+// UniformSource streams n arrivals spread evenly across a window —
+// bit-compatible with workload.UniformArrivals(n, window).
+type UniformSource struct {
+	step time.Duration
+	n, i int
+}
+
+// NewUniform creates a streaming uniform arrival source. A
+// non-positive window degenerates to n simultaneous arrivals at zero.
+func NewUniform(n int, window time.Duration) *UniformSource {
+	if n <= 0 {
+		return &UniformSource{}
+	}
+	if window < 0 {
+		window = 0
+	}
+	return &UniformSource{step: window / time.Duration(n), n: n}
+}
+
+// Next implements Source.
+func (s *UniformSource) Next() (time.Duration, bool) {
+	if s.i >= s.n {
+		return 0, false
+	}
+	a := s.step * time.Duration(s.i)
+	s.i++
+	return a, true
+}
+
+// Remaining implements Source.
+func (s *UniformSource) Remaining() int { return s.n - s.i }
+
+// BurstSource streams bursts of burstSize simultaneous requests every
+// gap, n requests total — bit-compatible with
+// workload.BurstArrivals(n, burstSize, gap).
+type BurstSource struct {
+	gap   time.Duration
+	burst int
+	n, i  int
+}
+
+// NewBursts creates a streaming burst arrival source. Non-positive
+// burst sizes behave as 1; negative gaps as 0.
+func NewBursts(n, burstSize int, gap time.Duration) *BurstSource {
+	if n <= 0 {
+		return &BurstSource{burst: 1}
+	}
+	if burstSize <= 0 {
+		burstSize = 1
+	}
+	if gap < 0 {
+		gap = 0
+	}
+	if bursts := (n - 1) / burstSize; bursts > 0 && gap > maxOffset/time.Duration(bursts) {
+		gap = maxOffset / time.Duration(bursts)
+	}
+	return &BurstSource{gap: gap, burst: burstSize, n: n}
+}
+
+// Next implements Source.
+func (s *BurstSource) Next() (time.Duration, bool) {
+	if s.i >= s.n {
+		return 0, false
+	}
+	a := s.gap * time.Duration(s.i/s.burst)
+	s.i++
+	return a, true
+}
+
+// Remaining implements Source.
+func (s *BurstSource) Remaining() int { return s.n - s.i }

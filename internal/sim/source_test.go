@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"ampsinf/internal/workload"
+)
+
+// drain materializes a source, checking Remaining counts down exactly.
+func drain(t *testing.T, s Source, wantN int) []time.Duration {
+	t.Helper()
+	out := make([]time.Duration, 0, wantN)
+	for {
+		if got := s.Remaining(); got != wantN-len(out) {
+			t.Fatalf("Remaining = %d after %d yields, want %d", got, len(out), wantN-len(out))
+		}
+		a, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, a)
+	}
+	if len(out) != wantN {
+		t.Fatalf("source yielded %d arrivals, want %d", len(out), wantN)
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted source yielded again")
+	}
+	return out
+}
+
+func equalTraces(t *testing.T, name string, got, want []time.Duration) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d arrivals, want %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: arrival %d = %v, want %v (bit-compatibility broken)", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestPoissonSourceMatchesWorkload pins the streaming Poisson source
+// bit-identical to the slice generator for every (n, rate, seed) probed
+// — including the NaN/zero-rate fallback and the overflow clamp.
+func TestPoissonSourceMatchesWorkload(t *testing.T) {
+	cases := []struct {
+		n    int
+		rate float64
+		seed int64
+	}{
+		{1, 1, 1}, {100, 0.5, 7}, {1000, 250, 42}, {17, 1e9, 3},
+		{50, 0, 9},          // fallback rate
+		{10, 5e-324, 11},    // overflow clamp territory
+		{256, 12.25, -1234}, // negative seed
+	}
+	for _, c := range cases {
+		want := workload.PoissonArrivals(c.n, c.rate, c.seed)
+		got := drain(t, NewPoisson(c.n, c.rate, c.seed), c.n)
+		equalTraces(t, "poisson", got, want)
+	}
+}
+
+func TestUniformSourceMatchesWorkload(t *testing.T) {
+	for _, c := range []struct {
+		n      int
+		window time.Duration
+	}{{1, time.Second}, {64, 10 * time.Second}, {7, 0}, {13, -5}, {100, time.Duration(1) << 61}} {
+		want := workload.UniformArrivals(c.n, c.window)
+		got := drain(t, NewUniform(c.n, c.window), c.n)
+		equalTraces(t, "uniform", got, want)
+	}
+}
+
+func TestBurstSourceMatchesWorkload(t *testing.T) {
+	for _, c := range []struct {
+		n, burst int
+		gap      time.Duration
+	}{{12, 4, time.Second}, {1, 1, 0}, {30, 7, 250 * time.Millisecond}, {9, 0, -3}, {40, 3, time.Duration(1) << 61}} {
+		want := workload.BurstArrivals(c.n, c.burst, c.gap)
+		got := drain(t, NewBursts(c.n, c.burst, c.gap), c.n)
+		equalTraces(t, "bursts", got, want)
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	want := []time.Duration{0, time.Second, time.Second, 3 * time.Second}
+	got := drain(t, NewSlice(want), len(want))
+	equalTraces(t, "slice", got, want)
+	if got := drain(t, NewSlice(nil), 0); len(got) != 0 {
+		t.Fatalf("nil slice yielded %d", len(got))
+	}
+}
+
+func TestEmptySources(t *testing.T) {
+	for name, s := range map[string]Source{
+		"poisson": NewPoisson(0, 1, 1),
+		"uniform": NewUniform(0, time.Second),
+		"bursts":  NewBursts(0, 3, time.Second),
+	} {
+		if _, ok := s.Next(); ok {
+			t.Fatalf("%s: empty source yielded", name)
+		}
+		if s.Remaining() != 0 {
+			t.Fatalf("%s: Remaining = %d", name, s.Remaining())
+		}
+	}
+}
+
+// TestPoissonSourceStreamsLazily: a million-request source costs O(1)
+// memory up front — Remaining reports the full count without any
+// backing slice having been built.
+func TestPoissonSourceStreamsLazily(t *testing.T) {
+	allocs := testing.AllocsPerRun(10, func() {
+		s := NewPoisson(1_000_000, 100, 1)
+		if s.Remaining() != 1_000_000 {
+			t.Fatal("wrong count")
+		}
+		s.Next()
+	})
+	// One rng + one source struct + rng internals; the point is it is
+	// constant, not O(n).
+	if allocs > 16 {
+		t.Fatalf("constructing a 1M source allocated %.0f objects", allocs)
+	}
+}
