@@ -36,11 +36,13 @@ staticcheck:
 	fi
 
 # Chaos smoke: the resilience and pipelining×batching ladders at a 60%
-# base fault rate with 8× correlated storms, plus a 100k-request
-# streaming storm through the discrete-event core, under the race
-# detector, so the hedge/breaker/deadline/shed paths, the staged
-# scheduler's batch coalescing and the event-heap/slab pool reuse are
-# exercised together on every push.
+# base fault rate with 8× correlated storms, plus two 100k-request
+# streaming storms through the discrete-event core — sequential, and
+# pipelined+batched with full telemetry (handle-path writes, lean
+# report recycling) — under the race detector, so the
+# hedge/breaker/deadline/shed paths, the staged scheduler's batch
+# coalescing and the event-heap/slab pool reuse are exercised together
+# on every push.
 chaos:
 	$(GO) test -race -run 'TestChaosStormSmoke|TestChaosPipelineBatch|TestChaosSim' ./internal/experiments/
 
@@ -58,6 +60,15 @@ bench:
 # varies by machine, so this never fails the build.
 bench-diff:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -diff BENCH_baseline.json
+
+# Same diff, but exit non-zero if any benchmark's req/s throughput
+# falls more than BENCH_GATE_PCT percent below the committed baseline.
+# The default gate is loose on purpose: single-iteration wall-clock on
+# shared CI runners is noisy, so only order-of-magnitude regressions
+# (a hot path quietly de-optimized) should trip it.
+BENCH_GATE_PCT ?= 75
+bench-gate:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -diff BENCH_baseline.json -fail-below-pct $(BENCH_GATE_PCT)
 
 # Per-package coverage report. Fails if any internal package ships with
 # no test files at all — every subsystem must carry its own tests.

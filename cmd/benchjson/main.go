@@ -7,12 +7,15 @@
 // With -diff it instead compares the fresh run on stdin against a
 // committed baseline JSON and prints a per-benchmark Δ% table for
 // ns/op and B/op (`make bench-diff` wires this against
-// BENCH_baseline.json).
+// BENCH_baseline.json). Adding -fail-below-pct N turns the diff into a
+// regression gate: any benchmark whose req/s dropped more than N% below
+// the baseline fails the run with a non-zero exit.
 //
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH_baseline.json
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -diff BENCH_baseline.json
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -diff BENCH_baseline.json -fail-below-pct 20
 package main
 
 import (
@@ -46,6 +49,8 @@ type Doc struct {
 
 func main() {
 	diffBase := flag.String("diff", "", "compare stdin against this baseline JSON instead of emitting JSON")
+	failBelowPct := flag.Float64("fail-below-pct", 0,
+		"with -diff: exit non-zero when any benchmark's req/s drops more than this percentage below the baseline")
 	flag.Parse()
 
 	doc, err := parse(bufio.NewScanner(os.Stdin))
@@ -63,7 +68,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
-		writeDiff(os.Stdout, base, doc)
+		regressed := writeDiff(os.Stdout, base, doc, *failBelowPct)
+		if len(regressed) > 0 {
+			for _, line := range regressed {
+				fmt.Fprintf(os.Stderr, "benchjson: %s\n", line)
+			}
+			os.Exit(1)
+		}
 		return
 	}
 	enc := json.NewEncoder(os.Stdout)
@@ -89,8 +100,10 @@ func readBaseline(path string) (*Doc, error) {
 
 // writeDiff prints one line per benchmark of the fresh run, with the
 // baseline → current value and Δ% for ns/op and B/op. Benchmarks
-// missing from either side are reported, never silently dropped.
-func writeDiff(w io.Writer, base, cur *Doc) {
+// missing from either side are reported, never silently dropped. When
+// failBelowPct > 0, every benchmark whose req/s dropped more than that
+// percentage below the baseline is returned as a regression.
+func writeDiff(w io.Writer, base, cur *Doc, failBelowPct float64) (regressed []string) {
 	baseline := make(map[string]Result, len(base.Benchmarks))
 	for _, r := range base.Benchmarks {
 		baseline[r.Pkg+" "+r.Name] = r
@@ -109,10 +122,17 @@ func writeDiff(w io.Writer, base, cur *Doc) {
 			deltaCell("B/op", old.Metrics, r.Metrics))
 		// Serving throughput benchmarks also report wall-clock req/s;
 		// surface the delta when either side carries the metric.
-		if _, inOld := old.Metrics["req/s"]; inOld {
+		ov, inOld := old.Metrics["req/s"]
+		cv, inCur := r.Metrics["req/s"]
+		if inOld || inCur {
 			cells += "  " + deltaCell("req/s", old.Metrics, r.Metrics)
-		} else if _, inCur := r.Metrics["req/s"]; inCur {
-			cells += "  " + deltaCell("req/s", old.Metrics, r.Metrics)
+		}
+		if failBelowPct > 0 && inOld && inCur && ov > 0 {
+			if pct := (cv - ov) / ov * 100; pct < -failBelowPct {
+				regressed = append(regressed, fmt.Sprintf(
+					"%s: req/s %.0f→%.0f (%.1f%% below baseline, limit %.1f%%)",
+					key, ov, cv, -pct, failBelowPct))
+			}
 		}
 		fmt.Fprintf(w, "%-64s %s\n", key, cells)
 	}
@@ -127,6 +147,7 @@ func writeDiff(w io.Writer, base, cur *Doc) {
 	for _, key := range gone {
 		fmt.Fprintf(w, "%-64s (missing from this run)\n", key)
 	}
+	return regressed
 }
 
 // deltaCell formats one metric as "unit old→new (Δ%)"; a missing metric

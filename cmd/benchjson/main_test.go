@@ -45,7 +45,7 @@ BenchmarkNew-4    100   5000 ns/op   64 B/op   1 allocs/op
 PASS
 `)
 	var sb strings.Builder
-	writeDiff(&sb, base, cur)
+	writeDiff(&sb, base, cur, 0)
 	out := sb.String()
 	for _, want := range []string{
 		"BenchmarkFast",
@@ -59,6 +59,29 @@ PASS
 		if !strings.Contains(out, want) {
 			t.Fatalf("diff output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestFailBelowPct(t *testing.T) {
+	base := parseText(t, `pkg: example.com/pkg
+BenchmarkStorm-4   1   1000 ns/op   100000 req/s
+PASS
+`)
+	cur := parseText(t, `pkg: example.com/pkg
+BenchmarkStorm-4   1   1000 ns/op   70000 req/s
+PASS
+`)
+	var sb strings.Builder
+	if reg := writeDiff(&sb, base, cur, 20); len(reg) != 1 {
+		t.Fatalf("want 1 regression at 20%% gate, got %v", reg)
+	} else if !strings.Contains(reg[0], "30.0% below baseline") {
+		t.Fatalf("unexpected regression message %q", reg[0])
+	}
+	if reg := writeDiff(&sb, base, cur, 40); len(reg) != 0 {
+		t.Fatalf("want no regression at 40%% gate, got %v", reg)
+	}
+	if reg := writeDiff(&sb, base, cur, 0); len(reg) != 0 {
+		t.Fatalf("gate off must never regress, got %v", reg)
 	}
 }
 

@@ -21,6 +21,12 @@ type Meter struct {
 	mu         sync.Mutex
 	byCategory map[string]float64
 	observer   Observer
+	// sorted caches the sorted category list Total sums over; it is
+	// rebuilt only when a charge lands on a previously unseen category,
+	// so the hot Total path never sorts. The summation order (and hence
+	// the bit pattern of the float result) is identical to sorting on
+	// every call.
+	sorted []string
 }
 
 // SetObserver installs (or, with nil, removes) the charge observer. The
@@ -44,6 +50,9 @@ func (m *Meter) Add(category string, amount float64) {
 	if m.byCategory == nil {
 		m.byCategory = make(map[string]float64)
 	}
+	if _, seen := m.byCategory[category]; !seen {
+		m.sorted = nil
+	}
 	m.byCategory[category] += amount
 	if m.observer != nil {
 		m.observer(category, amount)
@@ -56,13 +65,15 @@ func (m *Meter) Add(category string, amount float64) {
 func (m *Meter) Total() float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	keys := make([]string, 0, len(m.byCategory))
-	for k := range m.byCategory {
-		keys = append(keys, k)
+	if m.sorted == nil && len(m.byCategory) > 0 {
+		m.sorted = make([]string, 0, len(m.byCategory))
+		for k := range m.byCategory {
+			m.sorted = append(m.sorted, k)
+		}
+		sort.Strings(m.sorted)
 	}
-	sort.Strings(keys)
 	var t float64
-	for _, k := range keys {
+	for _, k := range m.sorted {
 		t += m.byCategory[k]
 	}
 	return t
@@ -91,6 +102,7 @@ func (m *Meter) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.byCategory = nil
+	m.sorted = nil
 }
 
 // String renders the breakdown sorted by category name.

@@ -128,10 +128,52 @@ func (c *Context) GetObject(store stage.Store, key string) ([]byte, error) {
 	return data, nil
 }
 
+// GetObjectSize is GetObject for callers that only need the object's
+// size: it charges, faults and advances simulated time exactly like
+// GetObject — including the /tmp reservation, which the caller must
+// TmpFree once done — without materializing the payload. Stores that
+// don't implement stage.Sizer fall back to a full GetObject.
+func (c *Context) GetObjectSize(store stage.Store, key string) (int64, error) {
+	sz, ok := store.(stage.Sizer)
+	if !ok {
+		data, err := c.GetObject(store, key)
+		if err != nil {
+			return 0, err
+		}
+		return int64(len(data)), nil
+	}
+	n, d, err := sz.GetSize(key)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.TmpAlloc(n); err != nil {
+		return 0, err
+	}
+	c.advanceBytes("s3-read", d, n)
+	return n, nil
+}
+
 // PutObject writes to the staging store, advancing simulated time by the
 // transfer.
 func (c *Context) PutObject(store stage.Store, key string, data []byte) error {
 	d, err := store.Put(key, data)
+	if err != nil {
+		return err
+	}
+	c.advanceBytes("s3-write", d, int64(len(data)))
+	return nil
+}
+
+// PutObjectStable is PutObject for buffers that stay immutable for the
+// object's lifetime: stores implementing stage.StablePutter retain the
+// caller's slice instead of copying it. Charges and simulated time are
+// identical to PutObject either way.
+func (c *Context) PutObjectStable(store stage.Store, key string, data []byte) error {
+	sp, ok := store.(stage.StablePutter)
+	if !ok {
+		return c.PutObject(store, key, data)
+	}
+	d, err := sp.PutStable(key, data)
 	if err != nil {
 		return err
 	}

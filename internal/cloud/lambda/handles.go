@@ -1,0 +1,95 @@
+package lambda
+
+import (
+	"fmt"
+
+	"ampsinf/internal/obs"
+)
+
+// platformHandles caches pre-resolved telemetry handles for the
+// installed metrics registry and time-series stream, so steady-state
+// invocations neither format label strings nor resolve names through
+// the registries' maps. Rebuilt whenever SetMetrics or SetSeries swap
+// a registry (handles are nil-safe: with nothing installed every
+// recording call is a no-op). Per-phase and per-fault-kind handles are
+// resolved lazily under pl.mu because handlers may introduce new phase
+// names at runtime.
+type platformHandles struct {
+	invocations obs.CounterHandle            // lambda_invocations_total
+	coldStarts  obs.CounterHandle            // lambda_cold_starts_total
+	gbSeconds   obs.TotalHandle              // lambda_gb_seconds_total
+	throttles   obs.CounterHandle            // lambda_throttles_total{reason="concurrency"}
+	faultMx     map[string]obs.CounterHandle // lambda_faults_total{kind=...}
+	phaseMx     map[string]obs.HistHandle    // lambda_phase_seconds{phase=...}
+
+	tsThrottles obs.SeriesCounterHandle            // lambda_throttles_total{reason="concurrency"}
+	tsFault     map[string]obs.SeriesCounterHandle // lambda_faults_total{kind=...}
+	tsInflight  obs.SeriesGaugeHandle              // lambda_inflight
+}
+
+// fnHandles caches the per-function time-series handles whose labels
+// embed the function name, formatted once at registration.
+type fnHandles struct {
+	invocations obs.SeriesCounterHandle // lambda_invocations_total{function=...}
+	coldStarts  obs.SeriesCounterHandle // lambda_cold_starts_total{function=...}
+	invokeSec   obs.SeriesHistHandle    // lambda_invoke_seconds{function=...}
+	poolSize    obs.SeriesGaugeHandle   // lambda_pool_size{function=...}
+}
+
+func newFnHandles(ts *obs.TimeSeries, name string) fnHandles {
+	return fnHandles{
+		invocations: ts.CounterHandle(fmt.Sprintf("lambda_invocations_total{function=%q}", name)),
+		coldStarts:  ts.CounterHandle(fmt.Sprintf("lambda_cold_starts_total{function=%q}", name)),
+		invokeSec:   ts.HistHandle(fmt.Sprintf("lambda_invoke_seconds{function=%q}", name)),
+		poolSize:    ts.GaugeHandle(fmt.Sprintf("lambda_pool_size{function=%q}", name)),
+	}
+}
+
+func (pl *Platform) rebuildHandlesLocked() {
+	mx, ts := pl.mx, pl.series
+	pl.h = platformHandles{
+		invocations: mx.CounterHandle("lambda_invocations_total"),
+		coldStarts:  mx.CounterHandle("lambda_cold_starts_total"),
+		gbSeconds:   mx.TotalHandle("lambda_gb_seconds_total"),
+		throttles:   mx.CounterHandle(`lambda_throttles_total{reason="concurrency"}`),
+		faultMx:     make(map[string]obs.CounterHandle),
+		phaseMx:     make(map[string]obs.HistHandle),
+		tsThrottles: ts.CounterHandle(`lambda_throttles_total{reason="concurrency"}`),
+		tsFault:     make(map[string]obs.SeriesCounterHandle),
+		tsInflight:  ts.GaugeHandle("lambda_inflight"),
+	}
+	for _, fn := range pl.fns {
+		fn.h = newFnHandles(ts, fn.cfg.Name)
+	}
+}
+
+// faultHandles returns the metrics and series counters for one fault
+// kind, resolving and caching both on first sight.
+func (pl *Platform) faultHandles(kind string) (obs.CounterHandle, obs.SeriesCounterHandle) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	mh, ok := pl.h.faultMx[kind]
+	if !ok {
+		mh = pl.mx.CounterHandle(fmt.Sprintf("lambda_faults_total{kind=%q}", kind))
+		pl.h.faultMx[kind] = mh
+	}
+	sh, ok := pl.h.tsFault[kind]
+	if !ok {
+		sh = pl.series.CounterHandle(fmt.Sprintf("lambda_faults_total{kind=%q}", kind))
+		pl.h.tsFault[kind] = sh
+	}
+	return mh, sh
+}
+
+// phaseHist returns the latency histogram for one phase name,
+// resolving and caching it on first sight.
+func (pl *Platform) phaseHist(name string) obs.HistHandle {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	h, ok := pl.h.phaseMx[name]
+	if !ok {
+		h = pl.mx.HistHandle(fmt.Sprintf("lambda_phase_seconds{phase=%q}", name), obs.DurationBounds)
+		pl.h.phaseMx[name] = h
+	}
+	return h
+}

@@ -56,6 +56,9 @@ type Function struct {
 	cfg    FunctionConfig
 	pool   []*container
 	nextID int
+	// h holds the function-labelled time-series handles, formatted once
+	// at registration (see handles.go).
+	h fnHandles
 }
 
 // Platform is a simulated Lambda region.
@@ -85,6 +88,16 @@ type Platform struct {
 	busy     int
 	expiry   sim.Heap
 	registry []*container
+
+	// h caches pre-resolved telemetry handles for mx and series, rebuilt
+	// when either registry is swapped (see handles.go).
+	h platformHandles
+
+	// resPool and ctxPool recycle invocation Results and Contexts for
+	// callers that hand Results back through RecycleResult; callers that
+	// never recycle simply drop Results to the GC as before.
+	resPool sync.Pool
+	ctxPool sync.Pool
 }
 
 // New creates a platform charging into meter with the given performance
@@ -97,7 +110,9 @@ func New(meter *billing.Meter, p perf.Params) *Platform {
 // pricing.Quota2021 for the December 2020 update the paper names as
 // future work).
 func NewWithQuota(meter *billing.Meter, p perf.Params, q pricing.Quota) *Platform {
-	return &Platform{meter: meter, perf: p, quota: q, fns: make(map[string]*Function)}
+	pl := &Platform{meter: meter, perf: p, quota: q, fns: make(map[string]*Function)}
+	pl.rebuildHandlesLocked()
+	return pl
 }
 
 // SetInjector installs (or, with nil, removes) the platform's fault
@@ -117,6 +132,7 @@ func (pl *Platform) SetMetrics(mx *obs.Metrics) {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
 	pl.mx = mx
+	pl.rebuildHandlesLocked()
 }
 
 func (pl *Platform) metrics() *obs.Metrics {
@@ -134,6 +150,7 @@ func (pl *Platform) SetSeries(ts *obs.TimeSeries) {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
 	pl.series = ts
+	pl.rebuildHandlesLocked()
 }
 
 // Quota returns the platform's limits.
@@ -214,7 +231,7 @@ func (pl *Platform) CreateFunction(cfg FunctionConfig) error {
 	if _, dup := pl.fns[cfg.Name]; dup {
 		return fmt.Errorf("lambda: function %q already exists", cfg.Name)
 	}
-	pl.fns[cfg.Name] = &Function{cfg: cfg}
+	pl.fns[cfg.Name] = &Function{cfg: cfg, h: newFnHandles(pl.series, cfg.Name)}
 	return nil
 }
 
@@ -297,8 +314,9 @@ func (pl *Platform) Invoke(name string, payload []byte, opts InvokeOptions) (*Re
 		return nil, fmt.Errorf("lambda: no such function %q", name)
 	}
 	inj := pl.inj
-	mx := pl.mx
 	ts := pl.series
+	h := pl.h
+	fh := fn.h
 	now := pl.clock.Now()
 	// An injected throttle (429) rejects the invocation before any
 	// container is assigned: warm state is untouched and nothing bills.
@@ -307,25 +325,39 @@ func (pl *Platform) Invoke(name string, payload []byte, opts InvokeOptions) (*Re
 	fault, hang := inj.InvokeFaultAt(name, now)
 	if fault == faults.Throttle {
 		pl.mu.Unlock()
-		mx.Inc(`lambda_faults_total{kind="throttle"}`, 1)
-		ts.Inc(now, `lambda_faults_total{kind="throttle"}`, 1)
+		fmx, fts := pl.faultHandles(faults.Throttle.String())
+		fmx.Inc(1)
+		fts.Inc(now, 1)
 		return nil, &faults.Error{Kind: faults.Throttle, Op: "invoke", Target: name}
 	}
 	c, cold, throttled := fn.acquireLocked(pl)
 	if throttled {
 		pl.mu.Unlock()
-		mx.Inc(`lambda_throttles_total{reason="concurrency"}`, 1)
-		ts.Inc(now, `lambda_throttles_total{reason="concurrency"}`, 1)
+		h.throttles.Inc(1)
+		h.tsThrottles.Inc(now, 1)
 		return nil, &faults.Error{Kind: faults.Throttle, Op: "invoke", Target: name}
 	}
 	cfg := fn.cfg
 	pl.mu.Unlock()
 
-	ctx := &Context{
+	// The Result is acquired before the Context so the invocation's phase
+	// spans accumulate directly into the Result's recycled backing array:
+	// res is not visible to anyone else yet, so lending its Phases slice
+	// to the Context aliases nothing.
+	res, _ := pl.resPool.Get().(*Result)
+	if res == nil {
+		res = &Result{}
+	}
+	ctx, _ := pl.ctxPool.Get().(*Context)
+	if ctx == nil {
+		ctx = &Context{}
+	}
+	*ctx = Context{
 		platform: pl,
 		memoryMB: cfg.MemoryMB,
 		timeout:  cfg.Timeout,
 		cold:     cold,
+		phases:   res.Phases[:0],
 	}
 	if cold {
 		ctx.advance("coldstart", pl.perf.ColdStartBase)
@@ -337,7 +369,7 @@ func (pl *Platform) Invoke(name string, payload []byte, opts InvokeOptions) (*Re
 	// Invocation fee is charged regardless of outcome.
 	pl.meter.Add("lambda:invocations", pricing.LambdaInvocation)
 
-	res := &Result{
+	*res = Result{
 		Response:    resp,
 		Duration:    ctx.elapsed,
 		ColdStart:   cold,
@@ -346,8 +378,11 @@ func (pl *Platform) Invoke(name string, payload []byte, opts InvokeOptions) (*Re
 		MemoryMB:    cfg.MemoryMB,
 		ContainerID: c.id,
 	}
+	timedOut := ctx.timedOut
+	*ctx = Context{}
+	pl.ctxPool.Put(ctx)
 	discarded := false
-	if ctx.timedOut {
+	if timedOut {
 		res.Duration = cfg.Timeout
 		herr = fmt.Errorf("lambda: function %q timed out after %v", name, cfg.Timeout)
 	} else if herr == nil {
@@ -383,37 +418,39 @@ func (pl *Platform) Invoke(name string, payload []byte, opts InvokeOptions) (*Re
 		ec := pl.quota.ExecutionCost(cfg.MemoryMB, res.Duration)
 		pl.meter.Add("lambda:execution", ec)
 		res.Cost = ec + pricing.LambdaInvocation
-		mx.Add("lambda_gb_seconds_total", gbSeconds(cfg.MemoryMB, res.Duration))
+		h.gbSeconds.Add(gbSeconds(cfg.MemoryMB, res.Duration))
 	} else {
 		res.Cost = pricing.LambdaInvocation
 	}
 
-	mx.Inc("lambda_invocations_total", 1)
+	h.invocations.Inc(1)
 	if cold {
-		mx.Inc("lambda_cold_starts_total", 1)
+		h.coldStarts.Inc(1)
 	}
+	var faultMx obs.CounterHandle
+	var faultTs obs.SeriesCounterHandle
 	if res.InjectedFault != "" {
-		mx.Inc(fmt.Sprintf("lambda_faults_total{kind=%q}", res.InjectedFault), 1)
+		faultMx, faultTs = pl.faultHandles(res.InjectedFault)
+		faultMx.Inc(1)
 	}
 	for _, ph := range res.Phases {
-		mx.Observe(fmt.Sprintf("lambda_phase_seconds{phase=%q}", ph.Name),
-			obs.DurationBounds, ph.Duration.Seconds())
+		pl.phaseHist(ph.Name).Observe(ph.Duration.Seconds())
 	}
 	if ts != nil {
 		// Counters land in the dispatch window; the latency observation
 		// and the occupancy gauges land at the invocation's finish, the
 		// instant the pool actually reflects it.
 		end := now + res.Duration
-		ts.Inc(now, fmt.Sprintf("lambda_invocations_total{function=%q}", name), 1)
+		fh.invocations.Inc(now, 1)
 		if cold {
-			ts.Inc(now, fmt.Sprintf("lambda_cold_starts_total{function=%q}", name), 1)
+			fh.coldStarts.Inc(now, 1)
 		}
 		if res.InjectedFault != "" {
-			ts.Inc(now, fmt.Sprintf("lambda_faults_total{kind=%q}", res.InjectedFault), 1)
+			faultTs.Inc(now, 1)
 		}
-		ts.Observe(end, fmt.Sprintf("lambda_invoke_seconds{function=%q}", name), res.Duration.Seconds())
-		ts.Gauge(end, fmt.Sprintf("lambda_pool_size{function=%q}", name), float64(pl.PoolSize(name)))
-		ts.Gauge(end, "lambda_inflight", float64(pl.InFlightAt(end)))
+		fh.invokeSec.Observe(end, res.Duration.Seconds())
+		fh.poolSize.Set(end, float64(pl.PoolSize(name)))
+		h.tsInflight.Set(end, float64(pl.InFlightAt(end)))
 	}
 
 	if herr != nil {
@@ -426,13 +463,29 @@ func gbSeconds(memMB int, d time.Duration) float64 {
 	return float64(memMB) / 1024 * d.Seconds()
 }
 
+// RecycleResult returns a Result obtained from Invoke to the platform's
+// pool. Only callers that own the Result exclusively may recycle it —
+// res, res.Phases and res.Response must not be touched afterwards. The
+// coordinator's lean serving path recycles; everyone else just lets
+// Results reach the GC.
+func (pl *Platform) RecycleResult(res *Result) {
+	if res == nil {
+		return
+	}
+	*res = Result{Phases: res.Phases[:0]}
+	pl.resPool.Put(res)
+}
+
 // SettleExecution charges the execution cost for a deferred invocation
 // whose true billed lifetime (including S3-polling waits under eager
 // scheduling) the orchestrator has computed.
 func (pl *Platform) SettleExecution(memMB int, billed time.Duration) float64 {
 	c := pl.quota.ExecutionCost(memMB, billed)
 	pl.meter.Add("lambda:execution", c)
-	pl.metrics().Add("lambda_gb_seconds_total", gbSeconds(memMB, billed))
+	pl.mu.RLock()
+	gh := pl.h.gbSeconds
+	pl.mu.RUnlock()
+	gh.Add(gbSeconds(memMB, billed))
 	return c
 }
 

@@ -208,16 +208,37 @@ func (pl *Platform) settleWindowLocked(c *container, until time.Duration) {
 	}
 }
 
+// findLocked binary-searches a function's id-sorted pool. Returns the
+// container's index, or -1 when the id is no longer pooled. Callers
+// hold pl.mu.
+func (fn *Function) findLocked(id int) int {
+	lo, hi := 0, len(fn.pool)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if fn.pool[mid].id < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(fn.pool) && fn.pool[lo].id == id {
+		return lo
+	}
+	return -1
+}
+
 // acquireLocked hands out a container for one invocation: the
 // lowest-numbered idle warm container when one exists, otherwise a fresh
 // cold container — subject, in clocked mode, to the account concurrency
 // limit. Callers hold pl.mu.
 func (fn *Function) acquireLocked(pl *Platform) (c *container, cold, throttled bool) {
+	// The pool is sorted by id (containers append in creation order and
+	// discards splice in place), so the first idle container is the
+	// lowest-numbered one.
 	for _, cc := range fn.pool {
 		if !pl.clocked || cc.busyUntil <= pl.clock.Now() {
-			if c == nil || cc.id < c.id {
-				c = cc
-			}
+			c = cc
+			break
 		}
 	}
 	if c != nil {
@@ -245,12 +266,10 @@ func (pl *Platform) finishContainer(name string, id int, until time.Duration) {
 	if !ok {
 		return
 	}
-	for _, c := range fn.pool {
-		if c.id == id {
-			c.busyUntil = until
-			pl.settleWindowLocked(c, until)
-			return
-		}
+	if i := fn.findLocked(id); i >= 0 {
+		c := fn.pool[i]
+		c.busyUntil = until
+		pl.settleWindowLocked(c, until)
 	}
 }
 
@@ -266,13 +285,11 @@ func (pl *Platform) OccupyUntil(name string, containerID int, until time.Duratio
 	if !ok {
 		return
 	}
-	for _, c := range fn.pool {
-		if c.id == containerID {
-			if c.busyUntil != executing && until > c.busyUntil {
-				c.busyUntil = until
-				pl.settleWindowLocked(c, until)
-			}
-			return
+	if i := fn.findLocked(containerID); i >= 0 {
+		c := fn.pool[i]
+		if c.busyUntil != executing && until > c.busyUntil {
+			c.busyUntil = until
+			pl.settleWindowLocked(c, until)
 		}
 	}
 }
@@ -287,15 +304,13 @@ func (pl *Platform) discardContainer(name string, id int) {
 	if !ok {
 		return
 	}
-	for i, c := range fn.pool {
-		if c.id == id {
-			fn.pool = append(fn.pool[:i], fn.pool[i+1:]...)
-			if pl.clocked && c.counted {
-				c.counted = false
-				pl.busy--
-			}
-			pl.unregisterLocked(c)
-			return
+	if i := fn.findLocked(id); i >= 0 {
+		c := fn.pool[i]
+		fn.pool = append(fn.pool[:i], fn.pool[i+1:]...)
+		if pl.clocked && c.counted {
+			c.counted = false
+			pl.busy--
 		}
+		pl.unregisterLocked(c)
 	}
 }

@@ -52,6 +52,32 @@ type Store struct {
 
 	puts, gets  int64
 	storedBytes int64
+
+	// Pre-resolved metric handles for the installed registry, rebuilt by
+	// SetMetrics (nil-safe no-ops when no registry is installed).
+	h storeHandles
+}
+
+type storeHandles struct {
+	reqPut, reqGet     obs.CounterHandle
+	bytesPut, bytesGet obs.CounterHandle
+	faultUnavailable   obs.CounterHandle
+	faultSlow          obs.CounterHandle
+	stored             obs.GaugeHandle
+	storageGBs         obs.TotalHandle
+}
+
+func newStoreHandles(mx *obs.Metrics) storeHandles {
+	return storeHandles{
+		reqPut:           mx.CounterHandle(`s3_requests_total{op="put"}`),
+		reqGet:           mx.CounterHandle(`s3_requests_total{op="get"}`),
+		bytesPut:         mx.CounterHandle(`s3_bytes_total{op="put"}`),
+		bytesGet:         mx.CounterHandle(`s3_bytes_total{op="get"}`),
+		faultUnavailable: mx.CounterHandle(`s3_faults_total{kind="unavailable"}`),
+		faultSlow:        mx.CounterHandle(`s3_faults_total{kind="slow"}`),
+		stored:           mx.GaugeHandle("s3_stored_bytes"),
+		storageGBs:       mx.TotalHandle("s3_storage_gb_seconds_total"),
+	}
 }
 
 // New creates a store charging into meter.
@@ -94,6 +120,7 @@ func (s *Store) SetMetrics(mx *obs.Metrics) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.mx = mx
+	s.h = newStoreHandles(mx)
 }
 
 // Put stores data under key, charging one PUT request, and returns the
@@ -101,6 +128,18 @@ func (s *Store) SetMetrics(mx *obs.Metrics) {
 // the request without charging (AWS does not bill 5xx); an injected
 // slowdown stretches the transfer.
 func (s *Store) Put(key string, data []byte) (time.Duration, error) {
+	return s.put(key, data, true)
+}
+
+// PutStable is Put without the defensive copy: the store retains the
+// caller's slice, which must stay unmodified for the object's lifetime
+// (see stage.StablePutter). Charges, counters and fault draws are
+// identical to Put.
+func (s *Store) PutStable(key string, data []byte) (time.Duration, error) {
+	return s.put(key, data, false)
+}
+
+func (s *Store) put(key string, data []byte, copied bool) (time.Duration, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.failing {
@@ -108,21 +147,24 @@ func (s *Store) Put(key string, data []byte) (time.Duration, error) {
 	}
 	fault, factor := s.inj.StoreFault("put", key)
 	if fault == faults.Unavailable {
-		s.mx.Inc(`s3_faults_total{kind="unavailable"}`, 1)
+		s.h.faultUnavailable.Inc(1)
 		return 0, &faults.Error{Kind: faults.Unavailable, Op: "put", Target: key}
 	}
-	cp := make([]byte, len(data))
-	copy(cp, data)
-	s.storedBytes += int64(len(cp)) - int64(len(s.objects[key]))
-	s.objects[key] = cp
+	stored := data
+	if copied {
+		stored = make([]byte, len(data))
+		copy(stored, data)
+	}
+	s.storedBytes += int64(len(stored)) - int64(len(s.objects[key]))
+	s.objects[key] = stored
 	s.puts++
 	s.meter.Add("s3:put", pricing.S3PutRequest)
-	s.mx.Inc(`s3_requests_total{op="put"}`, 1)
-	s.mx.Inc(`s3_bytes_total{op="put"}`, int64(len(data)))
-	s.mx.Gauge("s3_stored_bytes", float64(s.storedBytes))
+	s.h.reqPut.Inc(1)
+	s.h.bytesPut.Inc(int64(len(data)))
+	s.h.stored.Set(float64(s.storedBytes))
 	d := s.TransferTime(int64(len(data)))
 	if fault == faults.Slow {
-		s.mx.Inc(`s3_faults_total{kind="slow"}`, 1)
+		s.h.faultSlow.Inc(1)
 		d = time.Duration(float64(d) * factor)
 	}
 	return d, nil
@@ -132,32 +174,48 @@ func (s *Store) Put(key string, data []byte) (time.Duration, error) {
 // the data (a copy) and the simulated transfer time. Injected faults
 // behave as in Put.
 func (s *Store) Get(key string) ([]byte, time.Duration, error) {
+	cp, _, d, err := s.get(key, true)
+	return cp, d, err
+}
+
+// GetSize is Get without materializing the data: it charges, meters
+// and faults exactly like Get but returns only the object's size and
+// transfer time (see stage.Sizer).
+func (s *Store) GetSize(key string) (int64, time.Duration, error) {
+	_, n, d, err := s.get(key, false)
+	return n, d, err
+}
+
+func (s *Store) get(key string, copied bool) ([]byte, int64, time.Duration, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.failing {
-		return nil, 0, &faults.Error{Kind: faults.Unavailable, Op: "get", Target: key}
+		return nil, 0, 0, &faults.Error{Kind: faults.Unavailable, Op: "get", Target: key}
 	}
 	fault, factor := s.inj.StoreFault("get", key)
 	if fault == faults.Unavailable {
-		s.mx.Inc(`s3_faults_total{kind="unavailable"}`, 1)
-		return nil, 0, &faults.Error{Kind: faults.Unavailable, Op: "get", Target: key}
+		s.h.faultUnavailable.Inc(1)
+		return nil, 0, 0, &faults.Error{Kind: faults.Unavailable, Op: "get", Target: key}
 	}
 	data, ok := s.objects[key]
 	if !ok {
-		return nil, 0, fmt.Errorf("s3: no such key %q", key)
+		return nil, 0, 0, fmt.Errorf("s3: no such key %q", key)
 	}
 	s.gets++
 	s.meter.Add("s3:get", pricing.S3GetRequest)
-	s.mx.Inc(`s3_requests_total{op="get"}`, 1)
-	s.mx.Inc(`s3_bytes_total{op="get"}`, int64(len(data)))
-	cp := make([]byte, len(data))
-	copy(cp, data)
+	s.h.reqGet.Inc(1)
+	s.h.bytesGet.Inc(int64(len(data)))
 	d := s.TransferTime(int64(len(data)))
 	if fault == faults.Slow {
-		s.mx.Inc(`s3_faults_total{kind="slow"}`, 1)
+		s.h.faultSlow.Inc(1)
 		d = time.Duration(float64(d) * factor)
 	}
-	return cp, d, nil
+	var cp []byte
+	if copied {
+		cp = make([]byte, len(data))
+		copy(cp, data)
+	}
+	return cp, int64(len(data)), d, nil
 }
 
 // Head reports whether key exists and its size, without charging.
@@ -174,7 +232,7 @@ func (s *Store) Delete(key string) {
 	defer s.mu.Unlock()
 	if old, ok := s.objects[key]; ok {
 		s.storedBytes -= int64(len(old))
-		s.mx.Gauge("s3_stored_bytes", float64(s.storedBytes))
+		s.h.stored.Set(float64(s.storedBytes))
 	}
 	delete(s.objects, key)
 }
@@ -188,9 +246,9 @@ func (s *Store) ChargeStorage(bytes int64, d time.Duration) {
 	gb := float64(bytes) / (1 << 30)
 	s.meter.Add("s3:storage", gb*d.Seconds()*pricing.S3StoragePerGBSecond)
 	s.mu.RLock()
-	mx := s.mx
+	h := s.h.storageGBs
 	s.mu.RUnlock()
-	mx.Add("s3_storage_gb_seconds_total", gb*d.Seconds())
+	h.Add(gb * d.Seconds())
 }
 
 // Stats returns the request counters.

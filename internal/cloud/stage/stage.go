@@ -22,3 +22,21 @@ type Store interface {
 	// term for S3; instance time for cache-based stores).
 	ChargeStorage(bytes int64, d time.Duration)
 }
+
+// Sizer is an optional Store extension for callers that need an
+// object's size and transfer time but not its bytes: GetSize must
+// charge, meter and fault exactly like Get — same request fee, same
+// counters, same injector draw — without materializing a copy of the
+// data. Serving hot paths that only propagate simulated sizes use it
+// to keep GETs allocation-free.
+type Sizer interface {
+	GetSize(key string) (int64, time.Duration, error)
+}
+
+// StablePutter is an optional Store extension for callers whose data
+// buffer is immutable for the lifetime of the stored object: PutStable
+// must behave exactly like Put — same charges, counters and injector
+// draw — but may retain the caller's slice instead of copying it.
+type StablePutter interface {
+	PutStable(key string, data []byte) (time.Duration, error)
+}

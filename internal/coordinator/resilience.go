@@ -426,7 +426,7 @@ func (b *breaker) pruneWindow(now time.Duration) {
 // conservative overestimate of the overlapped schedule: the deadline
 // gate may fail a job slightly early, never late.
 type jobState struct {
-	budget   *jobBudget
+	budget   jobBudget
 	deadline time.Duration
 	elapsed  time.Duration
 	// anchored marks a staged job whose scheduler advances the platform
@@ -434,6 +434,10 @@ type jobState struct {
 	// job's committed time, so breaker decisions must not add elapsed on
 	// top of it again.
 	anchored bool
+	// lean marks a job on the recycled-scratch serving path (see
+	// lean.go): no tracer buckets or span trees are built, and stores
+	// supporting it take no-copy puts.
+	lean bool
 }
 
 func (st *jobState) deadlined() bool { return st.deadline > 0 }
@@ -442,13 +446,21 @@ func (st *jobState) deadlined() bool { return st.deadline > 0 }
 func (st *jobState) remaining() time.Duration { return st.deadline - st.elapsed }
 
 func (d *Deployment) newJobState(deadline time.Duration) *jobState {
+	st := &jobState{}
+	d.initJobState(st, deadline)
+	return st
+}
+
+// initJobState resets st for a fresh job — the in-place variant lean
+// scratch reuse needs.
+func (d *Deployment) initJobState(st *jobState, deadline time.Duration) {
 	if deadline == 0 {
 		deadline = d.cfg.Deadline
 	}
 	if deadline < 0 {
 		deadline = 0
 	}
-	return &jobState{budget: d.newJobBudget(), deadline: deadline}
+	*st = jobState{budget: d.newJobBudget(), deadline: deadline}
 }
 
 // hedgeDelay derives the partition's current hedge delay: the

@@ -164,9 +164,9 @@ type jobBudget struct {
 	remaining int
 }
 
-func (d *Deployment) newJobBudget() *jobBudget {
+func (d *Deployment) newJobBudget() jobBudget {
 	p := d.cfg.Retry
-	return &jobBudget{capped: p.JobRetryBudget > 0, remaining: p.JobRetryBudget}
+	return jobBudget{capped: p.JobRetryBudget > 0, remaining: p.JobRetryBudget}
 }
 
 func (b *jobBudget) take() bool {
@@ -187,7 +187,7 @@ func (b *jobBudget) take() bool {
 // next attempt would pay up front — together with the drawn backoff
 // they must still fit in the job's deadline, or the operation fails
 // fast with a typed DeadlineError instead of retrying blind.
-func (d *Deployment) retryGate(ri *retryInfo, step *retryStep, st *jobState, err error, op string, retryable bool, opDelay, redispatch time.Duration) (stop bool, ferr error) {
+func (d *Deployment) retryGate(ri *retryInfo, step *retryStep, st *jobState, err error, opKind, opName string, retryable bool, opDelay, redispatch time.Duration) (stop bool, ferr error) {
 	if !d.cfg.Retry.enabled() || !retryable {
 		return true, err
 	}
@@ -199,7 +199,7 @@ func (d *Deployment) retryGate(ri *retryInfo, step *retryStep, st *jobState, err
 	}
 	bo := d.backoff(ri.attempts)
 	if st.deadlined() && st.elapsed+opDelay+bo+redispatch >= st.deadline {
-		return true, &DeadlineError{Op: op, Deadline: st.deadline, Elapsed: st.elapsed + opDelay, Cause: err}
+		return true, &DeadlineError{Op: opKind + opName, Deadline: st.deadline, Elapsed: st.elapsed + opDelay, Cause: err}
 	}
 	ri.backoff += bo
 	step.backoff = bo
@@ -234,10 +234,9 @@ func (d *Deployment) invokeWithRetry(p *partition, payload []byte, eager bool, h
 	fnName := p.fnName
 	hedging := d.cfg.Hedge.enabled()
 	deferred := eager || hedging
-	op := "invoke " + fnName
 	var ri retryInfo
 	if st.deadlined() && st.elapsed >= st.deadline {
-		return nil, ri, &DeadlineError{Op: op, Deadline: st.deadline, Elapsed: st.elapsed}
+		return nil, ri, &DeadlineError{Op: "invoke " + fnName, Deadline: st.deadline, Elapsed: st.elapsed}
 	}
 	for {
 		// Circuit-breaker gate: an open breaker consumes the attempt
@@ -259,7 +258,7 @@ func (d *Deployment) invokeWithRetry(p *partition, payload []byte, eager bool, h
 				ri.faults = append(ri.faults, "breaker-open")
 				step := retryStep{fault: "breaker-open"}
 				err := &BreakerOpenError{Function: fnName, Until: until}
-				stop, ferr := d.retryGate(&ri, &step, st, err, op, true, ri.delay(), invokeDispatchLatency)
+				stop, ferr := d.retryGate(&ri, &step, st, err, "invoke ", fnName, true, ri.delay(), invokeDispatchLatency)
 				ri.steps = append(ri.steps, step)
 				if stop {
 					return nil, ri, ferr
@@ -273,10 +272,15 @@ func (d *Deployment) invokeWithRetry(p *partition, payload []byte, eager bool, h
 			d.invokesTotal++
 			d.retryMu.Unlock()
 		}
-		bucket := tr.NewBucket()
-		prev := tr.SetSink(bucket)
+		bucket := d.newBucket(st)
+		var prevSink *obs.CostBucket
+		if bucket != nil {
+			prevSink = tr.SetSink(bucket)
+		}
 		res, err := d.cfg.Platform.Invoke(fnName, payload, lambda.InvokeOptions{DeferBilling: deferred})
-		tr.SetSink(prev)
+		if bucket != nil {
+			tr.SetSink(prevSink)
+		}
 
 		// Hedge decision: only an attempt that actually executed has a
 		// timeline to outlive the hedge delay (a throttle rejects at
@@ -294,10 +298,15 @@ func (d *Deployment) invokeWithRetry(p *partition, payload []byte, eager bool, h
 				if ts := d.cfg.Series; ts != nil {
 					ts.Inc(d.breakerNow(st, &ri), fmt.Sprintf("coordinator_hedges_fired_total{function=%q}", fnName), 1)
 				}
-				hbucket = tr.NewBucket()
-				ph := tr.SetSink(hbucket)
+				hbucket = d.newBucket(st)
+				var hprev *obs.CostBucket
+				if hbucket != nil {
+					hprev = tr.SetSink(hbucket)
+				}
 				hres, herr = d.cfg.Platform.Invoke(fnName, payload, lambda.InvokeOptions{DeferBilling: true})
-				tr.SetSink(ph)
+				if hbucket != nil {
+					tr.SetSink(hprev)
+				}
 			}
 		}
 
@@ -317,7 +326,7 @@ func (d *Deployment) invokeWithRetry(p *partition, payload []byte, eager bool, h
 			} else {
 				// Both sides failed: one combined failed attempt.
 				d.recordOutcome(p, d.breakerNow(st, &ri), false)
-				stop, ferr := d.retryGate(&ri, hstep, st, err, op, faults.IsTransient(err), ri.delay(), invokeDispatchLatency)
+				stop, ferr := d.retryGate(&ri, hstep, st, err, "invoke ", fnName, faults.IsTransient(err), ri.delay(), invokeDispatchLatency)
 				ri.steps = append(ri.steps, *hstep)
 				if stop {
 					return nil, ri, ferr
@@ -341,10 +350,14 @@ func (d *Deployment) invokeWithRetry(p *partition, payload []byte, eager bool, h
 			if hold := ri.wasted + ri.backoff + ri.hedgeExtra; hold > 0 {
 				// Upstream intermediates sat in S3 through the failed
 				// attempts and backoff waits; that storage time bills.
-				ri.holdBucket = tr.NewBucket()
-				pb := tr.SetSink(ri.holdBucket)
-				d.cfg.Store.ChargeStorage(heldBytes, hold)
-				tr.SetSink(pb)
+				if st.lean {
+					d.cfg.Store.ChargeStorage(heldBytes, hold)
+				} else {
+					ri.holdBucket = tr.NewBucket()
+					pb := tr.SetSink(ri.holdBucket)
+					d.cfg.Store.ChargeStorage(heldBytes, hold)
+					tr.SetSink(pb)
+				}
 			}
 			return res, ri, nil
 		}
@@ -373,7 +386,7 @@ func (d *Deployment) invokeWithRetry(p *partition, payload []byte, eager bool, h
 			step.fault = ri.faults[len(ri.faults)-1]
 		}
 		d.recordOutcome(p, d.breakerNow(st, &ri), false)
-		stop, ferr := d.retryGate(&ri, &step, st, err, op, faults.IsTransient(err), ri.delay(), invokeDispatchLatency)
+		stop, ferr := d.retryGate(&ri, &step, st, err, "invoke ", fnName, faults.IsTransient(err), ri.delay(), invokeDispatchLatency)
 		ri.steps = append(ri.steps, step)
 		if stop {
 			return nil, ri, ferr
@@ -500,11 +513,26 @@ func clampDur(d, lo, hi time.Duration) time.Duration {
 	return d
 }
 
-// chargeInto runs f with the tracer sink pointed at bucket.
+// chargeInto runs f with the tracer sink pointed at bucket. A nil
+// bucket (lean path, or no tracer) runs f without touching the sink.
 func (d *Deployment) chargeInto(b *obs.CostBucket, f func()) {
+	if b == nil {
+		f()
+		return
+	}
 	prev := d.cfg.Tracer.SetSink(b)
 	f()
 	d.cfg.Tracer.SetSink(prev)
+}
+
+// newBucket returns a fresh cost bucket for one attempt's charges, or
+// nil on the lean path — lean jobs build no trace, and their Cost is
+// the job's meter delta, so per-attempt attribution has no consumer.
+func (d *Deployment) newBucket(st *jobState) *obs.CostBucket {
+	if st.lean {
+		return nil
+	}
+	return d.cfg.Tracer.NewBucket()
 }
 
 // takeHedgeSlot claims one hedge under the deployment-wide rate cap.
@@ -563,17 +591,30 @@ func (d *Deployment) recordLatency(p *partition, dur time.Duration) {
 // and which must still fit in the job's deadline.
 func (d *Deployment) putWithRetry(key string, data []byte, st *jobState) (time.Duration, retryInfo, error) {
 	tr := d.cfg.Tracer
-	op := "put " + key
 	var ri retryInfo
 	if st.deadlined() && st.elapsed >= st.deadline {
-		return 0, ri, &DeadlineError{Op: op, Deadline: st.deadline, Elapsed: st.elapsed}
+		return 0, ri, &DeadlineError{Op: "put " + key, Deadline: st.deadline, Elapsed: st.elapsed}
 	}
 	for {
 		ri.attempts++
-		bucket := tr.NewBucket()
-		prev := tr.SetSink(bucket)
-		dur, err := d.cfg.Store.Put(key, data)
-		tr.SetSink(prev)
+		bucket := d.newBucket(st)
+		var prevSink *obs.CostBucket
+		if bucket != nil {
+			prevSink = tr.SetSink(bucket)
+		}
+		var dur time.Duration
+		var err error
+		if st.lean && d.stablePut != nil {
+			// Lean inputs are immutable for the object's lifetime (cached
+			// zero encodings, or a fresh encoding nobody else holds), so
+			// the store may retain the slice without a copy.
+			dur, err = d.stablePut.PutStable(key, data)
+		} else {
+			dur, err = d.cfg.Store.Put(key, data)
+		}
+		if bucket != nil {
+			tr.SetSink(prevSink)
+		}
 		if err == nil {
 			ri.finalBucket = bucket
 			return dur, ri, nil
@@ -583,7 +624,7 @@ func (d *Deployment) putWithRetry(key string, data []byte, st *jobState) (time.D
 			ri.faults = append(ri.faults, fe.Kind.String())
 			step.fault = fe.Kind.String()
 		}
-		stop, ferr := d.retryGate(&ri, &step, st, err, op, faults.IsTransient(err), ri.backoff, 0)
+		stop, ferr := d.retryGate(&ri, &step, st, err, "put ", key, faults.IsTransient(err), ri.backoff, 0)
 		ri.steps = append(ri.steps, step)
 		if stop {
 			return 0, ri, ferr

@@ -63,6 +63,10 @@ func phaseSplit(res *lambda.Result) (lr LambdaRun) {
 type Report struct {
 	Mode       string
 	Completion time.Duration
+	// Elapsed is the job's committed simulated time when it stopped.
+	// Failed lean jobs report it here in place of the failure trace's
+	// root Duration (lean runs never build span trees).
+	Elapsed time.Duration
 	// Cost is the job's marginal charge: execution, invocations, S3
 	// requests and intermediate storage — including everything failed
 	// attempts billed before their retries succeeded.
@@ -88,6 +92,11 @@ type Report struct {
 	// exact cost attributions such that obs.SumCosts(Trace) reproduces
 	// Cost.
 	Trace *obs.Span
+
+	// lj points back at the recycled scratch a lean job ran on (nil for
+	// regular runs); ReleaseReport uses it to return the scratch — this
+	// Report included — to the deployment's pool.
+	lj *leanJob
 }
 
 // RunOptions tunes one job run.
@@ -107,13 +116,20 @@ type RunOptions struct {
 	// carry the failed job's charges), and a job whose hedge won builds
 	// its tree regardless so hedge-won outcomes are always sampled.
 	NoTrace bool
+	// Lean runs the job on the deployment's recycled scratch (see
+	// lean.go): zero steady-state allocations, Report.Trace always nil
+	// (failures and hedge wins included), Cost still the exact meter
+	// delta. The caller must hand the Report back via ReleaseReport
+	// once done and must not retain it — the streaming schedulers'
+	// contract. Implies NoTrace.
+	Lean bool
 }
 
 // Run serves one input under opts. On failure the returned report,
 // when non-nil, carries a partial trace holding the exact charges the
 // failed job billed, so serving-level cost attribution stays exact.
 func (d *Deployment) Run(input *tensor.Tensor, opts RunOptions) (*Report, error) {
-	return d.run(input, !opts.Sequential, opts.Deadline, opts.NoTrace)
+	return d.run(input, !opts.Sequential, opts.Deadline, opts.NoTrace, opts.Lean)
 }
 
 // RunSequential serves one input with strictly sequential invocations:
@@ -121,7 +137,7 @@ func (d *Deployment) Run(input *tensor.Tensor, opts RunOptions) (*Report, error)
 // model behind the paper's formulation, where the response time is the
 // sum of per-lambda times (Eq. 2).
 func (d *Deployment) RunSequential(input *tensor.Tensor) (*Report, error) {
-	return d.run(input, false, 0, false)
+	return d.run(input, false, 0, false, false)
 }
 
 // RunEager serves one input with the measurement-matching schedule: all
@@ -131,36 +147,64 @@ func (d *Deployment) RunSequential(input *tensor.Tensor) (*Report, error) {
 // deployed system achieves the completion times of the paper's Tables 3
 // and 5.
 func (d *Deployment) RunEager(input *tensor.Tensor) (*Report, error) {
-	return d.run(input, true, 0, false)
+	return d.run(input, true, 0, false, false)
 }
 
-func (d *Deployment) run(input *tensor.Tensor, eager bool, deadline time.Duration, noTrace bool) (*Report, error) {
+func (d *Deployment) run(input *tensor.Tensor, eager bool, deadline time.Duration, noTrace, lean bool) (*Report, error) {
 	tr := d.cfg.Tracer
-	tr.BeginJob()
 	var root *obs.Span
-	defer func() { tr.EndJob(root) }()
-	rootBucket := tr.NewBucket()
-	prevSink := tr.SetSink(rootBucket)
-	defer tr.SetSink(prevSink)
+	var rootBucket *obs.CostBucket
 
-	before := d.meterTotal()
-	job := d.nextJobID()
-	defer d.cleanup(job)
-
-	rep := &Report{Mode: "sequential"}
+	mode := "sequential"
 	if eager {
-		rep.Mode = "eager"
+		mode = "eager"
+	}
+	var lj *leanJob
+	var rep *Report
+	var st *jobState
+	var job, inKey string
+	var inData []byte
+	if lean {
+		// Lean jobs run entirely on recycled scratch: no tracer, no span
+		// tree (failures included), recycled job id/keys/payloads, and the
+		// input encoding from the per-batch cache when SkipCompute lets
+		// tensor contents go unread.
+		lj = d.acquireLean(input, deadline, mode)
+		job, inKey = lj.id, lj.inKey
+		rep, st = &lj.rep, &lj.st
+		defer d.cleanupLean(lj)
+		if lj.enc != nil {
+			inData = lj.enc.input
+		} else {
+			inData = modelfmt.EncodeTensor(input)
+		}
+	} else {
+		tr.BeginJob()
+		defer func() { tr.EndJob(root) }()
+		rootBucket = tr.NewBucket()
+		prevSink := tr.SetSink(rootBucket)
+		defer tr.SetSink(prevSink)
+		job = d.nextJobID()
+		inKey = job + "/input"
+		defer d.cleanup(job)
+		rep = &Report{Mode: mode}
+		st = d.newJobState(deadline)
+		inData = modelfmt.EncodeTensor(input)
 	}
 
-	st := d.newJobState(deadline)
+	before := d.meterTotal()
 
 	// Upload the input image(s), retrying transient store faults.
-	inKey := job + "/input"
-	upDur, upInfo, err := d.putWithRetry(inKey, modelfmt.EncodeTensor(input), st)
+	upDur, upInfo, err := d.putWithRetry(inKey, inData, st)
 	if err != nil {
 		rep.Cost = d.meterTotal() - before
-		root = d.failureTrace(rep, job, st, upInfo, nil, rootBucket)
-		rep.Trace = root
+		if lean {
+			rep.Elapsed = st.elapsed
+			d.jh.jobsFailed.Inc(1)
+		} else {
+			root = d.failureTrace(rep, job, st, upInfo, nil, rootBucket)
+			rep.Trace = root
+		}
 		d.recordRetries(rep, upInfo)
 		return rep, fmt.Errorf("coordinator: uploading input: %w", err)
 	}
@@ -168,50 +212,92 @@ func (d *Deployment) run(input *tensor.Tensor, eager bool, deadline time.Duratio
 	st.elapsed = upDur
 	d.recordRetries(rep, upInfo)
 
-	results := make([]*lambda.Result, len(d.parts))
-	infos := make([]retryInfo, 0, len(d.parts))
+	var results []*lambda.Result
+	var infos []retryInfo
+	var storedBefore []int64
+	if lean {
+		results = lj.results[:0]
+		infos = lj.infos[:0]
+		storedBefore = lj.storedBefore[:0]
+		// Re-sync the grown headers into the scratch on every exit, so
+		// ReleaseReport recycles exactly the results this run produced.
+		defer func() {
+			lj.results = results
+			lj.infos = infos
+			lj.storedBefore = storedBefore
+		}()
+	} else {
+		results = make([]*lambda.Result, 0, len(d.parts))
+		infos = make([]retryInfo, 0, len(d.parts))
+		storedBefore = make([]int64, 0, len(d.parts))
+	}
 	prevKey := inKey
 	var prevBytes int64 // accumulated intermediate bytes in S3
-	storedBefore := make([]int64, len(d.parts))
 	for i, p := range d.parts {
-		storedBefore[i] = prevBytes
-		payload, _ := json.Marshal(invokePayload{
-			Job: job, InputKey: prevKey,
-		})
+		storedBefore = append(storedBefore, prevBytes)
+		var payload []byte
+		if lean {
+			payload = lj.payloads[i]
+		} else {
+			payload, _ = json.Marshal(invokePayload{
+				Job: job, InputKey: prevKey,
+			})
+		}
 		res, info, err := d.invokeWithRetry(p, payload, eager, prevBytes, st)
 		infos = append(infos, info)
 		d.recordRetries(rep, info)
 		if err != nil {
 			rep.Cost = d.meterTotal() - before
-			root = d.failureTrace(rep, job, st, upInfo, infos, rootBucket)
-			rep.Trace = root
+			if lean {
+				rep.Elapsed = st.elapsed
+				d.jh.jobsFailed.Inc(1)
+			} else {
+				root = d.failureTrace(rep, job, st, upInfo, infos, rootBucket)
+				rep.Trace = root
+			}
 			return rep, fmt.Errorf("coordinator: partition %d: %w", i, err)
 		}
-		results[i] = res
+		results = append(results, res)
 		// The job's committed serial time grows by this partition's turn
 		// in the chain — the quantity every later deadline check gates
 		// on. (In eager mode this is a conservative overestimate of the
 		// overlapped schedule.)
 		st.elapsed += info.delay() + invokeDispatchLatency + res.Duration
 		if i < len(d.parts)-1 {
-			prevKey = string(res.Response)
+			if lean {
+				prevKey = lj.outKeys[i]
+			} else {
+				prevKey = string(res.Response)
+			}
 			if n, ok := d.cfg.Store.Head(prevKey); ok {
 				prevBytes += n
 			}
 		}
 	}
-	out, err := modelfmt.DecodeTensor(results[len(results)-1].Response)
-	if err != nil {
-		rep.Cost = d.meterTotal() - before
-		root = d.failureTrace(rep, job, st, upInfo, infos, rootBucket)
-		rep.Trace = root
-		return rep, fmt.Errorf("coordinator: decoding prediction: %w", err)
+	if !lean || lj.enc == nil {
+		// A lean job running on cached encodings skips the final decode:
+		// its last response is a recycled zero tensor nobody reads.
+		out, err := modelfmt.DecodeTensor(results[len(results)-1].Response)
+		if err != nil {
+			rep.Cost = d.meterTotal() - before
+			if lean {
+				rep.Elapsed = st.elapsed
+				d.jh.jobsFailed.Inc(1)
+			} else {
+				root = d.failureTrace(rep, job, st, upInfo, infos, rootBucket)
+				rep.Trace = root
+			}
+			return rep, fmt.Errorf("coordinator: decoding prediction: %w", err)
+		}
+		rep.Output = out
 	}
-	rep.Output = out
 
-	partBuckets := make([]*obs.CostBucket, len(d.parts))
+	var partBuckets []*obs.CostBucket
+	if !lean {
+		partBuckets = make([]*obs.CostBucket, len(d.parts))
+	}
 	if eager {
-		d.settleEager(rep, results, infos, upDur, storedBefore, partBuckets)
+		d.settleEager(rep, results, infos, upDur, storedBefore, partBuckets, lean)
 	} else {
 		now := d.cfg.Platform.Now()
 		rep.Completion = upDur
@@ -222,10 +308,14 @@ func (d *Deployment) run(input *tensor.Tensor, eager bool, deadline time.Duratio
 			// sequential chain does, not when its own handler alone would
 			// (the platform settled it at job start + handler duration).
 			d.cfg.Platform.OccupyUntil(d.parts[i].fnName, res.ContainerID, now+rep.Completion)
-			partBuckets[i] = tr.NewBucket()
-			p := tr.SetSink(partBuckets[i])
-			d.cfg.Store.ChargeStorage(storedBefore[i], res.Duration)
-			tr.SetSink(p)
+			if lean {
+				d.cfg.Store.ChargeStorage(storedBefore[i], res.Duration)
+			} else {
+				partBuckets[i] = tr.NewBucket()
+				p := tr.SetSink(partBuckets[i])
+				d.cfg.Store.ChargeStorage(storedBefore[i], res.Duration)
+				tr.SetSink(p)
+			}
 			lr := phaseSplit(res)
 			lr.FunctionName = d.parts[i].fnName
 			lr.MemoryMB = res.MemoryMB
@@ -243,8 +333,9 @@ func (d *Deployment) run(input *tensor.Tensor, eager bool, deadline time.Duratio
 	// Head sampling: a dropped job skips the whole tree build (the
 	// dominant per-job allocation), unless its hedge won — hedge-won
 	// outcomes are always sampled, and rep.HedgeWins is final here
-	// because recordRetries already folded every operation in.
-	if !noTrace || rep.HedgeWins > 0 {
+	// because recordRetries already folded every operation in. Lean
+	// jobs never build a tree.
+	if !lean && (!noTrace || rep.HedgeWins > 0) {
 		root = d.buildTrace(rep, job, eager, upDur, upInfo, results, infos, partBuckets, rootBucket, nil)
 		rep.Trace = root
 	}
@@ -252,41 +343,61 @@ func (d *Deployment) run(input *tensor.Tensor, eager bool, deadline time.Duratio
 	return rep, nil
 }
 
-// recordJobMetrics folds one finished job into the metrics registry.
+// recordJobMetrics folds one finished job into the metrics registry
+// through the handles resolved at Deploy; only a mode outside the
+// coordinator's own three falls back to formatting a label.
 func (d *Deployment) recordJobMetrics(rep *Report) {
-	mx := d.cfg.Metrics
-	mx.Inc(fmt.Sprintf("coordinator_jobs_total{mode=%q}", rep.Mode), 1)
-	mx.Observe("coordinator_job_completion_seconds", obs.DurationBounds, rep.Completion.Seconds())
-	mx.Add("coordinator_job_cost_usd_total", rep.Cost)
-	mx.Inc("coordinator_retries_total", int64(rep.Retries))
-	mx.Inc("coordinator_faults_absorbed_total", int64(rep.FaultsInjected))
-	mx.Add("coordinator_backoff_seconds_total", rep.BackoffWait.Seconds())
+	jh := &d.jh
+	switch rep.Mode {
+	case "sequential":
+		jh.jobsSeq.Inc(1)
+	case "eager":
+		jh.jobsEager.Inc(1)
+	case "pipelined":
+		jh.jobsPipe.Inc(1)
+	default:
+		d.cfg.Metrics.Inc(fmt.Sprintf("coordinator_jobs_total{mode=%q}", rep.Mode), 1)
+	}
+	jh.completion.Observe(rep.Completion.Seconds())
+	jh.cost.Add(rep.Cost)
+	jh.retries.Inc(int64(rep.Retries))
+	jh.faults.Inc(int64(rep.FaultsInjected))
+	jh.backoff.Add(rep.BackoffWait.Seconds())
 	// Resilience counters appear only when the mechanisms fire, so
 	// zero-value policies leave metrics snapshots unchanged.
 	if rep.Hedges > 0 {
-		mx.Inc("coordinator_hedges_total", int64(rep.Hedges))
-		mx.Inc("coordinator_hedge_wins_total", int64(rep.HedgeWins))
+		jh.hedges.Inc(int64(rep.Hedges))
+		jh.hedgeWins.Inc(int64(rep.HedgeWins))
 	}
 	if rep.ShortCircuits > 0 {
-		mx.Inc("coordinator_breaker_short_circuits_total", int64(rep.ShortCircuits))
+		jh.shortCircuits.Inc(int64(rep.ShortCircuits))
 	}
 	if rep.WastedSpend > 0 {
-		mx.Add("coordinator_wasted_spend_usd_total", rep.WastedSpend)
+		jh.wastedSpend.Add(rep.WastedSpend)
 	}
 	for _, lr := range rep.PerLambda {
-		mx.Add(`coordinator_phase_seconds_total{phase="init"}`, lr.Init.Seconds())
-		mx.Add(`coordinator_phase_seconds_total{phase="load"}`, lr.Load.Seconds())
-		mx.Add(`coordinator_phase_seconds_total{phase="read"}`, lr.Read.Seconds())
-		mx.Add(`coordinator_phase_seconds_total{phase="compute"}`, lr.Compute.Seconds())
-		mx.Add(`coordinator_phase_seconds_total{phase="write"}`, lr.Write.Seconds())
+		jh.phaseInit.Add(lr.Init.Seconds())
+		jh.phaseLoad.Add(lr.Load.Seconds())
+		jh.phaseRead.Add(lr.Read.Seconds())
+		jh.phaseCompute.Add(lr.Compute.Seconds())
+		jh.phaseWrite.Add(lr.Write.Seconds())
 	}
 	if ts := d.cfg.Series; ts != nil {
 		at := d.cfg.Platform.Now()
-		ts.Inc(at, fmt.Sprintf("coordinator_jobs_total{mode=%q}", rep.Mode), 1)
-		ts.Observe(at, "coordinator_job_completion_seconds", rep.Completion.Seconds())
-		ts.Add(at, "coordinator_job_cost_usd_total", rep.Cost)
+		switch rep.Mode {
+		case "sequential":
+			jh.tsJobsSeq.Inc(at, 1)
+		case "eager":
+			jh.tsJobsEager.Inc(at, 1)
+		case "pipelined":
+			jh.tsJobsPipe.Inc(at, 1)
+		default:
+			ts.Inc(at, fmt.Sprintf("coordinator_jobs_total{mode=%q}", rep.Mode), 1)
+		}
+		jh.tsCompletion.Observe(at, rep.Completion.Seconds())
+		jh.tsCost.Add(at, rep.Cost)
 		if rep.Retries > 0 {
-			ts.Inc(at, "coordinator_retries_total", int64(rep.Retries))
+			jh.tsRetries.Inc(at, int64(rep.Retries))
 		}
 	}
 }
@@ -309,7 +420,7 @@ func (d *Deployment) recordRetries(rep *Report, ri retryInfo) {
 // wait. Retried partitions lose their head start: the failed attempts'
 // execution and backoff waits push the successful attempt's work back
 // (the failed attempts themselves were settled as they happened).
-func (d *Deployment) settleEager(rep *Report, results []*lambda.Result, infos []retryInfo, upDur time.Duration, storedBefore []int64, partBuckets []*obs.CostBucket) {
+func (d *Deployment) settleEager(rep *Report, results []*lambda.Result, infos []retryInfo, upDur time.Duration, storedBefore []int64, partBuckets []*obs.CostBucket, lean bool) {
 	tr := d.cfg.Tracer
 	avail := upDur // when partition 0's input is ready in S3
 	for i, res := range results {
@@ -324,11 +435,16 @@ func (d *Deployment) settleEager(rep *Report, results []*lambda.Result, infos []
 		start += info.delay()
 		exit := start + work
 		billed := exit - invokeDispatchLatency
-		partBuckets[i] = tr.NewBucket()
-		p := tr.SetSink(partBuckets[i])
-		d.cfg.Platform.SettleExecution(res.MemoryMB, billed)
-		d.cfg.Store.ChargeStorage(storedBefore[i], billed)
-		tr.SetSink(p)
+		if lean {
+			d.cfg.Platform.SettleExecution(res.MemoryMB, billed)
+			d.cfg.Store.ChargeStorage(storedBefore[i], billed)
+		} else {
+			partBuckets[i] = tr.NewBucket()
+			p := tr.SetSink(partBuckets[i])
+			d.cfg.Platform.SettleExecution(res.MemoryMB, billed)
+			d.cfg.Store.ChargeStorage(storedBefore[i], billed)
+			tr.SetSink(p)
+		}
 		lr.FunctionName = d.parts[i].fnName
 		lr.MemoryMB = res.MemoryMB
 		lr.Cold = res.ColdStart

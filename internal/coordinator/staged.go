@@ -26,6 +26,11 @@ type StagedOptions struct {
 	// meter-delta accumulator (exact), failure traces are still built,
 	// and a job whose hedge won builds its tree regardless.
 	NoTrace bool
+	// Lean runs the job on the deployment's recycled scratch, mirroring
+	// RunOptions.Lean: no span trees ever, Cost from the job's exact
+	// per-stage meter deltas, and the caller must hand the Report back
+	// via ReleaseReport once done. Implies NoTrace.
+	Lean bool
 }
 
 // StagedJob executes one inference job stage by stage under an external
@@ -49,6 +54,9 @@ type StagedJob struct {
 	st   *jobState
 	rep  *Report
 	opts StagedOptions
+	// lj is the recycled scratch a lean staged job runs on (nil
+	// otherwise); the StagedJob itself is then lj's embedded scratch.
+	lj *leanJob
 
 	rootBucket   *obs.CostBucket
 	upDur        time.Duration
@@ -78,17 +86,39 @@ func (d *Deployment) BeginStaged(input *tensor.Tensor, opts StagedOptions) (*Sta
 	if opts.Batch < 1 {
 		opts.Batch = 1
 	}
-	tr := d.cfg.Tracer
-	sj := &StagedJob{
-		d: d, job: d.nextJobID(), opts: opts,
-		rep:        &Report{Mode: "pipelined"},
-		st:         d.newJobState(opts.Deadline),
-		rootBucket: tr.NewBucket(),
+	var sj *StagedJob
+	var inKey string
+	var inData []byte
+	if opts.Lean {
+		lj := d.acquireLean(input, opts.Deadline, "pipelined")
+		sj = &lj.sj
+		*sj = StagedJob{
+			d: d, job: lj.id, opts: opts, rep: &lj.rep, st: &lj.st, lj: lj,
+			results:      lj.results[:0],
+			infos:        lj.infos[:0],
+			starts:       lj.starts[:0],
+			storedBefore: lj.storedBefore[:0],
+		}
+		inKey = lj.inKey
+		if lj.enc != nil {
+			inData = lj.enc.input
+		} else {
+			inData = modelfmt.EncodeTensor(input)
+		}
+	} else {
+		tr := d.cfg.Tracer
+		sj = &StagedJob{
+			d: d, job: d.nextJobID(), opts: opts,
+			rep:        &Report{Mode: "pipelined"},
+			st:         d.newJobState(opts.Deadline),
+			rootBucket: tr.NewBucket(),
+		}
+		inKey = sj.job + "/input"
+		inData = modelfmt.EncodeTensor(input)
 	}
 	sj.st.anchored = true
-	inKey := sj.job + "/input"
 	before := d.meterTotal()
-	upDur, upInfo, err := d.putWithRetry(inKey, modelfmt.EncodeTensor(input), sj.st)
+	upDur, upInfo, err := d.putWithRetry(inKey, inData, sj.st)
 	sj.spend += d.meterTotal() - before
 	sj.upInfo = upInfo
 	d.recordRetries(sj.rep, upInfo)
@@ -99,12 +129,14 @@ func (d *Deployment) BeginStaged(input *tensor.Tensor, opts StagedOptions) (*Sta
 	sj.upDur = upDur + upInfo.backoff
 	sj.st.elapsed = sj.upDur
 	sj.prevKey = inKey
-	n := len(d.parts)
-	sj.results = make([]*lambda.Result, 0, n)
-	sj.infos = make([]retryInfo, 0, n)
-	sj.starts = make([]time.Duration, 0, n)
-	sj.partBuckets = make([]*obs.CostBucket, 0, n)
-	sj.storedBefore = make([]int64, 0, n)
+	if sj.lj == nil {
+		n := len(d.parts)
+		sj.results = make([]*lambda.Result, 0, n)
+		sj.infos = make([]retryInfo, 0, n)
+		sj.starts = make([]time.Duration, 0, n)
+		sj.partBuckets = make([]*obs.CostBucket, 0, n)
+		sj.storedBefore = make([]int64, 0, n)
+	}
 	return sj, nil
 }
 
@@ -146,7 +178,12 @@ func (sj *StagedJob) RunStage(start time.Duration) (time.Duration, error) {
 	// The stage's start offset is the job's committed serial time: queue
 	// waits behind earlier pipeline stages count against the deadline.
 	sj.st.elapsed = start
-	payload, _ := json.Marshal(invokePayload{Job: sj.job, InputKey: sj.prevKey})
+	var payload []byte
+	if sj.lj != nil {
+		payload = sj.lj.payloads[i]
+	} else {
+		payload, _ = json.Marshal(invokePayload{Job: sj.job, InputKey: sj.prevKey})
+	}
 	before := d.meterTotal()
 	res, info, err := d.invokeWithRetry(p, payload, false, sj.prevBytes, sj.st)
 	sj.infos = append(sj.infos, info)
@@ -163,12 +200,16 @@ func (sj *StagedJob) RunStage(start time.Duration) (time.Duration, error) {
 	// schedule does (the platform settled it at stage start + handler
 	// duration, without the retry delays).
 	d.cfg.Platform.OccupyUntil(p.fnName, res.ContainerID, d.cfg.Platform.Now()+svc)
-	bucket := d.cfg.Tracer.NewBucket()
-	d.chargeInto(bucket, func() {
+	if sj.lj != nil {
 		d.cfg.Store.ChargeStorage(sj.storedBefore[i], res.Duration)
-	})
+	} else {
+		bucket := d.cfg.Tracer.NewBucket()
+		d.chargeInto(bucket, func() {
+			d.cfg.Store.ChargeStorage(sj.storedBefore[i], res.Duration)
+		})
+		sj.partBuckets = append(sj.partBuckets, bucket)
+	}
 	sj.spend += d.meterTotal() - before
-	sj.partBuckets = append(sj.partBuckets, bucket)
 	sj.results = append(sj.results, res)
 	lr := phaseSplit(res)
 	lr.FunctionName = p.fnName
@@ -182,7 +223,11 @@ func (sj *StagedJob) RunStage(start time.Duration) (time.Duration, error) {
 	lr.Wasted = info.wasted
 	sj.rep.PerLambda = append(sj.rep.PerLambda, lr)
 	if i < len(d.parts)-1 {
-		sj.prevKey = string(res.Response)
+		if sj.lj != nil {
+			sj.prevKey = sj.lj.outKeys[i]
+		} else {
+			sj.prevKey = string(res.Response)
+		}
 		if n, ok := d.cfg.Store.Head(sj.prevKey); ok {
 			sj.prevBytes += n
 		}
@@ -207,18 +252,21 @@ func (sj *StagedJob) Finish(completion time.Duration) (*Report, error) {
 		return sj.rep, fmt.Errorf("coordinator: staged job %s finished after %d of %d stages",
 			sj.job, sj.next, len(d.parts))
 	}
-	out, err := modelfmt.DecodeTensor(sj.results[len(sj.results)-1].Response)
-	if err != nil {
-		sj.fail()
-		return sj.rep, fmt.Errorf("coordinator: decoding prediction: %w", err)
+	if sj.lj == nil || sj.lj.enc == nil {
+		out, err := modelfmt.DecodeTensor(sj.results[len(sj.results)-1].Response)
+		if err != nil {
+			sj.fail()
+			return sj.rep, fmt.Errorf("coordinator: decoding prediction: %w", err)
+		}
+		sj.rep.Output = out
 	}
-	sj.rep.Output = out
 	sj.rep.Completion = completion
 	// Head sampling: a dropped job reports its meter-delta spend (exact
 	// per job, though an unsampled tracer replay could associate the
 	// same charges in a different order) and skips the tree build.
-	// Hedge-won jobs are always sampled; rep.HedgeWins is final here.
-	if sj.opts.NoTrace && sj.rep.HedgeWins == 0 {
+	// Hedge-won jobs are always sampled — except on the lean path,
+	// which never builds trees; rep.HedgeWins is final here.
+	if sj.lj != nil || (sj.opts.NoTrace && sj.rep.HedgeWins == 0) {
 		sj.rep.Cost = sj.spend
 		sj.close(nil)
 		d.recordJobMetrics(sj.rep)
@@ -240,9 +288,18 @@ func (sj *StagedJob) Finish(completion time.Duration) (*Report, error) {
 }
 
 // fail finalizes a job that cannot continue: the failure trace collects
-// every charge the job billed so cost attribution stays exact.
+// every charge the job billed so cost attribution stays exact. Lean
+// jobs build no failure trace; their per-stage meter deltas already
+// carry the exact spend.
 func (sj *StagedJob) fail() {
 	d := sj.d
+	if sj.lj != nil {
+		sj.rep.Cost = sj.spend
+		sj.rep.Elapsed = sj.st.elapsed
+		d.jh.jobsFailed.Inc(1)
+		sj.close(nil)
+		return
+	}
 	root := d.failureTrace(sj.rep, sj.job, sj.st, sj.upInfo, sj.infos, sj.rootBucket)
 	// Unlike Run — which bills storage holds only once the whole chain
 	// succeeds — each staged stage charges its hold as it completes, so
@@ -266,6 +323,18 @@ func (sj *StagedJob) fail() {
 // interleave on one goroutine, so holding it across stages would
 // deadlock the scheduler.
 func (sj *StagedJob) close(root *obs.Span) {
+	if lj := sj.lj; lj != nil {
+		// Re-sync the grown slice headers into the scratch so
+		// ReleaseReport recycles exactly this job's results; no tracer
+		// publication — lean jobs never built a tree.
+		lj.results = sj.results
+		lj.infos = sj.infos
+		lj.starts = sj.starts
+		lj.storedBefore = sj.storedBefore
+		sj.d.cleanupLean(lj)
+		sj.done = true
+		return
+	}
 	sj.d.cleanup(sj.job)
 	tr := sj.d.cfg.Tracer
 	tr.BeginJob()

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"testing"
+	"time"
 
 	"ampsinf/internal/cloud/billing"
 	"ampsinf/internal/cloud/lambda"
@@ -77,6 +78,76 @@ func TestChaosSimStorm(t *testing.T) {
 	}
 	if rep.TotalCost <= 0 || meter.Total() < rep.TotalCost {
 		t.Errorf("cost accounting broken: report %v, meter %v", rep.TotalCost, meter.Total())
+	}
+}
+
+// TestChaosSimPipelinedStorm is the staged-scheduler twin of
+// TestChaosSimStorm: 100k Poisson requests streamed through the
+// pipelined+batched event scheduler with full telemetry attached
+// (metrics and a windowed time series — the pre-resolved handle
+// paths), under the race detector via `make chaos`. Stage events,
+// batch coalescing, lean-report recycling and the slab/heap pools all
+// churn concurrently with frame emission; the assertions again pin
+// accounting closure rather than tuned outcomes.
+func TestChaosSimPipelinedStorm(t *testing.T) {
+	n := 100_000
+	if testing.Short() {
+		n = 10_000
+	}
+	m := zoo.LinearNet(8)
+	plan, err := optimizer.Optimize(optimizer.Request{
+		Model: m, Perf: perf.Default(), MaxLayersPerPartition: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := &billing.Meter{}
+	pl := lambda.New(meter, perf.Default())
+	store := s3.New(s3.DefaultConfig(), meter)
+	tracer := obs.NewTracer()
+	meter.SetObserver(tracer.RecordCost)
+	dep, err := coordinator.Deploy(coordinator.Config{
+		Platform: pl, Store: store, SkipCompute: true, Tracer: tracer,
+	}, m, nn.InitWeights(m, 42), plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Teardown()
+	pl.SetAccountConcurrency(256)
+	in := workload.Images(m, 1, 7)[0]
+
+	mx := obs.NewMetrics()
+	ts := obs.NewTimeSeries(time.Second)
+	defer ts.Close()
+	rep, err := serving.ServeStream(serving.Config{
+		Deployment: dep,
+		Throttle:   serving.ThrottlePolicy{MaxAttempts: 500, JitterSeed: 3},
+		Pipeline:   serving.PipelinePolicy{Depth: 3},
+		Batch:      serving.BatchPolicy{MaxBatch: 4, Window: 200 * time.Millisecond, JitterSeed: 5},
+		Metrics:    mx,
+		Series:     ts,
+	}, sim.NewPoisson(n, 100, 7), func(int) *tensor.Tensor { return in })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != n || len(rep.Jobs) != 0 {
+		t.Fatalf("stream run: requests %d (want %d), retained %d jobs (want 0)",
+			rep.Requests, n, len(rep.Jobs))
+	}
+	if rep.Completed != n {
+		t.Fatalf("completed %d of %d under the storm", rep.Completed, n)
+	}
+	if rep.TotalCost <= 0 || meter.Total() < rep.TotalCost {
+		t.Errorf("cost accounting broken: report %v, meter %v", rep.TotalCost, meter.Total())
+	}
+	snap := mx.Snapshot()
+	batches := snap.Counters["serving_batches_total"]
+	if batches == 0 || batches >= int64(n) {
+		t.Errorf("serving_batches_total = %d of %d requests; the batcher should coalesce some queue", batches, n)
+	}
+	jobs := snap.Counters["serving_jobs_total"]
+	if jobs == 0 || jobs > int64(n) {
+		t.Errorf("serving_jobs_total = %d, want in (0, %d]", jobs, n)
 	}
 }
 

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestHandleStringEquivalence property-tests the pre-resolved handle
+// API against the string-keyed one: the same pseudo-random operation
+// sequence applied through both must yield byte-identical snapshots,
+// Prometheus expositions and NDJSON streams. Handles are resolved up
+// front — before any write — so the test also pins that slot creation
+// alone never surfaces in a snapshot or frame.
+func TestHandleStringEquivalence(t *testing.T) {
+	const (
+		names  = 7
+		ops    = 5000
+		window = 250 * time.Millisecond
+	)
+	bounds := DurationBounds
+
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			mxS, mxH := NewMetrics(), NewMetrics()
+			tsS, tsH := NewTimeSeries(window), NewTimeSeries(window)
+			defer tsS.Close()
+			defer tsH.Close()
+
+			name := func(kind string, i int) string {
+				return fmt.Sprintf("prop_%s_%d_total", kind, i)
+			}
+			var (
+				counters []CounterHandle
+				totals   []TotalHandle
+				gauges   []GaugeHandle
+				hists    []HistHandle
+				tsCtrs   []SeriesCounterHandle
+				tsTots   []SeriesTotalHandle
+				tsGauges []SeriesGaugeHandle
+				tsHists  []SeriesHistHandle
+			)
+			for i := 0; i < names; i++ {
+				counters = append(counters, mxH.CounterHandle(name("ctr", i)))
+				totals = append(totals, mxH.TotalHandle(name("tot", i)))
+				gauges = append(gauges, mxH.GaugeHandle(name("gauge", i)))
+				hists = append(hists, mxH.HistHandle(name("hist", i), bounds))
+				tsCtrs = append(tsCtrs, tsH.CounterHandle(name("ctr", i)))
+				tsTots = append(tsTots, tsH.TotalHandle(name("tot", i)))
+				tsGauges = append(tsGauges, tsH.GaugeHandle(name("gauge", i)))
+				tsHists = append(tsHists, tsH.HistHandle(name("hist", i)))
+			}
+
+			rng := rand.New(rand.NewSource(seed))
+			now := time.Duration(0)
+			for op := 0; op < ops; op++ {
+				i := rng.Intn(names)
+				now += time.Duration(rng.Intn(int(50 * time.Millisecond)))
+				// Zero deltas included: a write of zero must mark the
+				// slot live identically on both paths.
+				switch rng.Intn(4) {
+				case 0:
+					d := int64(rng.Intn(3))
+					mxS.Inc(name("ctr", i), d)
+					counters[i].Inc(d)
+					tsS.Inc(now, name("ctr", i), d)
+					tsCtrs[i].Inc(now, d)
+				case 1:
+					v := rng.Float64() * 10
+					mxS.Add(name("tot", i), v)
+					totals[i].Add(v)
+					tsS.Add(now, name("tot", i), v)
+					tsTots[i].Add(now, v)
+				case 2:
+					v := rng.NormFloat64() * 100
+					mxS.Gauge(name("gauge", i), v)
+					gauges[i].Set(v)
+					tsS.Gauge(now, name("gauge", i), v)
+					tsGauges[i].Set(now, v)
+				case 3:
+					v := rng.ExpFloat64()
+					mxS.Observe(name("hist", i), bounds, v)
+					hists[i].Observe(v)
+					tsS.Observe(now, name("hist", i), v)
+					tsHists[i].Observe(now, v)
+				}
+			}
+			tsS.Advance(now)
+			tsS.Flush()
+			tsH.Advance(now)
+			tsH.Flush()
+
+			snapS, err := json.Marshal(mxS.Snapshot())
+			if err != nil {
+				t.Fatal(err)
+			}
+			snapH, err := json.Marshal(mxH.Snapshot())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(snapS, snapH) {
+				t.Errorf("snapshots diverge:\n%s\nvs\n%s", snapS, snapH)
+			}
+
+			var promS, promH bytes.Buffer
+			if err := WritePrometheus(&promS, mxS.Snapshot()); err != nil {
+				t.Fatal(err)
+			}
+			if err := WritePrometheus(&promH, mxH.Snapshot()); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(promS.Bytes(), promH.Bytes()) {
+				t.Errorf("prometheus expositions diverge:\n%s\nvs\n%s", promS.String(), promH.String())
+			}
+
+			var ndS, ndH bytes.Buffer
+			if err := tsS.WriteNDJSON(&ndS); err != nil {
+				t.Fatal(err)
+			}
+			if err := tsH.WriteNDJSON(&ndH); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ndS.Bytes(), ndH.Bytes()) {
+				t.Errorf("NDJSON streams diverge:\n%s\nvs\n%s", ndS.String(), ndH.String())
+			}
+		})
+	}
+}

@@ -50,16 +50,96 @@ func (h *Histogram) observe(v float64) {
 // reproducible for a deterministic run. All methods are nil-safe: a
 // nil *Metrics is a valid no-op registry, so instrumentation sites
 // never need a guard.
+//
+// Storage is slot-based: each name resolves (once) to a dense index
+// into a per-kind slice, and both the string-keyed methods and the
+// pre-resolved handles (CounterHandle and friends) mutate the same
+// slot, so the two paths are observationally identical. A slot only
+// appears in snapshots after its first recording — resolving a handle
+// alone leaves no trace, matching the string-keyed behaviour where a
+// metric exists only once written.
 type Metrics struct {
-	mu       sync.Mutex
-	counters map[string]int64
-	totals   map[string]float64
-	gauges   map[string]float64
-	hists    map[string]*Histogram
+	mu          sync.Mutex
+	counterIdx  map[string]int32
+	counterVals []scalarSlot[int64]
+	totalIdx    map[string]int32
+	totalVals   []scalarSlot[float64]
+	gaugeIdx    map[string]int32
+	gaugeVals   []scalarSlot[float64]
+	histIdx     map[string]int32
+	histVals    []histSlot
+}
+
+// scalarSlot is one named scalar metric cell. set distinguishes "never
+// recorded" (absent from snapshots) from a recorded zero.
+type scalarSlot[T int64 | float64] struct {
+	name string
+	v    T
+	set  bool
+}
+
+type histSlot struct {
+	name string
+	h    *Histogram
 }
 
 // NewMetrics creates an empty registry.
 func NewMetrics() *Metrics { return &Metrics{} }
+
+func (m *Metrics) counterSlotLocked(name string) int32 {
+	if i, ok := m.counterIdx[name]; ok {
+		return i
+	}
+	if m.counterIdx == nil {
+		m.counterIdx = make(map[string]int32)
+	}
+	i := int32(len(m.counterVals))
+	m.counterIdx[name] = i
+	m.counterVals = append(m.counterVals, scalarSlot[int64]{name: name})
+	return i
+}
+
+func (m *Metrics) totalSlotLocked(name string) int32 {
+	if i, ok := m.totalIdx[name]; ok {
+		return i
+	}
+	if m.totalIdx == nil {
+		m.totalIdx = make(map[string]int32)
+	}
+	i := int32(len(m.totalVals))
+	m.totalIdx[name] = i
+	m.totalVals = append(m.totalVals, scalarSlot[float64]{name: name})
+	return i
+}
+
+func (m *Metrics) gaugeSlotLocked(name string) int32 {
+	if i, ok := m.gaugeIdx[name]; ok {
+		return i
+	}
+	if m.gaugeIdx == nil {
+		m.gaugeIdx = make(map[string]int32)
+	}
+	i := int32(len(m.gaugeVals))
+	m.gaugeIdx[name] = i
+	m.gaugeVals = append(m.gaugeVals, scalarSlot[float64]{name: name})
+	return i
+}
+
+func (m *Metrics) histSlotLocked(name string, bounds []float64) int32 {
+	if i, ok := m.histIdx[name]; ok {
+		return i
+	}
+	if m.histIdx == nil {
+		m.histIdx = make(map[string]int32)
+	}
+	i := int32(len(m.histVals))
+	m.histIdx[name] = i
+	m.histVals = append(m.histVals, histSlot{name: name, h: &Histogram{
+		Bounds: append([]float64(nil), bounds...),
+		Counts: make([]int64, len(bounds)+1),
+	}})
+	return i
+}
 
 // Inc adds delta to the named integer counter.
 func (m *Metrics) Inc(name string, delta int64) {
@@ -67,11 +147,10 @@ func (m *Metrics) Inc(name string, delta int64) {
 		return
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.counters == nil {
-		m.counters = make(map[string]int64)
-	}
-	m.counters[name] += delta
+	s := &m.counterVals[m.counterSlotLocked(name)]
+	s.v += delta
+	s.set = true
+	m.mu.Unlock()
 }
 
 // Add accumulates v into the named float total (GB-seconds, dollars,
@@ -81,11 +160,10 @@ func (m *Metrics) Add(name string, v float64) {
 		return
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.totals == nil {
-		m.totals = make(map[string]float64)
-	}
-	m.totals[name] += v
+	s := &m.totalVals[m.totalSlotLocked(name)]
+	s.v += v
+	s.set = true
+	m.mu.Unlock()
 }
 
 // Gauge sets the named gauge to v.
@@ -94,11 +172,10 @@ func (m *Metrics) Gauge(name string, v float64) {
 		return
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.gauges == nil {
-		m.gauges = make(map[string]float64)
-	}
-	m.gauges[name] = v
+	s := &m.gaugeVals[m.gaugeSlotLocked(name)]
+	s.v = v
+	s.set = true
+	m.mu.Unlock()
 }
 
 // Observe records v into the named histogram, creating it with the
@@ -109,19 +186,132 @@ func (m *Metrics) Observe(name string, bounds []float64, v float64) {
 		return
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.hists == nil {
-		m.hists = make(map[string]*Histogram)
+	m.histVals[m.histSlotLocked(name, bounds)].h.observe(v)
+	m.mu.Unlock()
+}
+
+// --- pre-resolved handles ---
+//
+// A handle resolves a metric name to its slot once — at deploy time,
+// outside the hot loop — so steady-state recording is a mutex and an
+// index: no map lookup, no string hashing, no allocation. Handles from
+// a nil registry are valid no-ops, mirroring the string-keyed methods.
+
+// CounterHandle is a pre-resolved integer counter.
+type CounterHandle struct {
+	m    *Metrics
+	slot int32
+}
+
+// CounterHandle resolves name to a counter slot.
+func (m *Metrics) CounterHandle(name string) CounterHandle {
+	if m == nil {
+		return CounterHandle{}
 	}
-	h, ok := m.hists[name]
-	if !ok {
-		h = &Histogram{
-			Bounds: append([]float64(nil), bounds...),
-			Counts: make([]int64, len(bounds)+1),
-		}
-		m.hists[name] = h
+	m.mu.Lock()
+	slot := m.counterSlotLocked(name)
+	m.mu.Unlock()
+	return CounterHandle{m: m, slot: slot}
+}
+
+// Inc adds delta to the counter.
+func (h CounterHandle) Inc(delta int64) {
+	if h.m == nil {
+		return
 	}
-	h.observe(v)
+	h.m.mu.Lock()
+	s := &h.m.counterVals[h.slot]
+	s.v += delta
+	s.set = true
+	h.m.mu.Unlock()
+}
+
+// TotalHandle is a pre-resolved float accumulator.
+type TotalHandle struct {
+	m    *Metrics
+	slot int32
+}
+
+// TotalHandle resolves name to a float-total slot.
+func (m *Metrics) TotalHandle(name string) TotalHandle {
+	if m == nil {
+		return TotalHandle{}
+	}
+	m.mu.Lock()
+	slot := m.totalSlotLocked(name)
+	m.mu.Unlock()
+	return TotalHandle{m: m, slot: slot}
+}
+
+// Add accumulates v into the total.
+func (h TotalHandle) Add(v float64) {
+	if h.m == nil {
+		return
+	}
+	h.m.mu.Lock()
+	s := &h.m.totalVals[h.slot]
+	s.v += v
+	s.set = true
+	h.m.mu.Unlock()
+}
+
+// GaugeHandle is a pre-resolved gauge.
+type GaugeHandle struct {
+	m    *Metrics
+	slot int32
+}
+
+// GaugeHandle resolves name to a gauge slot.
+func (m *Metrics) GaugeHandle(name string) GaugeHandle {
+	if m == nil {
+		return GaugeHandle{}
+	}
+	m.mu.Lock()
+	slot := m.gaugeSlotLocked(name)
+	m.mu.Unlock()
+	return GaugeHandle{m: m, slot: slot}
+}
+
+// Set sets the gauge to v.
+func (h GaugeHandle) Set(v float64) {
+	if h.m == nil {
+		return
+	}
+	h.m.mu.Lock()
+	s := &h.m.gaugeVals[h.slot]
+	s.v = v
+	s.set = true
+	h.m.mu.Unlock()
+}
+
+// HistHandle is a pre-resolved fixed-bound histogram.
+type HistHandle struct {
+	m    *Metrics
+	slot int32
+}
+
+// HistHandle resolves name to a histogram slot, creating the histogram
+// with the given bounds if it does not exist yet (an existing
+// histogram keeps its original bounds). The histogram stays absent
+// from snapshots until its first observation.
+func (m *Metrics) HistHandle(name string, bounds []float64) HistHandle {
+	if m == nil {
+		return HistHandle{}
+	}
+	m.mu.Lock()
+	slot := m.histSlotLocked(name, bounds)
+	m.mu.Unlock()
+	return HistHandle{m: m, slot: slot}
+}
+
+// Observe records v into the histogram.
+func (h HistHandle) Observe(v float64) {
+	if h.m == nil {
+		return
+	}
+	h.m.mu.Lock()
+	h.m.histVals[h.slot].h.observe(v)
+	h.m.mu.Unlock()
 }
 
 // Snapshot is a point-in-time copy of the registry, shaped for JSON.
@@ -132,7 +322,9 @@ type Snapshot struct {
 	Histograms map[string]*Histogram `json:"histograms"`
 }
 
-// Snapshot copies the registry's current state.
+// Snapshot copies the registry's current state. Only slots that have
+// received at least one recording appear, so the snapshot is
+// indistinguishable from one taken of a purely string-keyed registry.
 func (m *Metrics) Snapshot() *Snapshot {
 	s := &Snapshot{
 		Counters:   map[string]int64{},
@@ -145,20 +337,30 @@ func (m *Metrics) Snapshot() *Snapshot {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for k, v := range m.counters {
-		s.Counters[k] = v
+	for i := range m.counterVals {
+		if sl := &m.counterVals[i]; sl.set {
+			s.Counters[sl.name] = sl.v
+		}
 	}
-	for k, v := range m.totals {
-		s.Totals[k] = v
+	for i := range m.totalVals {
+		if sl := &m.totalVals[i]; sl.set {
+			s.Totals[sl.name] = sl.v
+		}
 	}
-	for k, v := range m.gauges {
-		s.Gauges[k] = v
+	for i := range m.gaugeVals {
+		if sl := &m.gaugeVals[i]; sl.set {
+			s.Gauges[sl.name] = sl.v
+		}
 	}
-	for k, h := range m.hists {
+	for i := range m.histVals {
+		h := m.histVals[i].h
+		if h.Count == 0 {
+			continue
+		}
 		cp := *h
 		cp.Bounds = append([]float64(nil), h.Bounds...)
 		cp.Counts = append([]int64(nil), h.Counts...)
-		s.Histograms[k] = &cp
+		s.Histograms[m.histVals[i].name] = &cp
 	}
 	return s
 }

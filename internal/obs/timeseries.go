@@ -12,9 +12,10 @@ import (
 // TimeSeries aggregates counters, gauges and log-linear latency
 // histograms into fixed windows of the simulated clock and flushes each
 // completed window as one immutable WindowFrame on an ordered,
-// deterministic stream. Recording is cheap (map upserts into the small
-// set of still-open windows); the flushed frames are what consumers —
-// the NDJSON stream, subscribers, the future re-planning daemon — read.
+// deterministic stream. Recording is cheap — each name resolves once to
+// a dense slot index, and recordings are index writes into the open
+// window's slot arrays; the flushed frames are what consumers — the
+// NDJSON stream, subscribers, the re-planning daemon — read.
 //
 // Windows are half-open intervals [i·W, (i+1)·W) of simulated time.
 // Advance(now) flushes, in ascending window order, every window whose
@@ -24,6 +25,10 @@ import (
 // flush point are clamped into the oldest open window defensively, so
 // nothing is ever silently dropped). Close flushes whatever remains.
 //
+// Flushed window aggregations and their histograms are recycled through
+// free lists, so a long streaming run allocates per flushed frame, not
+// per recording.
+//
 // All methods are nil-safe — a nil *TimeSeries is a valid no-op sink —
 // and safe for concurrent use. Only non-empty windows are emitted;
 // idle stretches cost nothing on the stream.
@@ -32,17 +37,38 @@ type TimeSeries struct {
 	window    time.Duration
 	flushedTo int64 // lowest window index still open
 	pending   map[int64]*windowAgg
+	curIdx    int64      // window index of curAgg, valid iff curAgg != nil
+	curAgg    *windowAgg // cache of the most recently touched open window
 	frames    []*WindowFrame
 	retain    int
 	subs      []func(*WindowFrame)
+
+	// Slot registries: name → dense index, shared by every window.
+	counterIdx map[string]int32
+	counterNms []string
+	totalIdx   map[string]int32
+	totalNms   []string
+	gaugeIdx   map[string]int32
+	gaugeNms   []string
+	histIdx    map[string]int32
+	histNms    []string
+
+	aggFree  []*windowAgg // recycled window aggregations
+	histFree []*logHist   // recycled per-window histograms
 }
 
-// windowAgg is one still-open window's mutable aggregation state.
+// windowAgg is one still-open window's mutable aggregation state:
+// per-kind slot arrays parallel to the series' name registries. The
+// set flags distinguish "never recorded this window" from a recorded
+// zero, so frames contain exactly the names that were written.
 type windowAgg struct {
-	counters map[string]int64
-	totals   map[string]float64
-	gauges   map[string]float64
-	hists    map[string]*logHist
+	counters    []int64
+	countersSet []bool
+	totals      []float64
+	totalsSet   []bool
+	gauges      []float64
+	gaugesSet   []bool
+	hists       []*logHist // nil until first observation this window
 }
 
 // WindowFrame is one flushed window of the metrics stream. Maps marshal
@@ -103,18 +129,91 @@ func (ts *TimeSeries) Subscribe(fn func(*WindowFrame)) {
 	ts.subs = append(ts.subs, fn)
 }
 
+// --- slot registries ---
+
+func (ts *TimeSeries) counterSlotLocked(name string) int32 {
+	if i, ok := ts.counterIdx[name]; ok {
+		return i
+	}
+	if ts.counterIdx == nil {
+		ts.counterIdx = make(map[string]int32)
+	}
+	i := int32(len(ts.counterNms))
+	ts.counterIdx[name] = i
+	ts.counterNms = append(ts.counterNms, name)
+	return i
+}
+
+func (ts *TimeSeries) totalSlotLocked(name string) int32 {
+	if i, ok := ts.totalIdx[name]; ok {
+		return i
+	}
+	if ts.totalIdx == nil {
+		ts.totalIdx = make(map[string]int32)
+	}
+	i := int32(len(ts.totalNms))
+	ts.totalIdx[name] = i
+	ts.totalNms = append(ts.totalNms, name)
+	return i
+}
+
+func (ts *TimeSeries) gaugeSlotLocked(name string) int32 {
+	if i, ok := ts.gaugeIdx[name]; ok {
+		return i
+	}
+	if ts.gaugeIdx == nil {
+		ts.gaugeIdx = make(map[string]int32)
+	}
+	i := int32(len(ts.gaugeNms))
+	ts.gaugeIdx[name] = i
+	ts.gaugeNms = append(ts.gaugeNms, name)
+	return i
+}
+
+func (ts *TimeSeries) histSlotLocked(name string) int32 {
+	if i, ok := ts.histIdx[name]; ok {
+		return i
+	}
+	if ts.histIdx == nil {
+		ts.histIdx = make(map[string]int32)
+	}
+	i := int32(len(ts.histNms))
+	ts.histIdx[name] = i
+	ts.histNms = append(ts.histNms, name)
+	return i
+}
+
+// grow extends a slot array (and its set flags) to cover slot.
+func growSlots[T any](vals []T, n int) []T {
+	if n <= cap(vals) {
+		return vals[:n]
+	}
+	nv := make([]T, n, n+n/2+4)
+	copy(nv, vals)
+	return nv
+}
+
+// --- recording ---
+
 // Inc adds delta to the named counter in the window containing at.
 func (ts *TimeSeries) Inc(at time.Duration, name string, delta int64) {
 	if ts == nil {
 		return
 	}
 	ts.mu.Lock()
-	defer ts.mu.Unlock()
+	ts.incLocked(at, ts.counterSlotLocked(name), delta)
+	ts.mu.Unlock()
+}
+
+func (ts *TimeSeries) incLocked(at time.Duration, slot int32, delta int64) {
 	w := ts.aggLocked(at)
-	if w.counters == nil {
-		w.counters = make(map[string]int64)
+	if int(slot) >= len(w.counters) {
+		n := len(ts.counterNms)
+		w.counters = growSlots(w.counters, n)
+		w.countersSet = growSlots(w.countersSet, n)
 	}
-	w.counters[name] += delta
+	w.counters[slot] += delta
+	w.countersSet[slot] = true
 }
 
 // Add accumulates v into the named float total in the window
@@ -124,12 +223,19 @@ func (ts *TimeSeries) Add(at time.Duration, name string, v float64) {
 		return
 	}
 	ts.mu.Lock()
-	defer ts.mu.Unlock()
+	ts.addLocked(at, ts.totalSlotLocked(name), v)
+	ts.mu.Unlock()
+}
+
+func (ts *TimeSeries) addLocked(at time.Duration, slot int32, v float64) {
 	w := ts.aggLocked(at)
-	if w.totals == nil {
-		w.totals = make(map[string]float64)
+	if int(slot) >= len(w.totals) {
+		n := len(ts.totalNms)
+		w.totals = growSlots(w.totals, n)
+		w.totalsSet = growSlots(w.totalsSet, n)
 	}
-	w.totals[name] += v
+	w.totals[slot] += v
+	w.totalsSet[slot] = true
 }
 
 // Gauge sets the named gauge in the window containing at; the last
@@ -139,12 +245,19 @@ func (ts *TimeSeries) Gauge(at time.Duration, name string, v float64) {
 		return
 	}
 	ts.mu.Lock()
-	defer ts.mu.Unlock()
+	ts.gaugeLocked(at, ts.gaugeSlotLocked(name), v)
+	ts.mu.Unlock()
+}
+
+func (ts *TimeSeries) gaugeLocked(at time.Duration, slot int32, v float64) {
 	w := ts.aggLocked(at)
-	if w.gauges == nil {
-		w.gauges = make(map[string]float64)
+	if int(slot) >= len(w.gauges) {
+		n := len(ts.gaugeNms)
+		w.gauges = growSlots(w.gauges, n)
+		w.gaugesSet = growSlots(w.gaugesSet, n)
 	}
-	w.gauges[name] = v
+	w.gauges[slot] = v
+	w.gaugesSet[slot] = true
 }
 
 // Observe records v into the named log-linear histogram in the window
@@ -154,21 +267,153 @@ func (ts *TimeSeries) Observe(at time.Duration, name string, v float64) {
 		return
 	}
 	ts.mu.Lock()
-	defer ts.mu.Unlock()
+	ts.observeLocked(at, ts.histSlotLocked(name), v)
+	ts.mu.Unlock()
+}
+
+func (ts *TimeSeries) observeLocked(at time.Duration, slot int32, v float64) {
 	w := ts.aggLocked(at)
-	if w.hists == nil {
-		w.hists = make(map[string]*logHist)
+	if int(slot) >= len(w.hists) {
+		w.hists = growSlots(w.hists, len(ts.histNms))
 	}
-	h, ok := w.hists[name]
-	if !ok {
-		h = newLogHist()
-		w.hists[name] = h
+	h := w.hists[slot]
+	if h == nil {
+		h = ts.newLogHistLocked()
+		w.hists[slot] = h
 	}
 	h.observe(v)
 }
 
+func (ts *TimeSeries) newLogHistLocked() *logHist {
+	if n := len(ts.histFree); n > 0 {
+		h := ts.histFree[n-1]
+		ts.histFree = ts.histFree[:n-1]
+		return h
+	}
+	return newLogHist()
+}
+
+// --- pre-resolved handles ---
+//
+// A handle resolves a metric name to its slot once, so steady-state
+// recording skips the name lookup entirely: a mutex, a window lookup
+// (almost always the cached open window) and an index write. Handles
+// from a nil series are valid no-ops.
+
+// SeriesCounterHandle is a pre-resolved windowed counter.
+type SeriesCounterHandle struct {
+	ts   *TimeSeries
+	slot int32
+}
+
+// CounterHandle resolves name to a counter slot.
+func (ts *TimeSeries) CounterHandle(name string) SeriesCounterHandle {
+	if ts == nil {
+		return SeriesCounterHandle{}
+	}
+	ts.mu.Lock()
+	slot := ts.counterSlotLocked(name)
+	ts.mu.Unlock()
+	return SeriesCounterHandle{ts: ts, slot: slot}
+}
+
+// Inc adds delta to the counter in the window containing at.
+func (h SeriesCounterHandle) Inc(at time.Duration, delta int64) {
+	if h.ts == nil {
+		return
+	}
+	h.ts.mu.Lock()
+	h.ts.incLocked(at, h.slot, delta)
+	h.ts.mu.Unlock()
+}
+
+// SeriesTotalHandle is a pre-resolved windowed float accumulator.
+type SeriesTotalHandle struct {
+	ts   *TimeSeries
+	slot int32
+}
+
+// TotalHandle resolves name to a float-total slot.
+func (ts *TimeSeries) TotalHandle(name string) SeriesTotalHandle {
+	if ts == nil {
+		return SeriesTotalHandle{}
+	}
+	ts.mu.Lock()
+	slot := ts.totalSlotLocked(name)
+	ts.mu.Unlock()
+	return SeriesTotalHandle{ts: ts, slot: slot}
+}
+
+// Add accumulates v into the total in the window containing at.
+func (h SeriesTotalHandle) Add(at time.Duration, v float64) {
+	if h.ts == nil {
+		return
+	}
+	h.ts.mu.Lock()
+	h.ts.addLocked(at, h.slot, v)
+	h.ts.mu.Unlock()
+}
+
+// SeriesGaugeHandle is a pre-resolved windowed gauge.
+type SeriesGaugeHandle struct {
+	ts   *TimeSeries
+	slot int32
+}
+
+// GaugeHandle resolves name to a gauge slot.
+func (ts *TimeSeries) GaugeHandle(name string) SeriesGaugeHandle {
+	if ts == nil {
+		return SeriesGaugeHandle{}
+	}
+	ts.mu.Lock()
+	slot := ts.gaugeSlotLocked(name)
+	ts.mu.Unlock()
+	return SeriesGaugeHandle{ts: ts, slot: slot}
+}
+
+// Set sets the gauge in the window containing at; the last write into
+// a window wins.
+func (h SeriesGaugeHandle) Set(at time.Duration, v float64) {
+	if h.ts == nil {
+		return
+	}
+	h.ts.mu.Lock()
+	h.ts.gaugeLocked(at, h.slot, v)
+	h.ts.mu.Unlock()
+}
+
+// SeriesHistHandle is a pre-resolved windowed log-linear histogram.
+type SeriesHistHandle struct {
+	ts   *TimeSeries
+	slot int32
+}
+
+// HistHandle resolves name to a histogram slot.
+func (ts *TimeSeries) HistHandle(name string) SeriesHistHandle {
+	if ts == nil {
+		return SeriesHistHandle{}
+	}
+	ts.mu.Lock()
+	slot := ts.histSlotLocked(name)
+	ts.mu.Unlock()
+	return SeriesHistHandle{ts: ts, slot: slot}
+}
+
+// Observe records v into the histogram in the window containing at.
+// Non-finite values are ignored.
+func (h SeriesHistHandle) Observe(at time.Duration, v float64) {
+	if h.ts == nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	h.ts.mu.Lock()
+	h.ts.observeLocked(at, h.slot, v)
+	h.ts.mu.Unlock()
+}
+
 // aggLocked returns the open window aggregation for the instant at,
 // clamping instants before the flush point into the oldest open window.
+// The most recently touched window is cached: in a time-ordered run
+// virtually every recording hits the cache and skips the map.
 func (ts *TimeSeries) aggLocked(at time.Duration) *windowAgg {
 	if at < 0 {
 		at = 0
@@ -177,12 +422,25 @@ func (ts *TimeSeries) aggLocked(at time.Duration) *windowAgg {
 	if idx < ts.flushedTo {
 		idx = ts.flushedTo
 	}
+	if ts.curAgg != nil && ts.curIdx == idx {
+		return ts.curAgg
+	}
 	w, ok := ts.pending[idx]
 	if !ok {
-		w = &windowAgg{}
+		w = ts.newAggLocked()
 		ts.pending[idx] = w
 	}
+	ts.curIdx, ts.curAgg = idx, w
 	return w
+}
+
+func (ts *TimeSeries) newAggLocked() *windowAgg {
+	if n := len(ts.aggFree); n > 0 {
+		w := ts.aggFree[n-1]
+		ts.aggFree = ts.aggFree[:n-1]
+		return w
+	}
+	return &windowAgg{}
 }
 
 // Advance flushes every window that ends at or before the simulated
@@ -193,9 +451,11 @@ func (ts *TimeSeries) Advance(now time.Duration) {
 		return
 	}
 	ts.mu.Lock()
-	defer ts.mu.Unlock()
 	target := int64(now / ts.window)
-	ts.flushLocked(target)
+	if target > ts.flushedTo {
+		ts.flushLocked(target)
+	}
+	ts.mu.Unlock()
 }
 
 // Flush emits every window that has received a recording — the final
@@ -251,15 +511,39 @@ func (ts *TimeSeries) flushLocked(target int64) {
 	}
 	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
 	for _, idx := range idxs {
-		frame := ts.pending[idx].frame(idx, ts.window)
+		w := ts.pending[idx]
+		frame := ts.frameLocked(w, idx)
 		delete(ts.pending, idx)
+		ts.recycleAggLocked(w)
 		ts.frames = append(ts.frames, frame)
 		for _, fn := range ts.subs {
 			fn(frame)
 		}
 	}
+	ts.curAgg = nil
 	ts.evictLocked()
 	ts.flushedTo = target
+}
+
+// recycleAggLocked resets a flushed window's aggregation for reuse.
+// Histograms were already returned to the free list by frameLocked.
+func (ts *TimeSeries) recycleAggLocked(w *windowAgg) {
+	for i := range w.counters {
+		w.counters[i] = 0
+		w.countersSet[i] = false
+	}
+	for i := range w.totals {
+		w.totals[i] = 0
+		w.totalsSet[i] = false
+	}
+	for i := range w.gauges {
+		w.gauges[i] = 0
+		w.gaugesSet[i] = false
+	}
+	for i := range w.hists {
+		w.hists[i] = nil
+	}
+	ts.aggFree = append(ts.aggFree, w)
 }
 
 func (ts *TimeSeries) evictLocked() {
@@ -269,27 +553,48 @@ func (ts *TimeSeries) evictLocked() {
 	}
 }
 
-// frame freezes the aggregation into an immutable WindowFrame.
-func (w *windowAgg) frame(idx int64, window time.Duration) *WindowFrame {
+// frameLocked freezes a window's aggregation into an immutable
+// WindowFrame, returning its histograms to the free list.
+func (ts *TimeSeries) frameLocked(w *windowAgg, idx int64) *WindowFrame {
 	f := &WindowFrame{
 		Index: idx,
-		Start: (time.Duration(idx) * window).Seconds(),
-		End:   (time.Duration(idx+1) * window).Seconds(),
+		Start: (time.Duration(idx) * ts.window).Seconds(),
+		End:   (time.Duration(idx+1) * ts.window).Seconds(),
 	}
-	if len(w.counters) > 0 {
-		f.Counters = w.counters
-	}
-	if len(w.totals) > 0 {
-		f.Totals = w.totals
-	}
-	if len(w.gauges) > 0 {
-		f.Gauges = w.gauges
-	}
-	if len(w.hists) > 0 {
-		f.Hists = make(map[string]*HistFrame, len(w.hists))
-		for name, h := range w.hists {
-			f.Hists[name] = h.frame()
+	for slot, set := range w.countersSet {
+		if set {
+			if f.Counters == nil {
+				f.Counters = make(map[string]int64)
+			}
+			f.Counters[ts.counterNms[slot]] = w.counters[slot]
 		}
+	}
+	for slot, set := range w.totalsSet {
+		if set {
+			if f.Totals == nil {
+				f.Totals = make(map[string]float64)
+			}
+			f.Totals[ts.totalNms[slot]] = w.totals[slot]
+		}
+	}
+	for slot, set := range w.gaugesSet {
+		if set {
+			if f.Gauges == nil {
+				f.Gauges = make(map[string]float64)
+			}
+			f.Gauges[ts.gaugeNms[slot]] = w.gauges[slot]
+		}
+	}
+	for slot, h := range w.hists {
+		if h == nil {
+			continue
+		}
+		if f.Hists == nil {
+			f.Hists = make(map[string]*HistFrame)
+		}
+		f.Hists[ts.histNms[slot]] = h.frame()
+		h.reset()
+		ts.histFree = append(ts.histFree, h)
 	}
 	return f
 }
@@ -346,6 +651,13 @@ type logHist struct {
 }
 
 func newLogHist() *logHist { return &logHist{counts: make(map[int]int64)} }
+
+// reset clears the histogram for reuse, keeping the bucket map's
+// storage.
+func (h *logHist) reset() {
+	clear(h.counts)
+	h.count, h.sum, h.min, h.max = 0, 0, 0, 0
+}
 
 func (h *logHist) observe(v float64) {
 	h.counts[histBucketIndex(v)]++

@@ -50,15 +50,22 @@ func deployWide(t testing.TB, maxLayers int) *testEnv {
 }
 
 // benchStorm streams n Poisson requests through a fresh wide
-// deployment and reports requests per wall-clock second.
+// deployment with full telemetry attached — metrics and a windowed
+// time series, the production configuration — and reports requests per
+// wall-clock second.
 func benchStorm(b *testing.B, n int, rate float64) {
 	b.Helper()
 	e := deployWide(b, 16)
 	e.pl.SetAccountConcurrency(256)
 	in := randomInput(e.model, 1)
+	mx := obs.NewMetrics()
+	ts := obs.NewTimeSeries(time.Second)
+	defer ts.Close()
 	cfg := Config{
 		Deployment: e.dep,
 		Throttle:   ThrottlePolicy{MaxAttempts: 500, JitterSeed: 3},
+		Metrics:    mx,
+		Series:     ts,
 	}
 	var lastThrottles int
 	b.ReportAllocs()
@@ -91,6 +98,45 @@ func BenchmarkSimMillionRequests(b *testing.B) {
 // multi-iteration benchmarking (and bench-diff noise estimates) cheap.
 func BenchmarkSimServe100k(b *testing.B) {
 	benchStorm(b, 100_000, 100)
+}
+
+// BenchmarkServeStreamPipelined drives the pipelined+batched event
+// scheduler through the streaming path: staged partition execution
+// overlapped across requests, queued arrivals coalesced into shared
+// batched invocations, O(backlog) memory. Same storm shape as the
+// sequential benchmarks so the req/s numbers compare directly.
+func BenchmarkServeStreamPipelined(b *testing.B) {
+	const (
+		n    = 100_000
+		rate = 100.0
+	)
+	e := deployWide(b, 16)
+	e.pl.SetAccountConcurrency(256)
+	in := randomInput(e.model, 1)
+	mx := obs.NewMetrics()
+	ts := obs.NewTimeSeries(time.Second)
+	defer ts.Close()
+	cfg := Config{
+		Deployment: e.dep,
+		Throttle:   ThrottlePolicy{MaxAttempts: 500, JitterSeed: 3},
+		Pipeline:   PipelinePolicy{Depth: 3},
+		Batch:      BatchPolicy{MaxBatch: 4, Window: 200 * time.Millisecond, JitterSeed: 5},
+		Metrics:    mx,
+		Series:     ts,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := ServeStream(cfg, sim.NewPoisson(n, rate, 7), func(int) *tensor.Tensor { return in })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Completed != n {
+			b.Fatalf("completed %d of %d", rep.Completed, n)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "req/s")
 }
 
 // BenchmarkServeSequential50 pins the retained (non-streaming) serve

@@ -289,6 +289,12 @@ func servePipelinedLegacy(cfg Config, inputs []*tensor.Tensor, arrivals []time.D
 	limit := pl.AccountConcurrency()
 	mx := cfg.Metrics
 	ts := cfg.Series
+	// The shared shed/throttle-out helpers now record through handles
+	// and take the unit's member arrivals on the pending record; both
+	// are observationally identical to the original string-keyed calls.
+	h := newServeHandles(mx, ts)
+	var hScratch JobResult
+	var hAcc summaryAcc
 	sampler := cfg.Sample.sampler()
 	slo := cfg.SLO
 
@@ -521,7 +527,7 @@ func servePipelinedLegacy(cfg Config, inputs []*tensor.Tensor, arrivals []time.D
 
 			if slo.Shed && (elapsed >= slo.Deadline ||
 				(estN > 0 && elapsed+estSum/time.Duration(estN) > slo.Deadline)) {
-				shedUnit(rep, arrivals, &pendingUnit{unit: p.unit, readyAt: p.readyAt, attempts: p.attempts, wait: p.wait, waits: p.waits}, now, mx, ts)
+				shedUnit(rep, &hScratch, &hAcc, &pendingUnit{unit: p.unit, readyAt: p.readyAt, attempts: p.attempts, arrs: arrivals[p.unit.First : p.unit.First+p.unit.Size], wait: p.wait, waits: p.waits}, now, h, false)
 				continue
 			}
 
@@ -535,7 +541,7 @@ func servePipelinedLegacy(cfg Config, inputs []*tensor.Tensor, arrivals []time.D
 						return nil, fmt.Errorf("serving: request %d throttled %d times (limit %d, width %d)",
 							leader, p.attempts, limit, width)
 					}
-					throttleOutUnit(rep, arrivals, &pendingUnit{unit: p.unit, readyAt: p.readyAt, attempts: p.attempts, wait: p.wait, waits: p.waits}, now, mx, ts)
+					throttleOutUnit(rep, &hScratch, &hAcc, &pendingUnit{unit: p.unit, readyAt: p.readyAt, attempts: p.attempts, arrs: arrivals[p.unit.First : p.unit.First+p.unit.Size], wait: p.wait, waits: p.waits}, now, h, false)
 					continue
 				}
 				bo := backoff(cfg.Throttle, p.attempts, rng)

@@ -15,7 +15,8 @@ import (
 // stageJob is one admitted batch unit moving through the pipeline: its
 // staged coordinator job plus the scheduling state the event loop needs
 // — which stage runs next and when the previous one ended. Records are
-// slab-recycled; the waits slice keeps its capacity across reuse.
+// slab-recycled; the waits and arrs slices keep their capacity across
+// reuse.
 type stageJob struct {
 	seq  int
 	unit batchUnit
@@ -26,6 +27,8 @@ type stageJob struct {
 	start   time.Duration
 	prevEnd time.Duration
 	next    int
+	// arrs are the member requests' arrival instants (len == unit.Size).
+	arrs []time.Duration
 	// Admission bookkeeping carried from the pending unit:
 	throttles int
 	wait      time.Duration
@@ -33,11 +36,13 @@ type stageJob struct {
 }
 
 // pendingUnit is one batch unit waiting for admission: its next
-// admission instant and the throttle backoffs it has accumulated.
+// admission instant, its members' arrivals and the throttle backoffs it
+// has accumulated.
 type pendingUnit struct {
 	unit     batchUnit
 	readyAt  time.Duration
 	attempts int
+	arrs     []time.Duration
 	wait     time.Duration
 	waits    []time.Duration
 }
@@ -79,7 +84,120 @@ func (f *fifo) peek() (int32, bool) {
 	return f.ids[f.head], true
 }
 
-// servePipelined is the staged serving scheduler behind PipelinePolicy
+// pipeHandles are the staged scheduler's extra metric slots, resolved
+// once per run like serveHandles. Per-stage busy totals are labeled by
+// stage index, so their names are formatted here — once — instead of
+// per stage event.
+type pipeHandles struct {
+	batches     obs.CounterHandle
+	tsBatches   obs.SeriesCounterHandle
+	tsBatchSize obs.SeriesHistHandle
+	tsRunning   obs.SeriesGaugeHandle
+	tsStageBusy []obs.SeriesTotalHandle
+}
+
+func newPipeHandles(mx *obs.Metrics, ts *obs.TimeSeries, width int) pipeHandles {
+	ph := pipeHandles{
+		batches:     mx.CounterHandle("serving_batches_total"),
+		tsBatches:   ts.CounterHandle("serving_batches_total"),
+		tsBatchSize: ts.HistHandle("serving_batch_size"),
+		tsRunning:   ts.GaugeHandle("serving_pipeline_running"),
+		tsStageBusy: make([]obs.SeriesTotalHandle, width),
+	}
+	for i := range ph.tsStageBusy {
+		ph.tsStageBusy[i] = ts.TotalHandle(
+			fmt.Sprintf("serving_stage_busy_seconds_total{stage=%q}", strconv.Itoa(i)))
+	}
+	return ph
+}
+
+// gaugeDedup skips rewriting a gauge when the (window, value) pair did
+// not change: the gauge is last-write-wins per window, so the skipped
+// write could not have changed any frame — same bytes, less work.
+type gaugeDedup struct {
+	win  int64
+	val  int
+	seen bool
+}
+
+func (g *gaugeDedup) changed(win int64, val int) bool {
+	if g.seen && g.win == win && g.val == val {
+		return false
+	}
+	g.seen, g.win, g.val = true, win, val
+	return true
+}
+
+// unitCoalescer groups a lazy arrival source into batch units
+// incrementally, draw-for-draw identical to coalesce(): the leader of
+// each batch is the earliest uncoalesced arrival, one jittered window
+// is drawn per batch in leader order, and followers join while the
+// batch has room and arrive inside the window. Only the one-arrival
+// lookahead is ever materialized, so a million-request trace coalesces
+// in O(1) memory.
+type unitCoalescer struct {
+	src      sim.Source
+	pol      BatchPolicy
+	rng      *rand.Rand
+	nextArr  time.Duration
+	haveNext bool
+	nextIdx  int
+	lastArr  time.Duration
+}
+
+func newUnitCoalescer(src sim.Source, pol BatchPolicy, rng *rand.Rand) *unitCoalescer {
+	c := &unitCoalescer{src: src, pol: pol, rng: rng}
+	c.nextArr, c.haveNext = src.Next()
+	return c
+}
+
+// next yields the next batch unit, appending its members' arrivals into
+// arrs (re-sliced from the front and returned, so callers can recycle
+// the backing array). ok is false once the trace is exhausted.
+func (c *unitCoalescer) next(arrs []time.Duration) (u batchUnit, _ []time.Duration, ok bool, err error) {
+	arrs = arrs[:0]
+	if !c.haveNext {
+		return batchUnit{}, arrs, false, nil
+	}
+	if c.nextArr < c.lastArr {
+		return batchUnit{}, arrs, false, fmt.Errorf("serving: arrivals not sorted at %d", c.nextIdx)
+	}
+	first := c.nextIdx
+	lead := c.nextArr
+	c.lastArr = c.nextArr
+	arrs = append(arrs, c.nextArr)
+	c.nextIdx++
+	c.nextArr, c.haveNext = c.src.Next()
+	if !c.pol.enabled() {
+		return batchUnit{First: first, Size: 1, DispatchAt: lead}, arrs, true, nil
+	}
+	deadline := satAdd(lead, batchWindow(c.pol, c.rng))
+	for c.haveNext && len(arrs) < c.pol.MaxBatch && c.nextArr <= deadline {
+		if c.nextArr < c.lastArr {
+			return batchUnit{}, arrs, false, fmt.Errorf("serving: arrivals not sorted at %d", c.nextIdx)
+		}
+		c.lastArr = c.nextArr
+		arrs = append(arrs, c.nextArr)
+		c.nextIdx++
+		c.nextArr, c.haveNext = c.src.Next()
+	}
+	u = batchUnit{First: first, Size: len(arrs)}
+	if u.Size == c.pol.MaxBatch {
+		// Full batch dispatches the moment its last member arrives.
+		u.DispatchAt = arrs[len(arrs)-1]
+	} else {
+		u.DispatchAt = deadline
+	}
+	return u, arrs, true, nil
+}
+
+// servePipelined is the retained entry into the staged scheduler: every
+// per-request result (and, subject to sampling, span tree) is kept.
+func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Report, error) {
+	return runPipelined(cfg, sim.NewSlice(arrivals), func(i int) *tensor.Tensor { return inputs[i] }, false)
+}
+
+// runPipelined is the staged serving scheduler behind PipelinePolicy
 // and BatchPolicy: requests are coalesced into batch units, admitted
 // units execute partition stages through coordinator.StagedJob, and a
 // single event loop interleaves every unit's stages in global time
@@ -99,7 +217,22 @@ func (f *fifo) peek() (int32, bool) {
 // push and the pop order reproduces the scan order byte for byte
 // (pinned by the equivalence battery against the preserved legacy
 // implementation).
-func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Report, error) {
+//
+// In retained mode (stream false) every batch unit is coalesced and
+// queued up front, as the materialized scheduler always did. In stream
+// mode units are coalesced lazily — one lookahead unit beyond the
+// admission frontier — per-request results fold into the summary
+// accumulator as units settle, and no span trees are built, so memory
+// stays O(backlog): slab-recycled units and staged jobs, never the
+// trace. Unit dispatch instants are non-decreasing in leader order
+// (a later leader either missed the previous window or follows a full
+// batch's last member), so merging the backoff heap with the coalescer
+// frontier pops admissions in exactly the order the materialized queue
+// would. The one divergence: the retained serving_queue_depth gauge
+// counts every not-yet-admitted unit of the whole trace, which a
+// stream cannot know — streaming emits the not-yet-admitted request
+// backlog instead (the sequential scheduler's streaming semantic).
+func runPipelined(cfg Config, src sim.Source, input func(int) *tensor.Tensor, stream bool) (*Report, error) {
 	dep := cfg.Deployment
 	pl := dep.Platform()
 	pl.EnableClock()
@@ -107,6 +240,10 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 	limit := pl.AccountConcurrency()
 	mx := cfg.Metrics
 	ts := cfg.Series
+	h := newServeHandles(mx, ts)
+	ph := newPipeHandles(mx, ts, width)
+	tsWindow := ts.Window()
+	var depthDedup gaugeDedup
 	sampler := cfg.Sample.sampler()
 	slo := cfg.SLO
 
@@ -132,9 +269,16 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 	case cfg.Batch.enabled():
 		mode = "batched"
 	}
-	rep := &Report{Mode: mode, Jobs: make([]JobResult, len(inputs)), Requests: len(inputs)}
+	n := src.Remaining()
+	rep := &Report{Mode: mode, Requests: n}
+	if !stream {
+		rep.Jobs = make([]JobResult, n)
+	}
 	rep.SLOActive = slo.enabled()
 	rep.SLODeadline = slo.Deadline
+
+	var acc summaryAcc
+	var scratch JobResult
 
 	var units sim.Slab[pendingUnit]
 	var jobs sim.Slab[stageJob]
@@ -143,14 +287,58 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 	// mirroring the former scan's selection exactly.
 	var admitQ sim.Heap
 	var evs sim.Heap
-	for _, u := range coalesce(arrivals, cfg.Batch, brng) {
+	coal := newUnitCoalescer(src, cfg.Batch, brng)
+	var arrsBuf []time.Duration
+
+	// Stream mode holds one coalesced unit beyond the admission frontier;
+	// retained mode queues the whole trace up front. backlog counts
+	// member requests in not-yet-admitted units (heap + lookahead) for
+	// the streaming depth gauge.
+	var lookID int32
+	haveLook := false
+	backlog := 0
+	pullUnit := func() error {
+		u, arrs, ok, err := coal.next(arrsBuf)
+		arrsBuf = arrs
+		if err != nil || !ok {
+			haveLook = false
+			return err
+		}
 		id, p := units.Alloc()
 		p.unit = u
 		p.readyAt = u.DispatchAt
 		p.attempts = 0
+		p.arrs = append(p.arrs[:0], arrs...)
 		p.wait = 0
 		p.waits = p.waits[:0]
-		admitQ.Push(sim.Event{At: u.DispatchAt, Class: evAdmit, Seq: uint64(u.First), ID: id})
+		lookID = id
+		haveLook = true
+		backlog += u.Size
+		return nil
+	}
+	if stream {
+		if err := pullUnit(); err != nil {
+			return nil, err
+		}
+	} else {
+		for {
+			u, arrs, ok, err := coal.next(arrsBuf)
+			arrsBuf = arrs
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			id, p := units.Alloc()
+			p.unit = u
+			p.readyAt = u.DispatchAt
+			p.attempts = 0
+			p.arrs = append(p.arrs[:0], arrs...)
+			p.wait = 0
+			p.waits = p.waits[:0]
+			admitQ.Push(sim.Event{At: u.DispatchAt, Class: evAdmit, Seq: uint64(u.First), ID: id})
+		}
 	}
 
 	// One pipeline slot per partition stage: freeAt[i] is when stage i's
@@ -194,19 +382,25 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 	// fill populates one member request's result and trace. The leader
 	// carries the shifted job tree (with every cost event); followers get
 	// a batch-ride span pointing at it, so obs.SumCostsAll over the
-	// report's traces still replays each charge exactly once.
+	// report's traces still replays each charge exactly once. In stream
+	// mode results fold into the summary instead and no spans are built.
 	fill := func(j *stageJob, jrep *coordinator.Report, done time.Duration, outcome, errText string) {
 		u := j.unit
 		shares := SplitCost(jrep.Cost, u.Size)
 		for k := 0; k < u.Size; k++ {
 			idx := u.First + k
-			jr := &rep.Jobs[idx]
+			jr := &scratch
+			if stream {
+				scratch = JobResult{}
+			} else {
+				jr = &rep.Jobs[idx]
+			}
 			jr.Index = idx
-			jr.Arrival = arrivals[idx]
+			jr.Arrival = j.arrs[k]
 			jr.Start = j.start
 			jr.Done = done
-			jr.Queue = j.start - arrivals[idx]
-			jr.Latency = done - arrivals[idx]
+			jr.Queue = j.start - j.arrs[k]
+			jr.Latency = done - j.arrs[k]
 			jr.Cost = shares[k]
 			jr.Throttles = j.throttles
 			jr.ThrottleWait = j.wait
@@ -229,23 +423,28 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 				// A sampled-out unit has no coordinator tree (failures and
 				// hedge wins force one); then neither the leader nor its
 				// followers keep request spans.
-				if jrep.Trace != nil {
-					jr.Trace = requestSpan(jr, j.waits, jrep.Trace)
-					if sampler != nil {
-						mx.Inc("serving_spans_sampled_total", 1)
-						ts.Inc(done, "serving_spans_sampled_total", 1)
+				if !stream {
+					if jrep.Trace != nil {
+						jr.Trace = requestSpan(jr, j.waits, jrep.Trace)
+						if sampler != nil {
+							h.spansSampled.Inc(1)
+							h.tsSpansSampled.Inc(done, 1)
+						}
+					} else if sampler != nil {
+						h.spansDropped.Inc(1)
+						h.tsSpansDropped.Inc(done, 1)
 					}
-				} else if sampler != nil {
-					mx.Inc("serving_spans_dropped_total", 1)
-					ts.Inc(done, "serving_spans_dropped_total", 1)
 				}
-			} else if jrep.Trace != nil {
+			} else if !stream && jrep.Trace != nil {
 				jr.Trace = batchRideSpan(jr, j.waits, u.First, u.Size)
 			}
-			mx.Add("serving_cost_usd_total", jr.Cost)
-			ts.Add(done, "serving_cost_usd_total", jr.Cost)
+			h.cost.Add(jr.Cost)
+			h.tsCost.Add(done, jr.Cost)
 			if jr.Done > rep.Makespan {
 				rep.Makespan = jr.Done
+			}
+			if stream {
+				acc.fold(rep, jr)
 			}
 		}
 	}
@@ -269,24 +468,49 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 		var failDur time.Duration
 		if frep.Trace != nil {
 			failDur = frep.Trace.Duration
+		} else {
+			// Lean failures carry the elapsed time as a scalar instead
+			// of a span tree (zero outside stream mode).
+			failDur = frep.Elapsed
 		}
 		done := j.start + failDur
 		fill(j, frep, done, outcome, err.Error())
 		for k := 0; k < j.unit.Size; k++ {
 			if deadlined {
-				mx.Inc("serving_deadline_failures_total", 1)
-				ts.Inc(done, "serving_deadline_failures_total", 1)
+				h.deadline.Inc(1)
+				h.tsDeadline.Inc(done, 1)
 			} else {
-				mx.Inc("serving_failures_total", 1)
-				ts.Inc(done, "serving_failures_total", 1)
+				h.failures.Inc(1)
+				h.tsFailures.Inc(done, 1)
 			}
+		}
+		if stream {
+			dep.ReleaseReport(frep)
 		}
 		return nil
 	}
 
-	for evs.Len() > 0 || admitQ.Len() > 0 {
+	var stackBuf []*tensor.Tensor
+
+	for {
 		ev, haveEv := evs.Peek()
 		adm, haveAdm := admitQ.Peek()
+		fromLook := false
+		if stream && haveLook {
+			// The coalescer frontier competes with backed-off units by the
+			// same raw (readyAt, leader) order the materialized queue used.
+			// Backed-off leaders always precede the frontier leader, so the
+			// frontier wins only on a strictly earlier instant.
+			p := units.Get(lookID)
+			if !haveAdm || p.readyAt < adm.At {
+				adm = sim.Event{At: p.readyAt, Class: evAdmit, Seq: uint64(p.unit.First), ID: lookID}
+				fromLook = true
+			}
+			haveAdm = true
+		}
+		if !haveEv && !haveAdm {
+			break
+		}
 		canAdmit := haveAdm && running < depth
 		var admitAt time.Duration
 		if canAdmit {
@@ -310,20 +534,45 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 		}
 
 		if chooseAdmit {
-			admitQ.Pop()
 			uid := adm.ID
+			if fromLook {
+				haveLook = false
+				if err := pullUnit(); err != nil {
+					return nil, err
+				}
+			} else {
+				admitQ.Pop()
+			}
 			p := units.Get(uid)
 			pl.AdvanceTo(admitAt)
 			now := pl.Now()
-			ts.Advance(now)
 			u := p.unit
+			backlog -= u.Size
 			leader := u.First
-			elapsed := now - arrivals[leader]
-			ts.Gauge(now, "serving_queue_depth", float64(admitQ.Len()))
+			elapsed := now - p.arrs[0]
+			if ts != nil {
+				ts.Advance(now)
+				// Queue depth after this unit leaves the queue: retained
+				// runs count the not-yet-admitted units of the whole
+				// materialized trace; streaming counts the request backlog
+				// it can actually see. Writes repeating the previous
+				// (window, value) pair are deduped — last-write-wins per
+				// window makes them unobservable.
+				d := admitQ.Len()
+				if stream {
+					d = backlog + coal.src.Remaining()
+					if coal.haveNext {
+						d++
+					}
+				}
+				if depthDedup.changed(int64(now/tsWindow), d) {
+					h.tsQueueDepth.Set(now, float64(d))
+				}
+			}
 
 			if slo.Shed && (elapsed >= slo.Deadline ||
 				(estN > 0 && elapsed+estSum/time.Duration(estN) > slo.Deadline)) {
-				shedUnit(rep, arrivals, p, now, mx, ts)
+				shedUnit(rep, &scratch, &acc, p, now, h, stream)
 				units.Free(uid)
 				continue
 			}
@@ -331,21 +580,26 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 			if pl.InFlightAt(now)+width > limit {
 				p.attempts++
 				rep.Throttles++
-				mx.Inc("serving_throttles_total", 1)
-				ts.Inc(now, "serving_throttles_total", 1)
+				h.throttles.Inc(1)
+				h.tsThrottles.Inc(now, 1)
 				if p.attempts >= cfg.Throttle.attempts() {
 					if !slo.TolerateFailures {
 						return nil, fmt.Errorf("serving: request %d throttled %d times (limit %d, width %d)",
 							leader, p.attempts, limit, width)
 					}
-					throttleOutUnit(rep, arrivals, p, now, mx, ts)
+					throttleOutUnit(rep, &scratch, &acc, p, now, h, stream)
 					units.Free(uid)
 					continue
 				}
 				bo := backoff(cfg.Throttle, p.attempts, rng)
 				p.wait += bo
-				p.waits = append(p.waits, bo)
+				if !stream {
+					// Individual waits feed span building only;
+					// stream mode keeps just the scalar total.
+					p.waits = append(p.waits, bo)
+				}
 				p.readyAt = now + bo
+				backlog += u.Size
 				admitQ.Push(sim.Event{At: p.readyAt, Class: evAdmit, Seq: uint64(leader), ID: uid})
 				continue
 			}
@@ -358,21 +612,26 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 				}
 			}
 
-			in := inputs[leader]
+			in := input(leader)
 			if u.Size > 1 {
-				stacked, err := tensor.Stack(inputs[leader : leader+u.Size])
+				stackBuf = stackBuf[:0]
+				for k := 0; k < u.Size; k++ {
+					stackBuf = append(stackBuf, input(leader+k))
+				}
+				stacked, err := tensor.Stack(stackBuf)
 				if err != nil {
 					return nil, fmt.Errorf("serving: batching requests %d..%d: %w", leader, leader+u.Size-1, err)
 				}
 				in = stacked
-				mx.Inc("serving_batches_total", 1)
-				ts.Inc(now, "serving_batches_total", 1)
+				ph.batches.Inc(1)
+				ph.tsBatches.Inc(now, 1)
 			}
-			ts.Observe(now, "serving_batch_size", float64(u.Size))
+			ph.tsBatchSize.Observe(now, float64(u.Size))
 			sj, err := dep.BeginStaged(in, coordinator.StagedOptions{
 				Deadline: jobDeadline,
 				Batch:    u.Size,
-				NoTrace:  !sampler.Keep(uint64(leader)),
+				NoTrace:  stream || !sampler.Keep(uint64(leader)),
+				Lean:     stream,
 			})
 			jid, j := jobs.Alloc()
 			j.seq = seqCounter
@@ -384,8 +643,11 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 			j.throttles = p.attempts
 			j.wait = p.wait
 			// Copied, not aliased: the unit's slab slot (and with it the
-			// waits backing array) is recycled by later admissions.
-			j.waits = append(j.waits[:0], p.waits...)
+			// waits/arrs backing arrays) is recycled by later admissions.
+			if !stream {
+				j.waits = append(j.waits[:0], p.waits...)
+			}
+			j.arrs = append(j.arrs[:0], p.arrs...)
 			seqCounter++
 			units.Free(uid)
 			if err != nil {
@@ -422,16 +684,20 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 			fill(j, jrep, now, OutcomeOK, "")
 			estSum += jrep.Completion
 			estN++
-			for k := 0; k < j.unit.Size; k++ {
-				idx := j.unit.First + k
-				mx.Inc("serving_jobs_total", 1)
-				mx.Observe("serving_queue_seconds", obs.DurationBounds, rep.Jobs[idx].Queue.Seconds())
-				mx.Observe("serving_latency_seconds", obs.DurationBounds, rep.Jobs[idx].Latency.Seconds())
-				ts.Inc(now, "serving_jobs_total", 1)
-				ts.Observe(now, "serving_queue_seconds", rep.Jobs[idx].Queue.Seconds())
-				ts.Observe(now, "serving_latency_seconds", rep.Jobs[idx].Latency.Seconds())
+			if stream {
+				dep.ReleaseReport(jrep)
 			}
-			ts.Gauge(now, "serving_pipeline_running", float64(running))
+			for k := 0; k < j.unit.Size; k++ {
+				queueSec := (j.start - j.arrs[k]).Seconds()
+				latencySec := (now - j.arrs[k]).Seconds()
+				h.jobs.Inc(1)
+				h.queueSec.Observe(queueSec)
+				h.latencySec.Observe(latencySec)
+				h.tsJobs.Inc(now, 1)
+				h.tsQueueSec.Observe(now, queueSec)
+				h.tsLatencySec.Observe(now, latencySec)
+			}
+			ph.tsRunning.Set(now, float64(running))
 			jobs.Free(e.ID)
 
 		case evStage:
@@ -454,7 +720,7 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 			j.next++
 			// Stage utilization: the slot for partition stage i is busy for
 			// svc from now — accounted in the window the stage started in.
-			ts.Add(now, fmt.Sprintf("serving_stage_busy_seconds_total{stage=%q}", strconv.Itoa(i)), svc.Seconds())
+			ph.tsStageBusy[i].Add(now, svc.Seconds())
 			if j.next == width {
 				evs.Push(sim.Event{At: j.prevEnd, Class: evFinish, Seq: uint64(j.seq), ID: e.ID})
 			} else {
@@ -467,7 +733,11 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 		}
 	}
 
-	summarize(rep)
+	if stream {
+		acc.finalize(rep, n)
+	} else {
+		summarize(rep)
+	}
 	mx.Gauge("serving_peak_in_flight", float64(rep.PeakInFlight))
 	cfg.Series.Advance(rep.Makespan)
 	cfg.Series.Flush()
@@ -476,44 +746,64 @@ func servePipelined(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duratio
 
 // shedUnit records an admission-control rejection for every member of a
 // pending unit, mirroring the sequential loop's shed bookkeeping.
-func shedUnit(rep *Report, arrivals []time.Duration, p *pendingUnit, now time.Duration, mx *obs.Metrics, ts *obs.TimeSeries) {
+func shedUnit(rep *Report, scratch *JobResult, acc *summaryAcc, p *pendingUnit, now time.Duration, h serveHandles, stream bool) {
 	for k := 0; k < p.unit.Size; k++ {
 		idx := p.unit.First + k
-		jr := &rep.Jobs[idx]
+		jr := scratch
+		if stream {
+			*scratch = JobResult{}
+		} else {
+			jr = &rep.Jobs[idx]
+		}
 		jr.Index = idx
-		jr.Arrival = arrivals[idx]
+		jr.Arrival = p.arrs[k]
 		jr.Start = now
 		jr.Done = now
-		jr.Queue = now - arrivals[idx]
+		jr.Queue = now - p.arrs[k]
 		jr.Latency = jr.Queue
 		jr.Throttles = p.attempts
 		jr.ThrottleWait = p.wait
 		jr.Outcome = OutcomeShed
-		jr.Trace = requestSpan(jr, p.waits, nil)
-		mx.Inc("serving_shed_total", 1)
-		ts.Inc(now, "serving_shed_total", 1)
+		if !stream {
+			jr.Trace = requestSpan(jr, p.waits, nil)
+		}
+		h.shed.Inc(1)
+		h.tsShed.Inc(now, 1)
+		if stream {
+			acc.fold(rep, jr)
+		}
 	}
 }
 
 // throttleOutUnit records an exhausted admission for every member of a
 // pending unit (recorded only under TolerateFailures).
-func throttleOutUnit(rep *Report, arrivals []time.Duration, p *pendingUnit, now time.Duration, mx *obs.Metrics, ts *obs.TimeSeries) {
+func throttleOutUnit(rep *Report, scratch *JobResult, acc *summaryAcc, p *pendingUnit, now time.Duration, h serveHandles, stream bool) {
 	for k := 0; k < p.unit.Size; k++ {
 		idx := p.unit.First + k
-		jr := &rep.Jobs[idx]
+		jr := scratch
+		if stream {
+			*scratch = JobResult{}
+		} else {
+			jr = &rep.Jobs[idx]
+		}
 		jr.Index = idx
-		jr.Arrival = arrivals[idx]
+		jr.Arrival = p.arrs[k]
 		jr.Start = now
 		jr.Done = now
-		jr.Queue = now - arrivals[idx]
+		jr.Queue = now - p.arrs[k]
 		jr.Latency = jr.Queue
 		jr.Throttles = p.attempts
 		jr.ThrottleWait = p.wait
 		jr.Outcome = OutcomeThrottled
 		jr.Err = fmt.Sprintf("throttled %d times", p.attempts)
-		jr.Trace = requestSpan(jr, p.waits, nil)
-		mx.Inc("serving_admission_failures_total", 1)
-		ts.Inc(now, "serving_admission_failures_total", 1)
+		if !stream {
+			jr.Trace = requestSpan(jr, p.waits, nil)
+		}
+		h.admFail.Inc(1)
+		h.tsAdmFail.Inc(now, 1)
+		if stream {
+			acc.fold(rep, jr)
+		}
 	}
 }
 

@@ -273,6 +273,50 @@ func (r *Report) requests() int {
 	return len(r.Jobs)
 }
 
+// serveHandles are the serving-level metric and time-series slots,
+// resolved once at the start of a run so the per-event loop records
+// through pre-resolved handles — index arithmetic, no name lookups.
+// Handles against nil sinks are no-ops, so no callsite needs a guard.
+type serveHandles struct {
+	shed, throttles, admFail, deadline, failures, jobs obs.CounterHandle
+	spansSampled, spansDropped                         obs.CounterHandle
+	cost                                               obs.TotalHandle
+	queueSec, latencySec                               obs.HistHandle
+	tsShed, tsThrottles, tsAdmFail, tsDeadline         obs.SeriesCounterHandle
+	tsFailures, tsJobs, tsSpansSampled, tsSpansDropped obs.SeriesCounterHandle
+	tsCost                                             obs.SeriesTotalHandle
+	tsQueueSec, tsLatencySec                           obs.SeriesHistHandle
+	tsQueueDepth                                       obs.SeriesGaugeHandle
+}
+
+func newServeHandles(mx *obs.Metrics, ts *obs.TimeSeries) serveHandles {
+	return serveHandles{
+		shed:           mx.CounterHandle("serving_shed_total"),
+		throttles:      mx.CounterHandle("serving_throttles_total"),
+		admFail:        mx.CounterHandle("serving_admission_failures_total"),
+		deadline:       mx.CounterHandle("serving_deadline_failures_total"),
+		failures:       mx.CounterHandle("serving_failures_total"),
+		jobs:           mx.CounterHandle("serving_jobs_total"),
+		spansSampled:   mx.CounterHandle("serving_spans_sampled_total"),
+		spansDropped:   mx.CounterHandle("serving_spans_dropped_total"),
+		cost:           mx.TotalHandle("serving_cost_usd_total"),
+		queueSec:       mx.HistHandle("serving_queue_seconds", obs.DurationBounds),
+		latencySec:     mx.HistHandle("serving_latency_seconds", obs.DurationBounds),
+		tsShed:         ts.CounterHandle("serving_shed_total"),
+		tsThrottles:    ts.CounterHandle("serving_throttles_total"),
+		tsAdmFail:      ts.CounterHandle("serving_admission_failures_total"),
+		tsDeadline:     ts.CounterHandle("serving_deadline_failures_total"),
+		tsFailures:     ts.CounterHandle("serving_failures_total"),
+		tsJobs:         ts.CounterHandle("serving_jobs_total"),
+		tsSpansSampled: ts.CounterHandle("serving_spans_sampled_total"),
+		tsSpansDropped: ts.CounterHandle("serving_spans_dropped_total"),
+		tsCost:         ts.TotalHandle("serving_cost_usd_total"),
+		tsQueueSec:     ts.HistHandle("serving_queue_seconds"),
+		tsLatencySec:   ts.HistHandle("serving_latency_seconds"),
+		tsQueueDepth:   ts.GaugeHandle("serving_queue_depth"),
+	}
+}
+
 // pending is one request waiting to run: its next admission instant and
 // how many times the concurrency limit has already turned it away.
 // Records are slab-recycled; the waits slice keeps its capacity across
@@ -354,6 +398,13 @@ func runSequential(cfg Config, src sim.Source, input func(int) *tensor.Tensor, s
 	limit := pl.AccountConcurrency()
 	mx := cfg.Metrics
 	ts := cfg.Series
+	h := newServeHandles(mx, ts)
+	// Queue-depth dedupe state: the gauge is last-write-wins per window,
+	// so a write repeating the previous (window, depth) pair cannot
+	// change any frame and is skipped. tsWindow is hoisted out of the
+	// loop.
+	tsWindow := ts.Window()
+	var depthDedup gaugeDedup
 	sampler := cfg.Sample.sampler()
 
 	seed := cfg.Throttle.JitterSeed
@@ -422,14 +473,21 @@ func runSequential(cfg Config, src sim.Source, input func(int) *tensor.Tensor, s
 
 		pl.AdvanceTo(p.readyAt)
 		now := pl.Now()
-		ts.Advance(now)
-		// Queue depth after this request leaves the queue: re-admissions
-		// waiting in the heap plus every arrival not yet admitted.
-		depth := pq.Len() + src.Remaining()
-		if haveNext {
-			depth++
+		if ts != nil {
+			ts.Advance(now)
+			// Queue depth after this request leaves the queue:
+			// re-admissions waiting in the heap plus every arrival not yet
+			// admitted. Skipped entirely with no series attached, and
+			// deduped against the previous write — rewriting an equal
+			// depth into the same window cannot change the frame.
+			depth := pq.Len() + src.Remaining()
+			if haveNext {
+				depth++
+			}
+			if depthDedup.changed(int64(now/tsWindow), depth) {
+				h.tsQueueDepth.Set(now, float64(depth))
+			}
 		}
-		ts.Gauge(now, "serving_queue_depth", float64(depth))
 		elapsed := now - p.arrival
 
 		jr := &scratch
@@ -456,8 +514,8 @@ func runSequential(cfg Config, src sim.Source, input func(int) *tensor.Tensor, s
 			if !stream {
 				jr.Trace = requestSpan(jr, p.waits, nil)
 			}
-			mx.Inc("serving_shed_total", 1)
-			ts.Inc(now, "serving_shed_total", 1)
+			h.shed.Inc(1)
+			h.tsShed.Inc(now, 1)
 			if stream {
 				acc.fold(rep, jr)
 			}
@@ -470,8 +528,8 @@ func runSequential(cfg Config, src sim.Source, input func(int) *tensor.Tensor, s
 			// limit: the request is throttled (429) and backs off.
 			p.attempts++
 			rep.Throttles++
-			mx.Inc("serving_throttles_total", 1)
-			ts.Inc(now, "serving_throttles_total", 1)
+			h.throttles.Inc(1)
+			h.tsThrottles.Inc(now, 1)
 			if p.attempts >= cfg.Throttle.attempts() {
 				if !slo.TolerateFailures {
 					return nil, fmt.Errorf("serving: request %d throttled %d times (limit %d, width %d)",
@@ -490,8 +548,8 @@ func runSequential(cfg Config, src sim.Source, input func(int) *tensor.Tensor, s
 				if !stream {
 					jr.Trace = requestSpan(jr, p.waits, nil)
 				}
-				mx.Inc("serving_admission_failures_total", 1)
-				ts.Inc(now, "serving_admission_failures_total", 1)
+				h.admFail.Inc(1)
+				h.tsAdmFail.Inc(now, 1)
 				if stream {
 					acc.fold(rep, jr)
 				}
@@ -500,7 +558,11 @@ func runSequential(cfg Config, src sim.Source, input func(int) *tensor.Tensor, s
 			}
 			bo := backoff(cfg.Throttle, p.attempts, rng)
 			p.wait += bo
-			p.waits = append(p.waits, bo)
+			if !stream {
+				// Individual waits feed span building only; stream
+				// mode keeps just the scalar total.
+				p.waits = append(p.waits, bo)
+			}
 			p.readyAt = now + bo
 			pq.Push(sim.Event{At: p.readyAt, Seq: uint64(p.idx), ID: id})
 			continue
@@ -523,6 +585,7 @@ func runSequential(cfg Config, src sim.Source, input func(int) *tensor.Tensor, s
 			Sequential: cfg.Sequential,
 			Deadline:   jobDeadline,
 			NoTrace:    stream || !sampler.Keep(uint64(p.idx)),
+			Lean:       stream,
 		})
 
 		jr.Index = p.idx
@@ -561,11 +624,11 @@ func runSequential(cfg Config, src sim.Source, input func(int) *tensor.Tensor, s
 			jr.Outcome = OutcomeFailed
 			if deadlined {
 				jr.Outcome = OutcomeDeadline
-				mx.Inc("serving_deadline_failures_total", 1)
-				ts.Inc(now, "serving_deadline_failures_total", 1)
+				h.deadline.Inc(1)
+				h.tsDeadline.Inc(now, 1)
 			} else {
-				mx.Inc("serving_failures_total", 1)
-				ts.Inc(now, "serving_failures_total", 1)
+				h.failures.Inc(1)
+				h.tsFailures.Inc(now, 1)
 			}
 			jr.Err = err.Error()
 			// The failed job still consumed simulated time before giving
@@ -575,6 +638,10 @@ func runSequential(cfg Config, src sim.Source, input func(int) *tensor.Tensor, s
 			if jrep != nil && jrep.Trace != nil {
 				failTrace = jrep.Trace
 				failDur = failTrace.Duration
+			} else if jrep != nil {
+				// Lean failures carry the elapsed time as a scalar
+				// instead of a span tree.
+				failDur = jrep.Elapsed
 			}
 			jr.Done = now + failDur
 			jr.Latency = jr.Done - p.arrival
@@ -584,10 +651,13 @@ func runSequential(cfg Config, src sim.Source, input func(int) *tensor.Tensor, s
 			if jr.Done > rep.Makespan {
 				rep.Makespan = jr.Done
 			}
-			mx.Add("serving_cost_usd_total", jr.Cost)
-			ts.Add(jr.Done, "serving_cost_usd_total", jr.Cost)
+			h.cost.Add(jr.Cost)
+			h.tsCost.Add(jr.Done, jr.Cost)
 			if stream {
 				acc.fold(rep, jr)
+				if jrep != nil {
+					dep.ReleaseReport(jrep)
+				}
 			}
 			slab.Free(id)
 			continue
@@ -605,12 +675,12 @@ func runSequential(cfg Config, src sim.Source, input func(int) *tensor.Tensor, s
 			if jrep.Trace != nil {
 				jr.Trace = requestSpan(jr, p.waits, jrep.Trace)
 				if sampler != nil {
-					mx.Inc("serving_spans_sampled_total", 1)
-					ts.Inc(jr.Done, "serving_spans_sampled_total", 1)
+					h.spansSampled.Inc(1)
+					h.tsSpansSampled.Inc(jr.Done, 1)
 				}
 			} else if sampler != nil {
-				mx.Inc("serving_spans_dropped_total", 1)
-				ts.Inc(jr.Done, "serving_spans_dropped_total", 1)
+				h.spansDropped.Inc(1)
+				h.tsSpansDropped.Inc(jr.Done, 1)
 			}
 		}
 
@@ -620,16 +690,19 @@ func runSequential(cfg Config, src sim.Source, input func(int) *tensor.Tensor, s
 		if jr.Done > rep.Makespan {
 			rep.Makespan = jr.Done
 		}
-		mx.Inc("serving_jobs_total", 1)
-		mx.Observe("serving_queue_seconds", obs.DurationBounds, jr.Queue.Seconds())
-		mx.Observe("serving_latency_seconds", obs.DurationBounds, jr.Latency.Seconds())
-		mx.Add("serving_cost_usd_total", jr.Cost)
-		ts.Inc(jr.Done, "serving_jobs_total", 1)
-		ts.Observe(now, "serving_queue_seconds", jr.Queue.Seconds())
-		ts.Observe(jr.Done, "serving_latency_seconds", jr.Latency.Seconds())
-		ts.Add(jr.Done, "serving_cost_usd_total", jr.Cost)
+		queueSec := jr.Queue.Seconds()
+		latencySec := jr.Latency.Seconds()
+		h.jobs.Inc(1)
+		h.queueSec.Observe(queueSec)
+		h.latencySec.Observe(latencySec)
+		h.cost.Add(jr.Cost)
+		h.tsJobs.Inc(jr.Done, 1)
+		h.tsQueueSec.Observe(now, queueSec)
+		h.tsLatencySec.Observe(jr.Done, latencySec)
+		h.tsCost.Add(jr.Done, jr.Cost)
 		if stream {
 			acc.fold(rep, jr)
+			dep.ReleaseReport(jrep)
 		}
 		slab.Free(id)
 	}

@@ -1,0 +1,61 @@
+package serving
+
+import (
+	"testing"
+	"time"
+
+	"ampsinf/internal/obs"
+	"ampsinf/internal/sim"
+	"ampsinf/internal/tensor"
+)
+
+// TestServeStreamSteadyStateAllocs pins the hot path's allocation
+// behavior: with metrics and a time series attached (the production
+// configuration), a fully-warmed streaming sequential serve must run
+// its steady state allocation-free. Fixed per-run costs are real (the
+// latency reservoir, the report, first-touch pool growth), so the test
+// measures the marginal allocations between two run lengths — the
+// per-request slope, not the intercept — and requires it to be zero.
+func TestServeStreamSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is slow")
+	}
+	measure := func(n int) float64 {
+		e := deployWide(t, 16)
+		e.pl.SetAccountConcurrency(256)
+		in := randomInput(e.model, 1)
+		mx := obs.NewMetrics()
+		// One giant window: frame emission is per-window (not
+		// per-request) and stays out of the steady-state count.
+		ts := obs.NewTimeSeries(time.Hour)
+		defer ts.Close()
+		cfg := Config{
+			Deployment: e.dep,
+			Throttle:   ThrottlePolicy{MaxAttempts: 500, JitterSeed: 3},
+			Metrics:    mx,
+			Series:     ts,
+		}
+		run := func() {
+			rep, err := ServeStream(cfg, sim.NewPoisson(n, 100, 7), func(int) *tensor.Tensor { return in })
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Completed != n {
+				t.Fatalf("completed %d of %d", rep.Completed, n)
+			}
+		}
+		run() // warm pools, slabs, container fleet, handle slots
+		return testing.AllocsPerRun(2, run)
+	}
+	const n1, n2 = 1500, 3000
+	a1 := measure(n1)
+	a2 := measure(n2)
+	perReq := (a2 - a1) / float64(n2-n1)
+	// The bound leaves room for the O(log n) terms a doubled run length
+	// legitimately adds: heap and free-list slice doublings plus slab
+	// chunk-table growth — a handful of allocations, not per-request.
+	if perReq > 0.01 {
+		t.Fatalf("steady-state allocations: %.4f allocs/request (runs: %.0f @ %d, %.0f @ %d)",
+			perReq, a1, n1, a2, n2)
+	}
+}

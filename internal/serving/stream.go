@@ -12,13 +12,15 @@ import (
 // demand by input(i). Unlike Serve it retains no per-request results
 // and builds no span trees: settled requests fold straight into the
 // report's aggregates, so a million-request trace runs in O(backlog)
-// memory. Everything else matches Serve's sequential scheduler
-// byte for byte: same admission order, same throttle backoffs, same
-// metrics and time-series emissions, same meter totals.
+// memory. Everything else matches Serve's scheduler byte for byte:
+// same admission order, same throttle backoffs, same coalescing RNG
+// draws, same metrics and time-series emissions, same meter totals.
 //
-// Streaming supports the sequential scheduler only: pipelining and
-// batching coalesce over the materialized trace, and span sampling
-// retains trees — both contradict the no-retention contract.
+// Pipelined and batched policies stream too: batch units are coalesced
+// incrementally (one unit of lookahead beyond the admission frontier),
+// so the staged scheduler also runs million-request traces in
+// O(backlog) memory. Span sampling stays rejected — it exists to
+// retain trees, which contradicts the no-retention contract.
 func ServeStream(cfg Config, src sim.Source, input func(int) *tensor.Tensor) (*Report, error) {
 	if cfg.Deployment == nil {
 		return nil, fmt.Errorf("serving: config needs a deployment")
@@ -29,9 +31,6 @@ func ServeStream(cfg Config, src sim.Source, input func(int) *tensor.Tensor) (*R
 	if input == nil {
 		return nil, fmt.Errorf("serving: streaming serve needs an input builder")
 	}
-	if cfg.Pipeline.enabled() || cfg.Batch.enabled() {
-		return nil, fmt.Errorf("serving: streaming serve supports the sequential scheduler only")
-	}
 	if cfg.Sample.enabled() {
 		return nil, fmt.Errorf("serving: streaming serve keeps no span trees to sample")
 	}
@@ -40,6 +39,15 @@ func ServeStream(cfg Config, src sim.Source, input func(int) *tensor.Tensor) (*R
 	}
 	if err := cfg.SLO.Validate(); err != nil {
 		return nil, fmt.Errorf("serving: %w", err)
+	}
+	if err := cfg.Pipeline.Validate(); err != nil {
+		return nil, fmt.Errorf("serving: %w", err)
+	}
+	if err := cfg.Batch.Validate(); err != nil {
+		return nil, fmt.Errorf("serving: %w", err)
+	}
+	if cfg.Pipeline.enabled() || cfg.Batch.enabled() {
+		return runPipelined(cfg, src, input, true)
 	}
 	return runSequential(cfg, src, input, true)
 }
