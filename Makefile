@@ -44,7 +44,7 @@ staticcheck:
 # coalescing and the event-heap/slab pool reuse are exercised together
 # on every push.
 chaos:
-	$(GO) test -race -run 'TestChaosStormSmoke|TestChaosPipelineBatch|TestChaosSim' ./internal/experiments/
+	$(GO) test -race -run 'TestChaosStormSmoke|TestChaosPipelineBatch|TestChaosSim|TestChaosDomainStorm' ./internal/experiments/
 
 build:
 	$(GO) build ./...
@@ -62,13 +62,17 @@ bench-diff:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -diff BENCH_baseline.json
 
 # Same diff, but exit non-zero if any benchmark's req/s throughput
-# falls more than BENCH_GATE_PCT percent below the committed baseline.
-# The default gate is loose on purpose: single-iteration wall-clock on
-# shared CI runners is noisy, so only order-of-magnitude regressions
-# (a hot path quietly de-optimized) should trip it.
+# falls more than BENCH_GATE_PCT percent below the committed baseline,
+# or its allocs/op grows more than BENCH_ALLOC_GATE_PCT percent above
+# it. The throughput gate is loose on purpose: single-iteration
+# wall-clock on shared CI runners is noisy, so only order-of-magnitude
+# regressions (a hot path quietly de-optimized) should trip it. The
+# alloc gate can be much tighter because alloc counts are
+# deterministic, not wall-clock noise.
 BENCH_GATE_PCT ?= 75
+BENCH_ALLOC_GATE_PCT ?= 25
 bench-gate:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -diff BENCH_baseline.json -fail-below-pct $(BENCH_GATE_PCT)
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=$(BENCHTIME) ./... | $(GO) run ./cmd/benchjson -diff BENCH_baseline.json -fail-below-pct $(BENCH_GATE_PCT) -fail-allocs-above-pct $(BENCH_ALLOC_GATE_PCT)
 
 # Per-package coverage report. Fails if any internal package ships with
 # no test files at all — every subsystem must carry its own tests.

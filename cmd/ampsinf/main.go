@@ -13,12 +13,16 @@
 //	ampsinf serve   -model mobilenet [-requests 100] [-pattern poisson|uniform|burst]
 //	                [-pipeline 4] [-batch 4|-batch -1] [-batch-window 1s]
 //	                [-rate 5] [-limit 1000] [-sequential] [-full]
+//	                [-budget 12] [-budget-earn 0.25] [-fallback-bits 4]
+//	                [-brownout] [-brownout-p99 2s] [-brownout-bad 0.25]
+//	                [-domains 3] [-domain-outage-every 250s] [-domain-outage-length 60s]
 //	                [-sample-rate 0.1] [-metrics-window 1s]
 //	                [-http :9090] [-stream stream.ndjson]
 //	                [-trace trace.json] [-metrics metrics.json] [-spans spans.json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -328,6 +332,15 @@ func cmdServe(args []string) error {
 	hedgePct := fs.Float64("hedge-pct", 0, "derive the hedge delay from this percentile of past attempt durations (0 = fixed -hedge delay)")
 	hedgeRate := fs.Float64("hedge-rate", 0, "cap on the fraction of invocations that may hedge (0 = 0.25)")
 	breakerN := fs.Int("breaker", 0, "trip a per-function circuit breaker after this many consecutive failures (0 = no breaker)")
+	budget := fs.Float64("budget", 0, "global retry budget: token-bucket cap shared by every retry and hedge (0 = unbudgeted)")
+	budgetEarn := fs.Float64("budget-earn", 0, "budget tokens earned per first-attempt success (0 = 0.1)")
+	fallbackBits := fs.Int("fallback-bits", 0, "pre-deploy a 4- or 8-bit quantized fallback plan the brownout ladder can swap onto (0 = none)")
+	brownout := fs.Bool("brownout", false, "enable the adaptive brownout ladder (watches -metrics-window windows; hedges off -> wider batches -> quantized fallback -> hard shed)")
+	brownoutP99 := fs.Duration("brownout-p99", 0, "brownout: mark a window unhealthy when its completion p99 exceeds this (0 = trigger off)")
+	brownoutBad := fs.Float64("brownout-bad", 0, "brownout: mark a window unhealthy above this bad-outcome fraction (0 = 0.2)")
+	domains := fs.Int("domains", 0, "spread containers over this many failure domains (0 or 1 = no domains)")
+	outageEvery := fs.Duration("domain-outage-every", 0, "mean gap between whole-domain outage storms (0 = no storms)")
+	outageLength := fs.Duration("domain-outage-length", 0, "duration of each domain outage (0 = domain-outage-every/4)")
 	pipeline := fs.Int("pipeline", 0, "overlap up to this many requests across partition stages (0 or 1 = sequential admission)")
 	batch := fs.Int("batch", 0, "coalesce up to this many queued requests per invocation (-1 = optimizer co-planned size, 0 or 1 = off)")
 	batchWindow := fs.Duration("batch-window", 0, "how long a batch leader holds the queue open for followers (0 = 1s default)")
@@ -353,16 +366,30 @@ func cmdServe(args []string) error {
 	w := nn.InitWeights(m, 1)
 	opts := core.Options{}
 	subOpts := core.SubmitOptions{SLO: *slo, SkipCompute: !*real}
-	if *faultRate > 0 || *retries > 1 {
+	if *faultRate > 0 || *retries > 1 || *domains > 1 {
 		fcfg := faults.Uniform(*faultRate, *seed)
 		fcfg.BurstEvery = *burstEvery
 		fcfg.BurstLength = *burstLength
 		fcfg.BurstFactor = *burstFactor
+		fcfg.Domains = *domains
+		fcfg.DomainOutageEvery = *outageEvery
+		fcfg.DomainOutageLength = *outageLength
 		opts.Faults = faults.New(fcfg)
 		subOpts.Retry = coordinator.DefaultRetryPolicy()
 		subOpts.Retry.JitterSeed = *seed
 		if *retries > 0 {
 			subOpts.Retry.MaxAttempts = *retries
+		}
+	}
+	if *budget > 0 {
+		subOpts.Budget = coordinator.BudgetPolicy{MaxTokens: *budget, EarnPerSuccess: *budgetEarn}
+	}
+	if *fallbackBits > 0 {
+		subOpts.FallbackBits = *fallbackBits
+	}
+	if *brownout {
+		subOpts.Brownout = serving.BrownoutPolicy{
+			Enabled: true, P99: *brownoutP99, BadFraction: *brownoutBad,
 		}
 	}
 	if *hedge > 0 || *hedgePct > 0 {
@@ -385,10 +412,16 @@ func cmdServe(args []string) error {
 		opts.Metrics = mx
 	}
 	var series *obs.TimeSeries
-	if *httpAddr != "" || *streamOut != "" {
+	if *httpAddr != "" || *streamOut != "" || *brownout {
+		// The brownout controller closes its loop over this same window
+		// stream, so enabling it implies a series even with no exports.
 		series = obs.NewTimeSeries(*metricsWindow)
 		opts.Series = series
 	}
+	// Close is idempotent; the deferred call covers error returns so a
+	// failed run still flushes its tail window and releases any
+	// /metrics/stream?follow=1 followers.
+	defer series.Close()
 	fw := core.NewFramework(opts)
 	svc, err := fw.Submit(m, w, subOpts)
 	if err != nil {
@@ -403,14 +436,15 @@ func cmdServe(args []string) error {
 	// (and CI smoke checks) can poll /metrics while requests are being
 	// served; the registry and series carry their own locks.
 	var state *obs.ServeState
+	var srv *http.Server
 	if *httpAddr != "" {
 		state = obs.NewServeState(mx, series)
 		ln, lerr := net.Listen("tcp", *httpAddr)
 		if lerr != nil {
 			return lerr
 		}
-		defer ln.Close()
-		go http.Serve(ln, state.Handler())
+		srv = &http.Server{Handler: state.Handler()}
+		go srv.Serve(ln)
 		fmt.Printf("telemetry: http://%s (/metrics, /metrics/stream, /spans)\n", ln.Addr())
 	}
 	fmt.Printf("deployed %d partition(s), memories %v, account concurrency %d\n",
@@ -508,6 +542,15 @@ func cmdServe(args []string) error {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
+		// The series closed when the run finished, so stream followers
+		// have already been handed the final partial window and released;
+		// Shutdown drains whatever snapshot responses are still in flight
+		// instead of cutting them off mid-write.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("telemetry shutdown: %w", err)
+		}
 	}
 	return nil
 }

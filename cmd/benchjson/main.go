@@ -9,7 +9,9 @@
 // ns/op and B/op (`make bench-diff` wires this against
 // BENCH_baseline.json). Adding -fail-below-pct N turns the diff into a
 // regression gate: any benchmark whose req/s dropped more than N% below
-// the baseline fails the run with a non-zero exit.
+// the baseline fails the run with a non-zero exit. -fail-allocs-above-pct
+// M likewise fails the run when any benchmark's allocs/op grew more than
+// M% above the baseline (`make bench-gate` wires both).
 //
 // Usage:
 //
@@ -51,6 +53,8 @@ func main() {
 	diffBase := flag.String("diff", "", "compare stdin against this baseline JSON instead of emitting JSON")
 	failBelowPct := flag.Float64("fail-below-pct", 0,
 		"with -diff: exit non-zero when any benchmark's req/s drops more than this percentage below the baseline")
+	failAllocsPct := flag.Float64("fail-allocs-above-pct", 0,
+		"with -diff: exit non-zero when any benchmark's allocs/op grows more than this percentage above the baseline")
 	flag.Parse()
 
 	doc, err := parse(bufio.NewScanner(os.Stdin))
@@ -68,7 +72,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
-		regressed := writeDiff(os.Stdout, base, doc, *failBelowPct)
+		regressed := writeDiff(os.Stdout, base, doc, *failBelowPct, *failAllocsPct)
 		if len(regressed) > 0 {
 			for _, line := range regressed {
 				fmt.Fprintf(os.Stderr, "benchjson: %s\n", line)
@@ -102,8 +106,11 @@ func readBaseline(path string) (*Doc, error) {
 // baseline → current value and Δ% for ns/op and B/op. Benchmarks
 // missing from either side are reported, never silently dropped. When
 // failBelowPct > 0, every benchmark whose req/s dropped more than that
-// percentage below the baseline is returned as a regression.
-func writeDiff(w io.Writer, base, cur *Doc, failBelowPct float64) (regressed []string) {
+// percentage below the baseline is returned as a regression; when
+// failAllocsPct > 0, so is every benchmark whose allocs/op grew more
+// than that percentage above the baseline (an alloc-count jump is a hot
+// path quietly de-optimized, even when throughput survives it).
+func writeDiff(w io.Writer, base, cur *Doc, failBelowPct, failAllocsPct float64) (regressed []string) {
 	baseline := make(map[string]Result, len(base.Benchmarks))
 	for _, r := range base.Benchmarks {
 		baseline[r.Pkg+" "+r.Name] = r
@@ -132,6 +139,15 @@ func writeDiff(w io.Writer, base, cur *Doc, failBelowPct float64) (regressed []s
 				regressed = append(regressed, fmt.Sprintf(
 					"%s: req/s %.0f→%.0f (%.1f%% below baseline, limit %.1f%%)",
 					key, ov, cv, -pct, failBelowPct))
+			}
+		}
+		av, inOldA := old.Metrics["allocs/op"]
+		bv, inCurA := r.Metrics["allocs/op"]
+		if failAllocsPct > 0 && inOldA && inCurA && av > 0 {
+			if pct := (bv - av) / av * 100; pct > failAllocsPct {
+				regressed = append(regressed, fmt.Sprintf(
+					"%s: allocs/op %.0f→%.0f (%.1f%% above baseline, limit %.1f%%)",
+					key, av, bv, pct, failAllocsPct))
 			}
 		}
 		fmt.Fprintf(w, "%-64s %s\n", key, cells)

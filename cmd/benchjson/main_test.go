@@ -45,7 +45,7 @@ BenchmarkNew-4    100   5000 ns/op   64 B/op   1 allocs/op
 PASS
 `)
 	var sb strings.Builder
-	writeDiff(&sb, base, cur, 0)
+	writeDiff(&sb, base, cur, 0, 0)
 	out := sb.String()
 	for _, want := range []string{
 		"BenchmarkFast",
@@ -72,16 +72,52 @@ BenchmarkStorm-4   1   1000 ns/op   70000 req/s
 PASS
 `)
 	var sb strings.Builder
-	if reg := writeDiff(&sb, base, cur, 20); len(reg) != 1 {
+	if reg := writeDiff(&sb, base, cur, 20, 0); len(reg) != 1 {
 		t.Fatalf("want 1 regression at 20%% gate, got %v", reg)
 	} else if !strings.Contains(reg[0], "30.0% below baseline") {
 		t.Fatalf("unexpected regression message %q", reg[0])
 	}
-	if reg := writeDiff(&sb, base, cur, 40); len(reg) != 0 {
+	if reg := writeDiff(&sb, base, cur, 40, 0); len(reg) != 0 {
 		t.Fatalf("want no regression at 40%% gate, got %v", reg)
 	}
-	if reg := writeDiff(&sb, base, cur, 0); len(reg) != 0 {
+	if reg := writeDiff(&sb, base, cur, 0, 0); len(reg) != 0 {
 		t.Fatalf("gate off must never regress, got %v", reg)
+	}
+}
+
+func TestFailAllocsAbovePct(t *testing.T) {
+	base := parseText(t, `pkg: example.com/pkg
+BenchmarkHot-4   100   1000 ns/op   512 B/op   8 allocs/op
+PASS
+`)
+	cur := parseText(t, `pkg: example.com/pkg
+BenchmarkHot-4   100   900 ns/op   512 B/op   12 allocs/op
+PASS
+`)
+	var sb strings.Builder
+	// 8 → 12 allocs/op is +50%: trips a 25% gate even though ns/op improved.
+	if reg := writeDiff(&sb, base, cur, 0, 25); len(reg) != 1 {
+		t.Fatalf("want 1 regression at 25%% allocs gate, got %v", reg)
+	} else if !strings.Contains(reg[0], "allocs/op 8→12 (50.0% above baseline") {
+		t.Fatalf("unexpected regression message %q", reg[0])
+	}
+	if reg := writeDiff(&sb, base, cur, 0, 60); len(reg) != 0 {
+		t.Fatalf("want no regression at 60%% allocs gate, got %v", reg)
+	}
+	if reg := writeDiff(&sb, base, cur, 0, 0); len(reg) != 0 {
+		t.Fatalf("allocs gate off must never regress, got %v", reg)
+	}
+	// Both gates can trip on the same run and report independently.
+	base2 := parseText(t, `pkg: example.com/pkg
+BenchmarkStorm-4   1   1000 ns/op   8 allocs/op   100000 req/s
+PASS
+`)
+	cur2 := parseText(t, `pkg: example.com/pkg
+BenchmarkStorm-4   1   1000 ns/op   20 allocs/op   40000 req/s
+PASS
+`)
+	if reg := writeDiff(&sb, base2, cur2, 50, 25); len(reg) != 2 {
+		t.Fatalf("want both gates tripped, got %v", reg)
 	}
 }
 

@@ -250,6 +250,13 @@ func main() {
 			}
 			return r.Table(), nil
 		}},
+		{"overload", func() (*experiments.Table, error) {
+			r, err := experiments.RunOverload()
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
 	}
 
 	ran := 0

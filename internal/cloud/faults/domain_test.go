@@ -1,0 +1,145 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func domainCfg(seed int64) Config {
+	return Config{
+		Seed:               seed,
+		Domains:            3,
+		DomainOutageEvery:  10 * time.Second,
+		DomainOutageLength: 2 * time.Second,
+	}
+}
+
+// The outage schedule must be identical for two injectors with the
+// same seed, and independent of query order: probing far ahead first
+// yields the same windows as walking the timeline incrementally.
+func TestDomainOutageScheduleDeterministic(t *testing.T) {
+	horizon := 5 * time.Minute
+	a := New(domainCfg(7)).DomainOutages(horizon)
+	b := New(domainCfg(7)).DomainOutages(horizon)
+	if len(a) == 0 {
+		t.Fatal("no outages scheduled over five minutes with a 10s mean gap")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed schedules diverge:\n%v\nvs\n%v", a, b)
+	}
+	// Incremental queries against a third injector must agree window for
+	// window with the probed-ahead schedule.
+	inc := New(domainCfg(7))
+	for _, w := range a {
+		mid := w.Start + (w.End-w.Start)/2
+		d, s, active := inc.DomainOutageAt(mid)
+		if !active || d != w.Domain || s != w.Start {
+			t.Fatalf("incremental query at %v: got (%d, %v, %v), want (%d, %v, true)",
+				mid, d, s, active, w.Domain, w.Start)
+		}
+	}
+	if got := New(domainCfg(8)).DomainOutages(horizon); reflect.DeepEqual(a, got) {
+		t.Fatal("different seeds produced identical outage schedules")
+	}
+}
+
+// Outage windows must stay clear of DomainOutageAt's inactive gaps and
+// carry domains inside [0, Domains).
+func TestDomainOutageWindowsSane(t *testing.T) {
+	in := New(domainCfg(21))
+	wins := in.DomainOutages(2 * time.Minute)
+	var prevEnd time.Duration
+	for i, w := range wins {
+		if w.Start < prevEnd {
+			t.Fatalf("window %d starts %v before previous end %v", i, w.Start, prevEnd)
+		}
+		if w.End != w.Start+2*time.Second {
+			t.Fatalf("window %d length %v, want 2s", i, w.End-w.Start)
+		}
+		if w.Domain < 0 || w.Domain >= 3 {
+			t.Fatalf("window %d domain %d outside [0, 3)", i, w.Domain)
+		}
+		if _, _, active := in.DomainOutageAt(w.End + time.Millisecond); active &&
+			i+1 < len(wins) && wins[i+1].Start > w.End+time.Millisecond {
+			t.Fatalf("outage active in the gap after window %d", i)
+		}
+		prevEnd = w.End
+	}
+}
+
+// DomainKillAt reports an outage of the asked-for domain beginning
+// strictly inside (from, to] — the mid-flight kill — and nothing else.
+func TestDomainKillAt(t *testing.T) {
+	in := New(domainCfg(7))
+	wins := in.DomainOutages(5 * time.Minute)
+	w := wins[0]
+	before := w.Start - time.Second
+
+	if at, ok := in.DomainKillAt(w.Domain, before, w.Start+time.Second); !ok || at != w.Start {
+		t.Fatalf("kill spanning the outage start: got (%v, %v), want (%v, true)", at, ok, w.Start)
+	}
+	// A window that ends before the outage begins is safe.
+	if _, ok := in.DomainKillAt(w.Domain, before, w.Start-time.Millisecond); ok {
+		t.Fatal("kill reported before the outage begins")
+	}
+	// An invocation already running when from == the outage start is not
+	// re-killed (the interval is open on the left).
+	if _, ok := in.DomainKillAt(w.Domain, w.Start, w.Start+time.Millisecond); ok {
+		t.Fatal("kill reported for an interval starting at the outage instant")
+	}
+	// Other domains survive the same window.
+	other := (w.Domain + 1) % 3
+	safe := true
+	for _, ww := range wins {
+		if ww.Domain == other && ww.Start > before && ww.Start <= w.Start+time.Second {
+			safe = false
+		}
+	}
+	if _, ok := in.DomainKillAt(other, before, w.Start+time.Second); ok == safe {
+		t.Fatalf("domain %d kill = %v, schedule says safe = %v", other, ok, safe)
+	}
+	// Nil injector and domain-free configs never kill.
+	var nilIn *Injector
+	if _, ok := nilIn.DomainKillAt(0, 0, time.Hour); ok {
+		t.Fatal("nil injector killed")
+	}
+	if _, ok := New(Config{Seed: 7}).DomainKillAt(0, 0, time.Hour); ok {
+		t.Fatal("domain-free injector killed")
+	}
+}
+
+// Domain-free configurations must not consult the outage stream at
+// all: the main fault draws of a domain-configured injector stay
+// byte-identical to an otherwise-equal injector without domains, so
+// adding domains never perturbs existing fault sequences.
+func TestDomainScheduleDoesNotPerturbFaultStream(t *testing.T) {
+	plain := New(Uniform(0.3, 5))
+	cfg := Uniform(0.3, 5)
+	cfg.Domains = 3
+	cfg.DomainOutageEvery = time.Second
+	domained := New(cfg)
+	domained.DomainOutages(time.Minute) // exercise the outage stream
+	for i := 0; i < 200; i++ {
+		k1, h1 := plain.InvokeFaultAt("f", 0)
+		k2, h2 := domained.InvokeFaultAt("f", 0)
+		if k1 != k2 || h1 != h2 {
+			t.Fatalf("draw %d diverged: (%v, %v) vs (%v, %v)", i, k1, h1, k2, h2)
+		}
+	}
+}
+
+// Domains reports the configured spread only when outage storms can
+// actually tag containers.
+func TestDomainsAccessor(t *testing.T) {
+	if got := New(domainCfg(1)).Domains(); got != 3 {
+		t.Fatalf("Domains() = %d, want 3", got)
+	}
+	if got := New(Config{Seed: 1, Domains: 1}).Domains(); got != 0 {
+		t.Fatalf("single domain should disable tagging, got %d", got)
+	}
+	var in *Injector
+	if got := in.Domains(); got != 0 {
+		t.Fatalf("nil injector Domains() = %d", got)
+	}
+}

@@ -45,10 +45,18 @@ const (
 	// request succeeds and bills normally; the extra transfer time is
 	// billed lambda time.
 	Slow
+	// DomainOutage fails an invocation because its container's failure
+	// domain is down: the platform reaps every container in the domain
+	// at once, assignments landing there fail before any work runs
+	// (billing nothing), and an invocation executing when its domain
+	// goes down is killed partway — the run up to the kill instant
+	// bills, the response is lost. The fault is transient (the domain
+	// recovers and retries land on surviving domains).
+	DomainOutage
 	numKinds int = iota
 )
 
-var kindNames = [...]string{"none", "throttle", "crash", "timeout", "unavailable", "slow"}
+var kindNames = [...]string{"none", "throttle", "crash", "timeout", "unavailable", "slow", "domain-outage"}
 
 // String returns the kind's wire name (used in reports and logs).
 func (k Kind) String() string {
@@ -115,6 +123,20 @@ type Config struct {
 	BurstEvery  time.Duration
 	BurstLength time.Duration // default BurstEvery/4
 	BurstFactor float64       // default 10
+
+	// Failure domains. When Domains > 1 the platform spreads each
+	// function's containers round-robin over that many domains, and
+	// DomainOutageEvery > 0 overlays whole-domain outage storms on the
+	// simulated clock: windows of DomainOutageLength recur with
+	// exponentially distributed gaps of mean DomainOutageEvery, each
+	// taking down one seeded domain — every container in it is reaped at
+	// once and invocations assigned there fail with a transient
+	// DomainOutage error until the window closes. The schedule draws
+	// from its own derived stream, so per-operation fault draws never
+	// move the windows.
+	Domains            int
+	DomainOutageEvery  time.Duration
+	DomainOutageLength time.Duration // default DomainOutageEvery/4
 }
 
 // Uniform spreads one overall rate across every fault kind: each
@@ -156,9 +178,20 @@ type Injector struct {
 	stormRng     *rand.Rand
 	storms       []stormWindow
 	coveredUntil time.Duration
+
+	// Domain-outage schedule, lazy and append-only from a third derived
+	// stream for the same order-independence.
+	outageRng     *rand.Rand
+	outages       []domainOutage
+	outageCovered time.Duration
 }
 
 type stormWindow struct{ start, end time.Duration }
+
+type domainOutage struct {
+	start, end time.Duration
+	domain     int
+}
 
 // maxStorms caps lazy schedule generation so a query at an absurd
 // simulated time cannot allocate unbounded windows; beyond the cap the
@@ -229,7 +262,19 @@ func New(cfg Config) *Injector {
 	if seed == 0 {
 		seed = 1
 	}
+	if cfg.Domains < 0 {
+		cfg.Domains = 0
+	}
+	if cfg.DomainOutageEvery < 0 {
+		cfg.DomainOutageEvery = 0
+	}
+	if cfg.Domains > 1 && cfg.DomainOutageEvery > 0 && cfg.DomainOutageLength <= 0 {
+		cfg.DomainOutageLength = cfg.DomainOutageEvery / 4
+	}
 	in := &Injector{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	if cfg.Domains > 1 && cfg.DomainOutageEvery > 0 {
+		in.outageRng = rand.New(rand.NewSource(seed ^ 0x27D4EB2F165667C5))
+	}
 	if cfg.BurstEvery > 0 {
 		boost := cfg
 		for _, p := range []*float64{
@@ -308,6 +353,128 @@ func (in *Injector) inStormLocked(now time.Duration) bool {
 	}
 	i := sort.Search(len(in.storms), func(i int) bool { return in.storms[i].end > now })
 	return i < len(in.storms) && in.storms[i].start <= now
+}
+
+// Domains reports how many failure domains the injector spreads
+// containers over (0 when domain tagging is disabled). Nil-safe.
+func (in *Injector) Domains() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.Domains > 1 {
+		return in.cfg.Domains
+	}
+	return 0
+}
+
+// DomainOutageAt reports whether a failure domain is down at simulated
+// time now, and which one. start identifies the outage window (unique
+// per outage), so callers can reap the domain's containers exactly once
+// per window. Deterministic for a given seed and configuration.
+func (in *Injector) DomainOutageAt(now time.Duration) (domain int, start time.Duration, active bool) {
+	if in == nil {
+		return 0, 0, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.outageRng == nil || now < 0 {
+		return 0, 0, false
+	}
+	in.extendOutagesLocked(now)
+	i := sort.Search(len(in.outages), func(i int) bool { return in.outages[i].end > now })
+	if i < len(in.outages) && in.outages[i].start <= now {
+		o := in.outages[i]
+		return o.domain, o.start, true
+	}
+	return 0, 0, false
+}
+
+// extendOutagesLocked lazily grows the append-only outage schedule to
+// cover simulated time now. Callers hold in.mu and have checked
+// outageRng is non-nil.
+func (in *Injector) extendOutagesLocked(now time.Duration) {
+	for in.outageCovered <= now && len(in.outages) < maxStorms {
+		gap := time.Duration(in.outageRng.ExpFloat64() * float64(in.cfg.DomainOutageEvery))
+		if gap < time.Millisecond {
+			gap = time.Millisecond
+		}
+		s := in.outageCovered + gap
+		e := s + in.cfg.DomainOutageLength
+		if s < in.outageCovered || e < s { // overflow guard
+			in.outageCovered = 1<<63 - 1
+			break
+		}
+		in.outages = append(in.outages, domainOutage{
+			start: s, end: e, domain: in.outageRng.Intn(in.cfg.Domains),
+		})
+		in.outageCovered = e
+	}
+}
+
+// DomainKillAt reports whether an outage of the given domain begins in
+// (from, to] — the case that takes a container down mid-execution. It
+// returns the kill instant (the outage start): the invocation's work up
+// to that point is spent but its response is lost. Deterministic and
+// append-only like DomainOutageAt, so probing future instants perturbs
+// nothing.
+func (in *Injector) DomainKillAt(domain int, from, to time.Duration) (time.Duration, bool) {
+	if in == nil {
+		return 0, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.outageRng == nil || to <= from {
+		return 0, false
+	}
+	in.extendOutagesLocked(to)
+	i := sort.Search(len(in.outages), func(i int) bool { return in.outages[i].start > from })
+	for ; i < len(in.outages) && in.outages[i].start <= to; i++ {
+		if in.outages[i].domain == domain {
+			return in.outages[i].start, true
+		}
+	}
+	return 0, false
+}
+
+// DomainOutageWindow is one scheduled whole-domain outage.
+type DomainOutageWindow struct {
+	Start, End time.Duration
+	Domain     int
+}
+
+// DomainOutages returns the outage schedule covering [0, until]. The
+// schedule is generated from its own derived stream, append-only and
+// query-order independent, so reading it ahead of time perturbs
+// nothing — experiments use it to place phase boundaries around storms.
+func (in *Injector) DomainOutages(until time.Duration) []DomainOutageWindow {
+	if in == nil {
+		return nil
+	}
+	// Extend lazy coverage through until.
+	in.DomainOutageAt(until)
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var out []DomainOutageWindow
+	for _, o := range in.outages {
+		if o.start > until {
+			break
+		}
+		out = append(out, DomainOutageWindow{Start: o.start, End: o.end, Domain: o.domain})
+	}
+	return out
+}
+
+// NoteDomainFault records one invocation failed by a domain outage in
+// the injector's fault counts.
+func (in *Injector) NoteDomainFault() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.counts[DomainOutage]++
 }
 
 // activeLocked picks the rate set in force at simulated time now.

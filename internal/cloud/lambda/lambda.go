@@ -73,6 +73,13 @@ type Platform struct {
 	mx     *obs.Metrics
 	series *obs.TimeSeries
 
+	// Failure domains (see faults.Config.Domains): fresh containers are
+	// tagged round-robin over domains; lastOutage remembers the start of
+	// the outage window whose containers were already reaped, so each
+	// storm purges exactly once.
+	domains    int
+	lastOutage time.Duration
+
 	// Clocked serving state (see pool.go): the simulated clock, whether
 	// pooled/clocked semantics are on, and the account concurrency
 	// override (0 = quota default).
@@ -116,13 +123,15 @@ func NewWithQuota(meter *billing.Meter, p perf.Params, q pricing.Quota) *Platfor
 }
 
 // SetInjector installs (or, with nil, removes) the platform's fault
-// injector. Invocations consult it for throttles, crashes and
-// timeouts; a nil or zero-rate injector leaves every invocation
-// untouched.
+// injector. Invocations consult it for throttles, crashes, timeouts
+// and domain outages; a nil or zero-rate injector leaves every
+// invocation untouched.
 func (pl *Platform) SetInjector(inj *faults.Injector) {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
 	pl.inj = inj
+	pl.domains = inj.Domains()
+	pl.lastOutage = -1
 }
 
 // SetMetrics installs (or, with nil, removes) the metrics registry the
@@ -330,12 +339,32 @@ func (pl *Platform) Invoke(name string, payload []byte, opts InvokeOptions) (*Re
 		fts.Inc(now, 1)
 		return nil, &faults.Error{Kind: faults.Throttle, Op: "invoke", Target: name}
 	}
+	// Domain outage: the first invocation to observe a new outage window
+	// reaps every container in the dead domain across all functions;
+	// while the window lasts, acquisitions landing in that domain fail
+	// before any work runs (the sandbox never comes up), billing nothing.
+	outDomain, outStart, outActive := inj.DomainOutageAt(now)
+	if outActive && pl.domains > 1 && outStart != pl.lastOutage {
+		pl.lastOutage = outStart
+		pl.purgeDomainLocked(outDomain)
+	}
 	c, cold, throttled := fn.acquireLocked(pl)
 	if throttled {
 		pl.mu.Unlock()
 		h.throttles.Inc(1)
 		h.tsThrottles.Inc(now, 1)
 		return nil, &faults.Error{Kind: faults.Throttle, Op: "invoke", Target: name}
+	}
+	if outActive && pl.domains > 1 && c.domain == outDomain {
+		if i := fn.findLocked(c.id); i >= 0 {
+			pl.discardLocked(fn, i)
+		}
+		pl.mu.Unlock()
+		inj.NoteDomainFault()
+		fmx, fts := pl.faultHandles(faults.DomainOutage.String())
+		fmx.Inc(1)
+		fts.Inc(now, 1)
+		return nil, &faults.Error{Kind: faults.DomainOutage, Op: "invoke", Target: name}
 	}
 	cfg := fn.cfg
 	pl.mu.Unlock()
@@ -408,6 +437,24 @@ func (pl *Platform) Invoke(name string, payload []byte, opts InvokeOptions) (*Re
 			herr = &faults.Error{Kind: faults.Timeout, Op: "invoke", Target: name}
 			pl.discardContainer(name, c.id) // only the wedged container is lost
 			discarded = true
+		default:
+			// An outage of this container's domain beginning mid-execution
+			// kills the invocation partway: the response is lost, the run up
+			// to the kill instant still bills, and the sandbox is gone. The
+			// caller retries from scratch on a surviving domain — the load
+			// amplification a domain storm causes is exactly this redone,
+			// already-paid-for work.
+			if pl.domains > 1 {
+				if killAt, killed := inj.DomainKillAt(c.domain, now, now+res.Duration); killed {
+					res.InjectedFault = faults.DomainOutage.String()
+					res.Response = nil
+					res.Duration = killAt - now
+					herr = &faults.Error{Kind: faults.DomainOutage, Op: "invoke", Target: name}
+					pl.discardContainer(name, c.id)
+					discarded = true
+					inj.NoteDomainFault()
+				}
+			}
 		}
 	}
 	if !discarded {

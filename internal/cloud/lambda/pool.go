@@ -23,6 +23,10 @@ type container struct {
 	// O(1) busy counter while clocked (see AdvanceTo).
 	slot    int32
 	counted bool
+	// domain is the container's failure domain (assigned round-robin at
+	// creation when the injector configures domains; 0 otherwise). A
+	// domain outage reaps every container tagged with it at once.
+	domain int
 }
 
 // executing marks a container whose invocation is still running; Invoke
@@ -250,6 +254,9 @@ func (fn *Function) acquireLocked(pl *Platform) (c *container, cold, throttled b
 		return nil, false, true
 	}
 	c = &container{id: fn.nextID, busyUntil: executing}
+	if pl.domains > 1 {
+		c.domain = c.id % pl.domains
+	}
 	fn.nextID++
 	fn.pool = append(fn.pool, c)
 	pl.registerLocked(c)
@@ -294,6 +301,18 @@ func (pl *Platform) OccupyUntil(name string, containerID int, until time.Duratio
 	}
 }
 
+// discardLocked splices the container at pool index i out of fn,
+// keeping the busy counter and registry consistent. Callers hold pl.mu.
+func (pl *Platform) discardLocked(fn *Function, i int) {
+	c := fn.pool[i]
+	fn.pool = append(fn.pool[:i], fn.pool[i+1:]...)
+	if pl.clocked && c.counted {
+		c.counted = false
+		pl.busy--
+	}
+	pl.unregisterLocked(c)
+}
+
 // discardContainer removes exactly one container from a function's pool
 // (crashed or wedged sandboxes are reaped individually; the function's
 // other containers — idle or mid-flight — are untouched).
@@ -305,12 +324,24 @@ func (pl *Platform) discardContainer(name string, id int) {
 		return
 	}
 	if i := fn.findLocked(id); i >= 0 {
-		c := fn.pool[i]
-		fn.pool = append(fn.pool[:i], fn.pool[i+1:]...)
-		if pl.clocked && c.counted {
-			c.counted = false
-			pl.busy--
+		pl.discardLocked(fn, i)
+	}
+}
+
+// purgeDomainLocked reaps every container in the given failure domain
+// across every function at once — the platform-wide blast radius of a
+// domain outage. Idle and mid-flight containers alike are lost; a
+// stranded invocation's finishContainer simply finds its container gone.
+// Callers hold pl.mu.
+func (pl *Platform) purgeDomainLocked(domain int) {
+	if pl.domains <= 1 {
+		return
+	}
+	for _, fn := range pl.fns {
+		for i := len(fn.pool) - 1; i >= 0; i-- {
+			if fn.pool[i].domain == domain {
+				pl.discardLocked(fn, i)
+			}
 		}
-		pl.unregisterLocked(c)
 	}
 }

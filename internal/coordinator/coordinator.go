@@ -65,6 +65,10 @@ type Config struct {
 	// keep failing (see BreakerPolicy). The zero value disables
 	// breakers.
 	Breaker BreakerPolicy
+	// Budget bounds retry amplification deployment-wide with a token
+	// bucket shared across every job's retries and hedges (see
+	// BudgetPolicy). The zero value disables the budget.
+	Budget BudgetPolicy
 	// Tracer, when set, collects every job's span tree with exact
 	// per-span cost attribution (see internal/obs). Traced jobs are
 	// serialized so concurrent jobs cannot cross-attribute charges; a
@@ -97,6 +101,12 @@ type Deployment struct {
 	hedgeRng     *rand.Rand
 	invokesTotal int64
 	hedgesTotal  int64
+	// Global retry-budget balance (see BudgetPolicy) and the brownout
+	// controller's runtime hedge override, both under retryMu.
+	budgetTokens float64
+	hedgeOff     bool
+	// budgetDenied counts retries/hedges skipped by an empty bucket.
+	budgetDenied int64
 
 	// Lean serving state (see lean.go): the recycled-scratch free list
 	// and sequence, the payload→job routing table the handler fast path
@@ -232,6 +242,9 @@ func Deploy(cfg Config, model *nn.Model, weights nn.Weights, plan *optimizer.Pla
 	if err := cfg.Breaker.Validate(); err != nil {
 		return nil, fmt.Errorf("coordinator: %w", err)
 	}
+	if err := cfg.Budget.Validate(); err != nil {
+		return nil, fmt.Errorf("coordinator: %w", err)
+	}
 	if cfg.Deadline < 0 {
 		return nil, fmt.Errorf("coordinator: negative deadline %v", cfg.Deadline)
 	}
@@ -243,6 +256,7 @@ func Deploy(cfg Config, model *nn.Model, weights nn.Weights, plan *optimizer.Pla
 
 	d := &Deployment{cfg: cfg, model: model, plan: plan}
 	d.initRetryRng()
+	d.budgetTokens = cfg.Budget.initialTokens()
 	d.resolveJobHandles()
 	d.stablePut, _ = cfg.Store.(stage.StablePutter)
 	perfp := cfg.Platform.Perf()

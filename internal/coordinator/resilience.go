@@ -48,6 +48,172 @@ func (e *DeadlineError) Unwrap() []error {
 // deadline-exceeded failure.
 func IsDeadlineExceeded(err error) bool { return errors.Is(err, ErrDeadlineExceeded) }
 
+// ErrBudgetExhausted marks operations stopped by the deployment-wide
+// retry budget: the shared token bucket was empty, so the retry (or
+// hedge) was skipped at zero cost instead of amplifying the overload.
+// Test with errors.Is or IsBudgetExhausted.
+var ErrBudgetExhausted = errors.New("retry budget exhausted")
+
+// BudgetExhaustedError is the typed error an operation returns when the
+// deployment-wide retry budget cannot cover another retry. Nothing was
+// billed for the skipped attempt. It wraps both ErrBudgetExhausted and
+// the fault that would otherwise have been retried.
+type BudgetExhaustedError struct {
+	// Op names the operation that was denied ("invoke part-2", "put input").
+	Op string
+	// Attempts is how many attempts the operation had already made.
+	Attempts int
+	// Cause is the transient fault that would otherwise have been
+	// retried.
+	Cause error
+}
+
+func (e *BudgetExhaustedError) Error() string {
+	return fmt.Sprintf("coordinator: %s: global retry budget exhausted after %d attempts (last fault: %v)", e.Op, e.Attempts, e.Cause)
+}
+
+func (e *BudgetExhaustedError) Unwrap() []error {
+	if e.Cause != nil {
+		return []error{ErrBudgetExhausted, e.Cause}
+	}
+	return []error{ErrBudgetExhausted}
+}
+
+// IsBudgetExhausted reports whether err (anywhere in its chain) is a
+// global-retry-budget denial.
+func IsBudgetExhausted(err error) bool { return errors.Is(err, ErrBudgetExhausted) }
+
+// BudgetPolicy bounds retry amplification deployment-wide with a token
+// bucket shared across every job's retries and hedges: first-attempt
+// successes earn tokens, each retry or hedge spends one. When the
+// bucket is empty, retries are skipped with a typed
+// BudgetExhaustedError (zero cost) and hedges are silently not
+// launched, so a correlated fault storm cannot multiply load — the
+// retry rate is bounded by the success rate, by construction. The zero
+// value disables the budget.
+type BudgetPolicy struct {
+	// MaxTokens caps the bucket (0 disables the budget).
+	MaxTokens float64
+	// InitialTokens seeds the bucket at deploy time (default MaxTokens).
+	InitialTokens float64
+	// EarnPerSuccess is the tokens earned per first-attempt success
+	// (default 0.1, i.e. one retry allowed per ten clean operations once
+	// the initial stake is spent).
+	EarnPerSuccess float64
+	// RetryCost is the tokens one retry spends (default 1).
+	RetryCost float64
+	// HedgeCost is the tokens one hedged duplicate spends (default 1).
+	HedgeCost float64
+}
+
+func (p BudgetPolicy) enabled() bool { return p.MaxTokens > 0 }
+
+func (p BudgetPolicy) initialTokens() float64 {
+	if p.InitialTokens > 0 {
+		return math.Min(p.InitialTokens, p.MaxTokens)
+	}
+	return p.MaxTokens
+}
+
+func (p BudgetPolicy) earn() float64 {
+	if p.EarnPerSuccess > 0 {
+		return p.EarnPerSuccess
+	}
+	return 0.1
+}
+
+func (p BudgetPolicy) retryCost() float64 {
+	if p.RetryCost > 0 {
+		return p.RetryCost
+	}
+	return 1
+}
+
+func (p BudgetPolicy) hedgeCost() float64 {
+	if p.HedgeCost > 0 {
+		return p.HedgeCost
+	}
+	return 1
+}
+
+// Validate rejects nonsensical budget policies at deployment time.
+func (p BudgetPolicy) Validate() error {
+	if p.MaxTokens < 0 {
+		return fmt.Errorf("budget policy: MaxTokens %v is negative", p.MaxTokens)
+	}
+	if p.InitialTokens < 0 {
+		return fmt.Errorf("budget policy: InitialTokens %v is negative", p.InitialTokens)
+	}
+	if p.EarnPerSuccess < 0 {
+		return fmt.Errorf("budget policy: EarnPerSuccess %v is negative", p.EarnPerSuccess)
+	}
+	if p.RetryCost < 0 {
+		return fmt.Errorf("budget policy: RetryCost %v is negative", p.RetryCost)
+	}
+	if p.HedgeCost < 0 {
+		return fmt.Errorf("budget policy: HedgeCost %v is negative", p.HedgeCost)
+	}
+	return nil
+}
+
+// spendBudgetLocked takes cost tokens from the shared bucket, reporting
+// whether they were available. Callers hold retryMu; a disabled budget
+// always grants.
+func (d *Deployment) spendBudgetLocked(cost float64) bool {
+	if !d.cfg.Budget.enabled() {
+		return true
+	}
+	if d.budgetTokens < cost {
+		return false
+	}
+	d.budgetTokens -= cost
+	return true
+}
+
+// spendRetryToken claims one retry from the deployment-wide budget.
+func (d *Deployment) spendRetryToken() bool {
+	d.retryMu.Lock()
+	defer d.retryMu.Unlock()
+	return d.spendBudgetLocked(d.cfg.Budget.retryCost())
+}
+
+// earnBudgetToken credits the bucket for one first-attempt success,
+// saturating at MaxTokens.
+func (d *Deployment) earnBudgetToken() {
+	if !d.cfg.Budget.enabled() {
+		return
+	}
+	d.retryMu.Lock()
+	d.budgetTokens = math.Min(d.budgetTokens+d.cfg.Budget.earn(), d.cfg.Budget.MaxTokens)
+	d.retryMu.Unlock()
+}
+
+// BudgetTokens reports the current shared retry-budget balance (the
+// configured maximum when the budget is disabled — callers read it as
+// "headroom", and a disabled budget never denies).
+func (d *Deployment) BudgetTokens() float64 {
+	d.retryMu.Lock()
+	defer d.retryMu.Unlock()
+	return d.budgetTokens
+}
+
+// SetHedgingDisabled turns speculative duplicate invocations off (or
+// back on) at runtime without redeploying — the brownout controller's
+// first degradation rung. Safe on the serving hot path: one atomic-free
+// mutex-guarded flag read per hedge decision.
+func (d *Deployment) SetHedgingDisabled(off bool) {
+	d.retryMu.Lock()
+	d.hedgeOff = off
+	d.retryMu.Unlock()
+}
+
+// hedgingDisabled reports the runtime hedge override.
+func (d *Deployment) hedgingDisabled() bool {
+	d.retryMu.Lock()
+	defer d.retryMu.Unlock()
+	return d.hedgeOff
+}
+
 // Validate rejects nonsensical retry policies at deployment time, so a
 // mistake like Multiplier 0.5 surfaces as a clear error instead of being
 // silently replaced with the default inside backoff().

@@ -140,6 +140,7 @@ type retryInfo struct {
 	hedgeWon      bool      // the returned result came from the hedge
 	finalHedge    *hedgeRec // the final attempt's losing shadow, if any
 	shortCircuits int       // attempts consumed by an open breaker
+	budgetDenied  int       // retries/hedges skipped by the global budget
 
 	// Trace material: the failed attempts in order, the successful
 	// attempt's charges, and the storage-held-through-retries charge.
@@ -200,6 +201,16 @@ func (d *Deployment) retryGate(ri *retryInfo, step *retryStep, st *jobState, err
 	bo := d.backoff(ri.attempts)
 	if st.deadlined() && st.elapsed+opDelay+bo+redispatch >= st.deadline {
 		return true, &DeadlineError{Op: opKind + opName, Deadline: st.deadline, Elapsed: st.elapsed + opDelay, Cause: err}
+	}
+	// The deployment-wide token bucket is the last gate, so tokens map
+	// one-to-one onto retries that actually run: when it is empty the
+	// retry is skipped entirely — no wait, no further attempt, nothing
+	// billed — and a fault storm cannot amplify itself through retries
+	// (see BudgetPolicy).
+	if !d.spendRetryToken() {
+		ri.budgetDenied++
+		d.noteBudgetDenied("retry")
+		return true, &BudgetExhaustedError{Op: opKind + opName, Attempts: ri.attempts, Cause: err}
 	}
 	ri.backoff += bo
 	step.backoff = bo
@@ -346,6 +357,11 @@ func (d *Deployment) invokeWithRetry(p *partition, payload []byte, eager bool, h
 			}
 			d.recordOutcome(p, d.breakerNow(st, &ri), true)
 			d.recordLatency(p, res.Duration)
+			if ri.attempts == 1 && ri.hedges == 0 {
+				// A clean first-attempt success earns the budget back:
+				// healthy traffic replenishes what storms spend.
+				d.earnBudgetToken()
+			}
 			ri.finalBucket = bucket
 			if hold := ri.wasted + ri.backoff + ri.hedgeExtra; hold > 0 {
 				// Upstream intermediates sat in S3 through the failed
@@ -535,15 +551,48 @@ func (d *Deployment) newBucket(st *jobState) *obs.CostBucket {
 	return d.cfg.Tracer.NewBucket()
 }
 
-// takeHedgeSlot claims one hedge under the deployment-wide rate cap.
+// takeHedgeSlot claims one hedge under the deployment-wide rate cap,
+// the brownout hedge override, and the global retry budget: a skipped
+// hedge is not an error — the primary attempt keeps running — but an
+// empty bucket means no speculative duplicate is launched.
 func (d *Deployment) takeHedgeSlot() bool {
 	d.retryMu.Lock()
-	defer d.retryMu.Unlock()
-	if !d.hedgeAllowedLocked() {
+	if d.hedgeOff || !d.hedgeAllowedLocked() {
+		d.retryMu.Unlock()
+		return false
+	}
+	if !d.spendBudgetLocked(d.cfg.Budget.hedgeCost()) {
+		d.retryMu.Unlock()
+		d.noteBudgetDenied("hedge")
 		return false
 	}
 	d.hedgesTotal++
+	d.retryMu.Unlock()
 	return true
+}
+
+// noteBudgetDenied publishes one budget denial: a counter labeled with
+// what was denied, plus a window-stream gauge of the remaining balance.
+func (d *Deployment) noteBudgetDenied(kind string) {
+	d.retryMu.Lock()
+	d.budgetDenied++
+	tokens := d.budgetTokens
+	d.retryMu.Unlock()
+	name := fmt.Sprintf("coordinator_budget_denied_total{kind=%q}", kind)
+	d.cfg.Metrics.Inc(name, 1)
+	if ts := d.cfg.Series; ts != nil {
+		at := d.cfg.Platform.Now()
+		ts.Inc(at, name, 1)
+		ts.Gauge(at, "coordinator_retry_budget_tokens", tokens)
+	}
+}
+
+// BudgetDenied reports how many retries/hedges the deployment-wide
+// budget has skipped so far.
+func (d *Deployment) BudgetDenied() int64 {
+	d.retryMu.Lock()
+	defer d.retryMu.Unlock()
+	return d.budgetDenied
 }
 
 // recordOutcome feeds one real invocation outcome to the partition's
@@ -616,6 +665,9 @@ func (d *Deployment) putWithRetry(key string, data []byte, st *jobState) (time.D
 			tr.SetSink(prevSink)
 		}
 		if err == nil {
+			if ri.attempts == 1 {
+				d.earnBudgetToken()
+			}
 			ri.finalBucket = bucket
 			return dur, ri, nil
 		}

@@ -82,6 +82,7 @@ type Report struct {
 	Hedges        int     // speculative duplicates launched
 	HedgeWins     int     // operations won by the hedge
 	ShortCircuits int     // attempts consumed by an open breaker
+	BudgetDenied  int     // retries/hedges skipped by the global budget
 	WastedSpend   float64 // execution spend on failed/cancelled invocations
 
 	// Trace is the job's span tree (job → upload/invocations → attempts
@@ -410,6 +411,7 @@ func (d *Deployment) recordRetries(rep *Report, ri retryInfo) {
 	rep.Hedges += ri.hedges
 	rep.HedgeWins += ri.hedgeWins
 	rep.ShortCircuits += ri.shortCircuits
+	rep.BudgetDenied += ri.budgetDenied
 	rep.WastedSpend += ri.wastedCost
 }
 

@@ -167,6 +167,17 @@ type SubmitOptions struct {
 	// Breaker short-circuits invocations of persistently failing
 	// partition functions (zero value disables the breaker).
 	Breaker coordinator.BreakerPolicy
+	// Budget is the global retry budget shared across every retry and
+	// hedge the deployment attempts (zero value leaves retries
+	// unbudgeted).
+	Budget coordinator.BudgetPolicy
+	// Brownout is the default adaptive-degradation policy for
+	// Service.Serve (zero value disables the controller).
+	Brownout serving.BrownoutPolicy
+	// FallbackBits, when non-zero, additionally deploys a quantized
+	// fallback copy of the plan (8 or 4 bits) for brownout's plan-swap
+	// rung; Service.Serve wires it in automatically.
+	FallbackBits int
 	// Pipeline is the default pipelined-serving policy for Service.Serve
 	// (zero value keeps the sequential admission scheduler).
 	Pipeline serving.PipelinePolicy
@@ -182,6 +193,11 @@ type Service struct {
 	model      *nn.Model
 	Plan       *optimizer.Plan
 	deployment *coordinator.Deployment
+	// fallback is the quantized copy of the same plan deployed when the
+	// submission asked for FallbackBits; brownout swaps admissions onto
+	// it at its plan-swap rung.
+	fallback *coordinator.Deployment
+	brownout serving.BrownoutPolicy
 	// BatchPlan is the optimizer's batch-size co-plan for the deployed
 	// partitioning: per-size time/cost evaluations against the chosen
 	// memory blocks and the SLO, and the recommended size (Chosen).
@@ -248,16 +264,35 @@ func (f *Framework) Submit(model *nn.Model, weights nn.Weights, opts SubmitOptio
 		Platform: f.platform, Store: f.store, NamePrefix: prefix,
 		SkipCompute: opts.SkipCompute, QuantizeBits: opts.QuantizeBits,
 		Retry: opts.Retry, Deadline: opts.Deadline, Hedge: opts.Hedge,
-		Breaker: opts.Breaker, Tracer: f.tracer, Metrics: f.metrics,
-		Series: f.series,
+		Breaker: opts.Breaker, Budget: opts.Budget, Tracer: f.tracer,
+		Metrics: f.metrics, Series: f.series,
 	}, model, weights, plan)
 	if err != nil {
 		return nil, fmt.Errorf("core: deploying %q: %w", model.Name, err)
 	}
+	var fb *coordinator.Deployment
+	if opts.FallbackBits > 0 {
+		// The fallback reuses the exact partition plan — same stage count,
+		// same functions-per-request shape — with quantized packages, so a
+		// mid-run swap never changes the pipeline's structure, only the
+		// bytes each stage loads.
+		fb, err = coordinator.Deploy(coordinator.Config{
+			Platform: f.platform, Store: f.store,
+			NamePrefix:  prefix + "-fallback",
+			SkipCompute: opts.SkipCompute, QuantizeBits: opts.FallbackBits,
+			Retry: opts.Retry, Deadline: opts.Deadline, Hedge: opts.Hedge,
+			Breaker: opts.Breaker, Budget: opts.Budget, Tracer: f.tracer,
+			Metrics: f.metrics, Series: f.series,
+		}, model, weights, plan)
+		if err != nil {
+			dep.Teardown()
+			return nil, fmt.Errorf("core: deploying %q fallback: %w", model.Name, err)
+		}
+	}
 	return &Service{
 		framework: f, model: model, Plan: plan, BatchPlan: batchPlan,
-		pipeline: opts.Pipeline, batch: opts.Batch,
-		deployment: dep, PlanningTime: planning,
+		pipeline: opts.Pipeline, batch: opts.Batch, brownout: opts.Brownout,
+		deployment: dep, fallback: fb, PlanningTime: planning,
 	}, nil
 }
 
@@ -320,6 +355,12 @@ func (s *Service) Serve(inputs []*tensor.Tensor, arrivals []time.Duration, cfg s
 	} else if cfg.Batch.MaxBatch > 1 {
 		cfg.Batch.MaxBatch = s.BatchPlan.Clamp(cfg.Batch.MaxBatch)
 	}
+	if !cfg.Brownout.Enabled {
+		cfg.Brownout = s.brownout
+	}
+	if cfg.Fallback == nil {
+		cfg.Fallback = s.fallback
+	}
 	return serving.Serve(cfg, inputs, arrivals)
 }
 
@@ -342,8 +383,17 @@ func (s *Service) ColdStart() {
 // shared platform directly.
 func (s *Service) Deployment() *coordinator.Deployment { return s.deployment }
 
-// Close tears the deployment down.
-func (s *Service) Close() { s.deployment.Teardown() }
+// Close tears the deployment (and any fallback) down.
+func (s *Service) Close() {
+	s.deployment.Teardown()
+	if s.fallback != nil {
+		s.fallback.Teardown()
+	}
+}
+
+// Fallback exposes the quantized fallback deployment, if the submission
+// requested one via FallbackBits (nil otherwise).
+func (s *Service) Fallback() *coordinator.Deployment { return s.fallback }
 
 // Partitions reports how many lambdas serve the model.
 func (s *Service) Partitions() int { return s.deployment.Partitions() }

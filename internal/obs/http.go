@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"sync"
@@ -36,7 +37,9 @@ func (st *ServeState) SetSpans(fn func() []*Span) {
 // Handler returns the HTTP handler exposing the telemetry:
 //
 //	/metrics        Prometheus text exposition of the cumulative registry
-//	/metrics/stream NDJSON window stream (one WindowFrame per line)
+//	/metrics/stream NDJSON window stream (one WindowFrame per line);
+//	                ?follow=1 keeps the response open and tails new
+//	                windows live until the series closes
 //	/spans          sampled span trees as Chrome trace-event JSON
 //	/               plain-text index of the above
 func (st *ServeState) Handler() http.Handler {
@@ -58,7 +61,7 @@ func (st *ServeState) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-func (st *ServeState) handleStream(w http.ResponseWriter, _ *http.Request) {
+func (st *ServeState) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	st.mu.Lock()
 	ts := st.series
@@ -66,8 +69,94 @@ func (st *ServeState) handleStream(w http.ResponseWriter, _ *http.Request) {
 	if ts == nil {
 		return
 	}
-	if err := ts.WriteNDJSON(w); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+	if r.URL.Query().Get("follow") == "" {
+		if err := ts.WriteNDJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	st.followStream(w, r, ts)
+}
+
+// followStream serves /metrics/stream?follow=1: the flushed history
+// first, then each new window as it is flushed, until the series is
+// closed (the run is over and its final partial window has been
+// delivered) or the client goes away. The subscriber callback runs
+// under the series lock on the event loop's goroutine, so it never
+// blocks: frames a slow client cannot absorb are dropped from the live
+// tail (the snapshot endpoints still carry the complete stream).
+func (st *ServeState) followStream(w http.ResponseWriter, r *http.Request, ts *TimeSeries) {
+	ch := make(chan *WindowFrame, 1024)
+	cancel := ts.Subscribe(func(f *WindowFrame) {
+		select {
+		case ch <- f:
+		default:
+		}
+	})
+	defer cancel()
+
+	// The snapshot below races with frames flushing into the channel;
+	// frame indexes strictly increase in flush order, so tracking the
+	// last written index dedups the overlap.
+	last := int64(-1)
+	for _, f := range ts.Frames() {
+		if err := writeFrame(w, f); err != nil {
+			return
+		}
+		last = f.Index
+	}
+	flush(w)
+
+	emit := func(f *WindowFrame) bool {
+		if f.Index <= last {
+			return true
+		}
+		if err := writeFrame(w, f); err != nil {
+			return false
+		}
+		last = f.Index
+		flush(w)
+		return true
+	}
+	for {
+		select {
+		case f := <-ch:
+			if !emit(f) {
+				return
+			}
+		case <-ts.Done():
+			// Drain what the subscriber enqueued before the close, then
+			// finish the response: followers see the tail window instead
+			// of hanging on a dead series.
+			for {
+				select {
+				case f := <-ch:
+					if !emit(f) {
+						return
+					}
+				default:
+					return
+				}
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeFrame(w http.ResponseWriter, f *WindowFrame) error {
+	b, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+func flush(w http.ResponseWriter) {
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
 	}
 }
 
@@ -93,6 +182,6 @@ func (st *ServeState) handleIndex(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, "ampsinf telemetry\n\n"+
 		"/metrics        Prometheus text exposition\n"+
-		"/metrics/stream NDJSON window stream\n"+
+		"/metrics/stream NDJSON window stream (?follow=1 tails live windows)\n"+
 		"/spans          sampled Chrome trace (load in ui.perfetto.dev)\n")
 }

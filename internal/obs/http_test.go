@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bufio"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Subscribe's cancel func must remove exactly its own subscription and
+// leave the delivery order of the rest intact.
+func TestSubscribeCancel(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	var order []string
+	sub := func(tag string) func(*WindowFrame) {
+		return func(*WindowFrame) { order = append(order, tag) }
+	}
+	cancelA := ts.Subscribe(sub("a"))
+	ts.Subscribe(sub("b"))
+	ts.Subscribe(sub("c"))
+
+	ts.Inc(100*time.Millisecond, "x", 1)
+	ts.Flush()
+	if got := strings.Join(order, ""); got != "abc" {
+		t.Fatalf("delivery order %q, want abc", got)
+	}
+	order = nil
+	cancelA()
+	cancelA() // idempotent
+	ts.Inc(1200*time.Millisecond, "x", 1)
+	ts.Flush()
+	if got := strings.Join(order, ""); got != "bc" {
+		t.Fatalf("delivery after cancel %q, want bc", got)
+	}
+	if c := (&TimeSeries{}).Subscribe(nil); c == nil {
+		t.Fatal("nil-fn Subscribe returned nil cancel")
+	}
+}
+
+// Done fires exactly when the series closes; a nil series is born done.
+func TestTimeSeriesDone(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	select {
+	case <-ts.Done():
+		t.Fatal("open series reported done")
+	default:
+	}
+	ts.Close()
+	ts.Close() // idempotent
+	select {
+	case <-ts.Done():
+	default:
+		t.Fatal("closed series not done")
+	}
+	var nilTS *TimeSeries
+	select {
+	case <-nilTS.Done():
+	default:
+		t.Fatal("nil series not done")
+	}
+}
+
+// /metrics/stream?follow=1 replays the flushed history, tails windows
+// flushed while the response is open, and terminates — with the final
+// partial window delivered — when the series closes.
+func TestStreamFollowDrainsOnClose(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	st := NewServeState(nil, ts)
+	srv := httptest.NewServer(st.Handler())
+	defer srv.Close()
+
+	ts.Inc(500*time.Millisecond, "jobs", 1) // window 0
+	ts.Advance(2 * time.Second)             // flushed before the request
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics/stream?follow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no snapshot line: %v", sc.Err())
+	}
+	if !strings.Contains(sc.Text(), `"window":0`) {
+		t.Fatalf("first line is not window 0: %s", sc.Text())
+	}
+
+	ts.Inc(2500*time.Millisecond, "jobs", 2) // window 2
+	ts.Advance(3 * time.Second)
+	if !sc.Scan() {
+		t.Fatalf("live window never arrived: %v", sc.Err())
+	}
+	if !strings.Contains(sc.Text(), `"window":2`) {
+		t.Fatalf("live line is not window 2: %s", sc.Text())
+	}
+
+	ts.Inc(3100*time.Millisecond, "jobs", 3) // partial window 3
+	ts.Close()
+	if !sc.Scan() {
+		t.Fatalf("tail window dropped at close: %v", sc.Err())
+	}
+	if !strings.Contains(sc.Text(), `"window":3`) {
+		t.Fatalf("tail line is not window 3: %s", sc.Text())
+	}
+	// The response must now end instead of hanging on the dead series.
+	if sc.Scan() {
+		t.Fatalf("stream kept going after close: %s", sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream did not terminate cleanly: %v", err)
+	}
+}

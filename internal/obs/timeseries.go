@@ -41,7 +41,10 @@ type TimeSeries struct {
 	curAgg    *windowAgg // cache of the most recently touched open window
 	frames    []*WindowFrame
 	retain    int
-	subs      []func(*WindowFrame)
+	subs      []seriesSub
+	subID     int
+	closed    bool
+	done      chan struct{}
 
 	// Slot registries: name → dense index, shared by every window.
 	counterIdx map[string]int32
@@ -93,7 +96,37 @@ func NewTimeSeries(window time.Duration) *TimeSeries {
 	if window <= 0 {
 		window = time.Second
 	}
-	return &TimeSeries{window: window, pending: make(map[int64]*windowAgg)}
+	return &TimeSeries{
+		window:  window,
+		pending: make(map[int64]*windowAgg),
+		done:    make(chan struct{}),
+	}
+}
+
+// seriesSub is one registered subscriber; the id lets Subscribe's cancel
+// func remove it without disturbing the deterministic delivery order of
+// the others.
+type seriesSub struct {
+	id int
+	fn func(*WindowFrame)
+}
+
+// closedSeriesDone is the Done channel of a nil series: already closed,
+// so selects against it never block.
+var closedSeriesDone = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// Done returns a channel that is closed when the series is Closed — no
+// further frames will be flushed after it fires. A nil series is always
+// done.
+func (ts *TimeSeries) Done() <-chan struct{} {
+	if ts == nil {
+		return closedSeriesDone
+	}
+	return ts.done
 }
 
 // Window returns the configured window width (0 from a nil series).
@@ -119,14 +152,30 @@ func (ts *TimeSeries) SetRetention(n int) {
 
 // Subscribe registers fn to be called with each frame as it is flushed,
 // in window order. fn runs under the series lock and must not call back
-// into the series.
-func (ts *TimeSeries) Subscribe(fn func(*WindowFrame)) {
+// into the series. The returned cancel func removes the subscription
+// (idempotent, safe from any goroutine, but not from inside fn — that
+// would deadlock on the series lock); delivery order of the remaining
+// subscribers is preserved. Subscribing to a nil series returns a no-op
+// cancel.
+func (ts *TimeSeries) Subscribe(fn func(*WindowFrame)) (cancel func()) {
 	if ts == nil || fn == nil {
-		return
+		return func() {}
 	}
 	ts.mu.Lock()
-	defer ts.mu.Unlock()
-	ts.subs = append(ts.subs, fn)
+	ts.subID++
+	id := ts.subID
+	ts.subs = append(ts.subs, seriesSub{id: id, fn: fn})
+	ts.mu.Unlock()
+	return func() {
+		ts.mu.Lock()
+		defer ts.mu.Unlock()
+		for i := range ts.subs {
+			if ts.subs[i].id == id {
+				ts.subs = append(ts.subs[:i], ts.subs[i+1:]...)
+				return
+			}
+		}
+	}
 }
 
 // --- slot registries ---
@@ -483,8 +532,9 @@ func (ts *TimeSeries) Flush() {
 	}
 }
 
-// Close flushes every still-open window. Call it once the run is over,
-// before exporting the stream.
+// Close flushes every still-open window — the final partial window of a
+// run included — and then fires Done, releasing live-stream followers.
+// Call it once the run is over, before exporting the stream. Idempotent.
 func (ts *TimeSeries) Close() {
 	if ts == nil {
 		return
@@ -492,6 +542,10 @@ func (ts *TimeSeries) Close() {
 	ts.mu.Lock()
 	defer ts.mu.Unlock()
 	ts.flushLocked(math.MaxInt64)
+	if !ts.closed {
+		ts.closed = true
+		close(ts.done)
+	}
 }
 
 // flushLocked emits every pending window with index < target.
@@ -516,8 +570,8 @@ func (ts *TimeSeries) flushLocked(target int64) {
 		delete(ts.pending, idx)
 		ts.recycleAggLocked(w)
 		ts.frames = append(ts.frames, frame)
-		for _, fn := range ts.subs {
-			fn(frame)
+		for _, s := range ts.subs {
+			s.fn(frame)
 		}
 	}
 	ts.curAgg = nil

@@ -527,7 +527,7 @@ func servePipelinedLegacy(cfg Config, inputs []*tensor.Tensor, arrivals []time.D
 
 			if slo.Shed && (elapsed >= slo.Deadline ||
 				(estN > 0 && elapsed+estSum/time.Duration(estN) > slo.Deadline)) {
-				shedUnit(rep, &hScratch, &hAcc, &pendingUnit{unit: p.unit, readyAt: p.readyAt, attempts: p.attempts, arrs: arrivals[p.unit.First : p.unit.First+p.unit.Size], wait: p.wait, waits: p.waits}, now, h, false)
+				shedUnit(rep, &hScratch, &hAcc, &pendingUnit{unit: p.unit, readyAt: p.readyAt, attempts: p.attempts, arrs: arrivals[p.unit.First : p.unit.First+p.unit.Size], wait: p.wait, waits: p.waits}, now, h, false, false)
 				continue
 			}
 

@@ -21,6 +21,10 @@ type stageJob struct {
 	seq  int
 	unit batchUnit
 	sj   *coordinator.StagedJob
+	// dep is the deployment this unit was admitted onto — the primary,
+	// or the quantized fallback while brownout holds the fallback rung —
+	// so settled reports recycle into the pool they came from.
+	dep *coordinator.Deployment
 	// start is the absolute admission instant (the job's time zero);
 	// prevEnd the absolute end of the job's last completed step (the
 	// input upload before stage 0).
@@ -143,6 +147,11 @@ type unitCoalescer struct {
 	haveNext bool
 	nextIdx  int
 	lastArr  time.Duration
+	// ctl, when set, widens the batch window while brownout holds the
+	// wide-batch rung or below. The jitter draw happens regardless, so
+	// the rng stream — and with it every batch after recovery — stays
+	// aligned with an unwidened run.
+	ctl *brownoutCtl
 }
 
 func newUnitCoalescer(src sim.Source, pol BatchPolicy, rng *rand.Rand) *unitCoalescer {
@@ -171,7 +180,11 @@ func (c *unitCoalescer) next(arrs []time.Duration) (u batchUnit, _ []time.Durati
 	if !c.pol.enabled() {
 		return batchUnit{First: first, Size: 1, DispatchAt: lead}, arrs, true, nil
 	}
-	deadline := satAdd(lead, batchWindow(c.pol, c.rng))
+	w := batchWindow(c.pol, c.rng)
+	if f, ok := c.ctl.widenBatch(); ok {
+		w = time.Duration(float64(w) * f)
+	}
+	deadline := satAdd(lead, w)
 	for c.haveNext && len(arrs) < c.pol.MaxBatch && c.nextArr <= deadline {
 		if c.nextArr < c.lastArr {
 			return batchUnit{}, arrs, false, fmt.Errorf("serving: arrivals not sorted at %d", c.nextIdx)
@@ -247,6 +260,28 @@ func runPipelined(cfg Config, src sim.Source, input func(int) *tensor.Tensor, st
 	sampler := cfg.Sample.sampler()
 	slo := cfg.SLO
 
+	// Brownout controller, as in the sequential loop. The coalescer only
+	// sees live levels in stream mode — retained runs coalesce the whole
+	// trace up front, before any window has flushed.
+	var ctl *brownoutCtl
+	fallback := cfg.Fallback
+	if cfg.Brownout.enabled() {
+		ctl = newBrownoutCtl(cfg.Brownout)
+		ts.Subscribe(ctl.observe)
+	}
+	applyBrownout := func(now time.Duration) {
+		if ctl == nil || ctl.level == ctl.applied {
+			return
+		}
+		ctl.applied = ctl.level
+		h.tsBrownoutLevel.Set(now, float64(ctl.level))
+		hedgeOff := ctl.level >= BrownoutNoHedge
+		dep.SetHedgingDisabled(hedgeOff)
+		if fallback != nil {
+			fallback.SetHedgingDisabled(hedgeOff)
+		}
+	}
+
 	depth := cfg.Pipeline.Depth
 	if depth < 1 {
 		depth = 1
@@ -288,6 +323,7 @@ func runPipelined(cfg Config, src sim.Source, input func(int) *tensor.Tensor, st
 	var admitQ sim.Heap
 	var evs sim.Heap
 	coal := newUnitCoalescer(src, cfg.Batch, brng)
+	coal.ctl = ctl
 	var arrsBuf []time.Duration
 
 	// Stream mode holds one coalesced unit beyond the admission frontier;
@@ -414,6 +450,7 @@ func runPipelined(cfg Config, src sim.Source, input func(int) *tensor.Tensor, st
 				jr.Hedges = jrep.Hedges
 				jr.HedgeWins = jrep.HedgeWins
 				jr.ShortCircuits = jrep.ShortCircuits
+				jr.BudgetDenied = jrep.BudgetDenied
 				jr.WastedSpend = jrep.WastedSpend
 				for _, lr := range jrep.PerLambda {
 					if lr.Cold {
@@ -460,9 +497,12 @@ func runPipelined(cfg Config, src sim.Source, input func(int) *tensor.Tensor, st
 		if deadlined && slo.Deadline == 0 && !slo.TolerateFailures {
 			return fmt.Errorf("serving: request %d: %w", j.unit.First, err)
 		}
+		budgetOut := !deadlined && coordinator.IsBudgetExhausted(err)
 		outcome := OutcomeFailed
 		if deadlined {
 			outcome = OutcomeDeadline
+		} else if budgetOut {
+			outcome = OutcomeBudgetExhausted
 		}
 		frep := j.sj.Rep()
 		var failDur time.Duration
@@ -476,16 +516,20 @@ func runPipelined(cfg Config, src sim.Source, input func(int) *tensor.Tensor, st
 		done := j.start + failDur
 		fill(j, frep, done, outcome, err.Error())
 		for k := 0; k < j.unit.Size; k++ {
-			if deadlined {
+			switch {
+			case deadlined:
 				h.deadline.Inc(1)
 				h.tsDeadline.Inc(done, 1)
-			} else {
+			case budgetOut:
+				h.budgetExhausted.Inc(1)
+				h.tsBudgetExhausted.Inc(done, 1)
+			default:
 				h.failures.Inc(1)
 				h.tsFailures.Inc(done, 1)
 			}
 		}
 		if stream {
-			dep.ReleaseReport(frep)
+			j.dep.ReleaseReport(frep)
 		}
 		return nil
 	}
@@ -569,10 +613,20 @@ func runPipelined(cfg Config, src sim.Source, input func(int) *tensor.Tensor, st
 					h.tsQueueDepth.Set(now, float64(d))
 				}
 			}
+			applyBrownout(now)
+
+			// Brownout's deepest rung rejects whole units at admission,
+			// billed through its own counter so the health triggers see
+			// post-shed windows as healthy (see the sequential loop).
+			if ctl.Level() >= BrownoutShed {
+				shedUnit(rep, &scratch, &acc, p, now, h, stream, true)
+				units.Free(uid)
+				continue
+			}
 
 			if slo.Shed && (elapsed >= slo.Deadline ||
 				(estN > 0 && elapsed+estSum/time.Duration(estN) > slo.Deadline)) {
-				shedUnit(rep, &scratch, &acc, p, now, h, stream)
+				shedUnit(rep, &scratch, &acc, p, now, h, stream, false)
 				units.Free(uid)
 				continue
 			}
@@ -627,7 +681,16 @@ func runPipelined(cfg Config, src sim.Source, input func(int) *tensor.Tensor, st
 				ph.tsBatches.Inc(now, 1)
 			}
 			ph.tsBatchSize.Observe(now, float64(u.Size))
-			sj, err := dep.BeginStaged(in, coordinator.StagedOptions{
+			// Brownout's fallback rung routes this unit onto the quantized
+			// deployment; the shared platform and meter keep costs exact.
+			curDep := dep
+			if ctl.Level() >= BrownoutFallback && fallback != nil {
+				curDep = fallback
+				rep.FallbackServed += u.Size
+				h.fallback.Inc(int64(u.Size))
+				h.tsFallback.Inc(now, int64(u.Size))
+			}
+			sj, err := curDep.BeginStaged(in, coordinator.StagedOptions{
 				Deadline: jobDeadline,
 				Batch:    u.Size,
 				NoTrace:  stream || !sampler.Keep(uint64(leader)),
@@ -637,6 +700,7 @@ func runPipelined(cfg Config, src sim.Source, input func(int) *tensor.Tensor, st
 			j.seq = seqCounter
 			j.unit = u
 			j.sj = sj
+			j.dep = curDep
 			j.start = now
 			j.prevEnd = 0
 			j.next = 0
@@ -668,6 +732,7 @@ func runPipelined(cfg Config, src sim.Source, input func(int) *tensor.Tensor, st
 		pl.AdvanceTo(e.At)
 		now := pl.Now()
 		ts.Advance(now)
+		applyBrownout(now)
 
 		switch e.Class {
 		case evFinish:
@@ -685,7 +750,7 @@ func runPipelined(cfg Config, src sim.Source, input func(int) *tensor.Tensor, st
 			estSum += jrep.Completion
 			estN++
 			if stream {
-				dep.ReleaseReport(jrep)
+				j.dep.ReleaseReport(jrep)
 			}
 			for k := 0; k < j.unit.Size; k++ {
 				queueSec := (j.start - j.arrs[k]).Seconds()
@@ -741,12 +806,15 @@ func runPipelined(cfg Config, src sim.Source, input func(int) *tensor.Tensor, st
 	mx.Gauge("serving_peak_in_flight", float64(rep.PeakInFlight))
 	cfg.Series.Advance(rep.Makespan)
 	cfg.Series.Flush()
+	finishBrownout(ctl, rep, mx, dep, fallback)
 	return rep, nil
 }
 
 // shedUnit records an admission-control rejection for every member of a
-// pending unit, mirroring the sequential loop's shed bookkeeping.
-func shedUnit(rep *Report, scratch *JobResult, acc *summaryAcc, p *pendingUnit, now time.Duration, h serveHandles, stream bool) {
+// pending unit, mirroring the sequential loop's shed bookkeeping. With
+// brown set the rejection came from brownout's deepest rung and bills
+// through the brownout counter instead of serving_shed_total.
+func shedUnit(rep *Report, scratch *JobResult, acc *summaryAcc, p *pendingUnit, now time.Duration, h serveHandles, stream, brown bool) {
 	for k := 0; k < p.unit.Size; k++ {
 		idx := p.unit.First + k
 		jr := scratch
@@ -767,8 +835,14 @@ func shedUnit(rep *Report, scratch *JobResult, acc *summaryAcc, p *pendingUnit, 
 		if !stream {
 			jr.Trace = requestSpan(jr, p.waits, nil)
 		}
-		h.shed.Inc(1)
-		h.tsShed.Inc(now, 1)
+		if brown {
+			rep.BrownoutShed++
+			h.brownoutShed.Inc(1)
+			h.tsBrownoutShed.Inc(now, 1)
+		} else {
+			h.shed.Inc(1)
+			h.tsShed.Inc(now, 1)
+		}
 		if stream {
 			acc.fold(rep, jr)
 		}

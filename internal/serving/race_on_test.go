@@ -1,0 +1,10 @@
+//go:build race
+
+package serving
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. Allocation-count tests skip under it: race instrumentation
+// inhibits inlining and escape analysis, so values that live on the
+// stack in production builds are heap-allocated, and the per-request
+// slope those tests pin stops measuring the hot path.
+const raceEnabled = true

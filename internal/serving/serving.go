@@ -87,6 +87,10 @@ const (
 	OutcomeThrottled = "throttled"
 	// OutcomeFailed: the job failed terminally for any other reason.
 	OutcomeFailed = "failed"
+	// OutcomeBudgetExhausted: the job faulted and the global retry budget
+	// had no tokens left to pay for another attempt, so the coordinator
+	// gave up with zero additional spend.
+	OutcomeBudgetExhausted = "budget-exhausted"
 )
 
 // SLOPolicy makes a serving run deadline-aware: each request carries a
@@ -147,6 +151,17 @@ type Config struct {
 	// Sample head-samples request span trees (see SamplePolicy). The
 	// zero value keeps always-on tracing byte for byte.
 	Sample SamplePolicy
+	// Brownout closes the loop from the Series window stream back into
+	// the scheduler: unhealthy windows step a degradation ladder
+	// (disable hedging → widen batch window → quantized fallback → hard
+	// shed) with hysteresis. Requires Series. The zero value keeps every
+	// run byte for byte.
+	Brownout BrownoutPolicy
+	// Fallback is the pre-planned degraded deployment (same partition
+	// plan, quantized weights) brownout swaps admissions onto at
+	// BrownoutFallback. It must share the primary deployment's platform
+	// so one meter keeps billing everything.
+	Fallback *coordinator.Deployment
 	// Metrics, when set, receives serving-level counters and histograms.
 	Metrics *obs.Metrics
 	// Series, when set, receives the windowed time-series stream of the
@@ -185,7 +200,10 @@ type JobResult struct {
 	Hedges        int
 	HedgeWins     int
 	ShortCircuits int
-	WastedSpend   float64
+	// BudgetDenied counts retry/hedge attempts this request wanted but
+	// the empty global budget refused.
+	BudgetDenied int
+	WastedSpend  float64
 	// Trace is the request's span tree on the absolute serving clock:
 	// a request root containing the queueing wait and the shifted
 	// coordinator job tree.
@@ -234,6 +252,9 @@ type Report struct {
 	Deadline    int // failed fast mid-run on the deadline
 	Throttled   int // admission retries exhausted (tolerated)
 	Failed      int // other terminal failures (tolerated)
+	// BudgetExhausted counts requests that failed because the global
+	// retry budget refused their recovery attempt (tolerated).
+	BudgetExhausted int
 	// Goodput is deadline-meeting completions per simulated second;
 	// CostPerGood the total spend per such completion (0 when none).
 	Goodput     float64
@@ -247,6 +268,20 @@ type Report struct {
 	Hedges        int
 	HedgeWins     int
 	ShortCircuits int
+	// BudgetDenied totals retry/hedge attempts refused by the empty
+	// global budget across all requests (many of those requests still
+	// completed on their in-flight attempt).
+	BudgetDenied int
+
+	// Brownout accounting (zero unless the controller is enabled):
+	// BrownoutShed counts admissions rejected by the ladder's deepest
+	// rung (they also appear in Shed), FallbackServed the requests
+	// executed on the quantized fallback deployment, BrownoutDeepest the
+	// deepest level reached, and BrownoutTransitions the ladder moves.
+	BrownoutShed        int
+	FallbackServed      int
+	BrownoutDeepest     int
+	BrownoutTransitions int
 }
 
 // Traces returns the jobs' span trees in arrival order — the input
@@ -280,40 +315,49 @@ func (r *Report) requests() int {
 type serveHandles struct {
 	shed, throttles, admFail, deadline, failures, jobs obs.CounterHandle
 	spansSampled, spansDropped                         obs.CounterHandle
+	budgetExhausted, brownoutShed, fallback            obs.CounterHandle
 	cost                                               obs.TotalHandle
 	queueSec, latencySec                               obs.HistHandle
 	tsShed, tsThrottles, tsAdmFail, tsDeadline         obs.SeriesCounterHandle
 	tsFailures, tsJobs, tsSpansSampled, tsSpansDropped obs.SeriesCounterHandle
+	tsBudgetExhausted, tsBrownoutShed, tsFallback      obs.SeriesCounterHandle
 	tsCost                                             obs.SeriesTotalHandle
 	tsQueueSec, tsLatencySec                           obs.SeriesHistHandle
-	tsQueueDepth                                       obs.SeriesGaugeHandle
+	tsQueueDepth, tsBrownoutLevel                      obs.SeriesGaugeHandle
 }
 
 func newServeHandles(mx *obs.Metrics, ts *obs.TimeSeries) serveHandles {
 	return serveHandles{
-		shed:           mx.CounterHandle("serving_shed_total"),
-		throttles:      mx.CounterHandle("serving_throttles_total"),
-		admFail:        mx.CounterHandle("serving_admission_failures_total"),
-		deadline:       mx.CounterHandle("serving_deadline_failures_total"),
-		failures:       mx.CounterHandle("serving_failures_total"),
-		jobs:           mx.CounterHandle("serving_jobs_total"),
-		spansSampled:   mx.CounterHandle("serving_spans_sampled_total"),
-		spansDropped:   mx.CounterHandle("serving_spans_dropped_total"),
-		cost:           mx.TotalHandle("serving_cost_usd_total"),
-		queueSec:       mx.HistHandle("serving_queue_seconds", obs.DurationBounds),
-		latencySec:     mx.HistHandle("serving_latency_seconds", obs.DurationBounds),
-		tsShed:         ts.CounterHandle("serving_shed_total"),
-		tsThrottles:    ts.CounterHandle("serving_throttles_total"),
-		tsAdmFail:      ts.CounterHandle("serving_admission_failures_total"),
-		tsDeadline:     ts.CounterHandle("serving_deadline_failures_total"),
-		tsFailures:     ts.CounterHandle("serving_failures_total"),
-		tsJobs:         ts.CounterHandle("serving_jobs_total"),
-		tsSpansSampled: ts.CounterHandle("serving_spans_sampled_total"),
-		tsSpansDropped: ts.CounterHandle("serving_spans_dropped_total"),
-		tsCost:         ts.TotalHandle("serving_cost_usd_total"),
-		tsQueueSec:     ts.HistHandle("serving_queue_seconds"),
-		tsLatencySec:   ts.HistHandle("serving_latency_seconds"),
-		tsQueueDepth:   ts.GaugeHandle("serving_queue_depth"),
+		shed:              mx.CounterHandle("serving_shed_total"),
+		throttles:         mx.CounterHandle("serving_throttles_total"),
+		admFail:           mx.CounterHandle("serving_admission_failures_total"),
+		deadline:          mx.CounterHandle("serving_deadline_failures_total"),
+		failures:          mx.CounterHandle("serving_failures_total"),
+		jobs:              mx.CounterHandle("serving_jobs_total"),
+		spansSampled:      mx.CounterHandle("serving_spans_sampled_total"),
+		spansDropped:      mx.CounterHandle("serving_spans_dropped_total"),
+		budgetExhausted:   mx.CounterHandle("serving_budget_exhausted_total"),
+		brownoutShed:      mx.CounterHandle("serving_brownout_shed_total"),
+		fallback:          mx.CounterHandle("serving_fallback_total"),
+		cost:              mx.TotalHandle("serving_cost_usd_total"),
+		queueSec:          mx.HistHandle("serving_queue_seconds", obs.DurationBounds),
+		latencySec:        mx.HistHandle("serving_latency_seconds", obs.DurationBounds),
+		tsShed:            ts.CounterHandle("serving_shed_total"),
+		tsThrottles:       ts.CounterHandle("serving_throttles_total"),
+		tsAdmFail:         ts.CounterHandle("serving_admission_failures_total"),
+		tsDeadline:        ts.CounterHandle("serving_deadline_failures_total"),
+		tsFailures:        ts.CounterHandle("serving_failures_total"),
+		tsJobs:            ts.CounterHandle("serving_jobs_total"),
+		tsSpansSampled:    ts.CounterHandle("serving_spans_sampled_total"),
+		tsSpansDropped:    ts.CounterHandle("serving_spans_dropped_total"),
+		tsBudgetExhausted: ts.CounterHandle("serving_budget_exhausted_total"),
+		tsBrownoutShed:    ts.CounterHandle("serving_brownout_shed_total"),
+		tsFallback:        ts.CounterHandle("serving_fallback_total"),
+		tsCost:            ts.TotalHandle("serving_cost_usd_total"),
+		tsQueueSec:        ts.HistHandle("serving_queue_seconds"),
+		tsLatencySec:      ts.HistHandle("serving_latency_seconds"),
+		tsQueueDepth:      ts.GaugeHandle("serving_queue_depth"),
+		tsBrownoutLevel:   ts.GaugeHandle("serving_brownout_level"),
 	}
 }
 
@@ -368,6 +412,21 @@ func Serve(cfg Config, inputs []*tensor.Tensor, arrivals []time.Duration) (*Repo
 	if err := cfg.Sample.Validate(); err != nil {
 		return nil, fmt.Errorf("serving: %w", err)
 	}
+	if err := cfg.Brownout.Validate(); err != nil {
+		return nil, fmt.Errorf("serving: %w", err)
+	}
+	if cfg.Brownout.enabled() && cfg.Series == nil {
+		return nil, fmt.Errorf("serving: brownout needs a time series to observe")
+	}
+	if fb := cfg.Fallback; fb != nil {
+		if fb.Platform() != dep.Platform() {
+			return nil, fmt.Errorf("serving: fallback deployment must share the primary's platform")
+		}
+		if fb.Partitions() != dep.Partitions() {
+			return nil, fmt.Errorf("serving: fallback has %d partitions, primary %d",
+				fb.Partitions(), dep.Partitions())
+		}
+	}
 	if cfg.Pipeline.enabled() || cfg.Batch.enabled() {
 		// Depth 1 and batch size 1 are exactly today's scheduler, so only
 		// a policy that actually overlaps or coalesces takes the staged
@@ -406,6 +465,28 @@ func runSequential(cfg Config, src sim.Source, input func(int) *tensor.Tensor, s
 	tsWindow := ts.Window()
 	var depthDedup gaugeDedup
 	sampler := cfg.Sample.sampler()
+
+	// Brownout controller: subscribed to the series, it judges each
+	// flushed window inside ts.Advance; the loop enacts the level it
+	// asks for before the next admission (applyBrownout below).
+	var ctl *brownoutCtl
+	fallback := cfg.Fallback
+	if cfg.Brownout.enabled() {
+		ctl = newBrownoutCtl(cfg.Brownout)
+		ts.Subscribe(ctl.observe)
+	}
+	applyBrownout := func(now time.Duration) {
+		if ctl == nil || ctl.level == ctl.applied {
+			return
+		}
+		ctl.applied = ctl.level
+		h.tsBrownoutLevel.Set(now, float64(ctl.level))
+		hedgeOff := ctl.level >= BrownoutNoHedge
+		dep.SetHedgingDisabled(hedgeOff)
+		if fallback != nil {
+			fallback.SetHedgingDisabled(hedgeOff)
+		}
+	}
 
 	seed := cfg.Throttle.JitterSeed
 	if seed == 0 {
@@ -488,6 +569,7 @@ func runSequential(cfg Config, src sim.Source, input func(int) *tensor.Tensor, s
 				h.tsQueueDepth.Set(now, float64(depth))
 			}
 		}
+		applyBrownout(now)
 		elapsed := now - p.arrival
 
 		jr := &scratch
@@ -495,6 +577,33 @@ func runSequential(cfg Config, src sim.Source, input func(int) *tensor.Tensor, s
 			scratch = JobResult{}
 		} else {
 			jr = &rep.Jobs[p.idx]
+		}
+
+		// Brownout's deepest rung rejects every new admission outright.
+		// These rejections bill through their own counter rather than
+		// serving_shed_total, so the controller's health triggers see
+		// post-shed windows as healthy and probe back up the ladder.
+		if ctl.Level() >= BrownoutShed {
+			jr.Index = p.idx
+			jr.Arrival = p.arrival
+			jr.Start = now
+			jr.Done = now
+			jr.Queue = elapsed
+			jr.Latency = elapsed
+			jr.Throttles = p.attempts
+			jr.ThrottleWait = p.wait
+			jr.Outcome = OutcomeShed
+			if !stream {
+				jr.Trace = requestSpan(jr, p.waits, nil)
+			}
+			rep.BrownoutShed++
+			h.brownoutShed.Inc(1)
+			h.tsBrownoutShed.Inc(now, 1)
+			if stream {
+				acc.fold(rep, jr)
+			}
+			slab.Free(id)
+			continue
 		}
 
 		// SLO-aware load shedding: reject at admission when the request
@@ -580,8 +689,19 @@ func runSequential(cfg Config, src sim.Source, input func(int) *tensor.Tensor, s
 			}
 		}
 
+		// Brownout's fallback rung swaps this admission onto the
+		// quantized deployment; the shared platform and meter keep the
+		// request's marginal cost exact either way.
+		cur := dep
+		if ctl.Level() >= BrownoutFallback && fallback != nil {
+			cur = fallback
+			rep.FallbackServed++
+			h.fallback.Inc(1)
+			h.tsFallback.Inc(now, 1)
+		}
+
 		before := pl.Meter().Total()
-		jrep, err := dep.Run(input(p.idx), coordinator.RunOptions{
+		jrep, err := cur.Run(input(p.idx), coordinator.RunOptions{
 			Sequential: cfg.Sequential,
 			Deadline:   jobDeadline,
 			NoTrace:    stream || !sampler.Keep(uint64(p.idx)),
@@ -601,6 +721,7 @@ func runSequential(cfg Config, src sim.Source, input func(int) *tensor.Tensor, s
 			jr.Hedges = jrep.Hedges
 			jr.HedgeWins = jrep.HedgeWins
 			jr.ShortCircuits = jrep.ShortCircuits
+			jr.BudgetDenied = jrep.BudgetDenied
 			jr.WastedSpend = jrep.WastedSpend
 			for _, lr := range jrep.PerLambda {
 				if lr.Cold {
@@ -626,6 +747,10 @@ func runSequential(cfg Config, src sim.Source, input func(int) *tensor.Tensor, s
 				jr.Outcome = OutcomeDeadline
 				h.deadline.Inc(1)
 				h.tsDeadline.Inc(now, 1)
+			} else if coordinator.IsBudgetExhausted(err) {
+				jr.Outcome = OutcomeBudgetExhausted
+				h.budgetExhausted.Inc(1)
+				h.tsBudgetExhausted.Inc(now, 1)
 			} else {
 				h.failures.Inc(1)
 				h.tsFailures.Inc(now, 1)
@@ -656,7 +781,7 @@ func runSequential(cfg Config, src sim.Source, input func(int) *tensor.Tensor, s
 			if stream {
 				acc.fold(rep, jr)
 				if jrep != nil {
-					dep.ReleaseReport(jrep)
+					cur.ReleaseReport(jrep)
 				}
 			}
 			slab.Free(id)
@@ -702,7 +827,7 @@ func runSequential(cfg Config, src sim.Source, input func(int) *tensor.Tensor, s
 		h.tsCost.Add(jr.Done, jr.Cost)
 		if stream {
 			acc.fold(rep, jr)
-			dep.ReleaseReport(jrep)
+			cur.ReleaseReport(jrep)
 		}
 		slab.Free(id)
 	}
@@ -715,7 +840,24 @@ func runSequential(cfg Config, src sim.Source, input func(int) *tensor.Tensor, s
 	cfg.Series.Advance(rep.Makespan)
 	cfg.Series.Flush()
 	mx.Gauge("serving_peak_in_flight", float64(rep.PeakInFlight))
+	finishBrownout(ctl, rep, mx, dep, fallback)
 	return rep, nil
+}
+
+// finishBrownout records the controller's run totals and restores the
+// deployments' hedging state so the next run on them starts healthy.
+func finishBrownout(ctl *brownoutCtl, rep *Report, mx *obs.Metrics,
+	dep, fallback *coordinator.Deployment) {
+	if ctl == nil {
+		return
+	}
+	rep.BrownoutDeepest = ctl.deepest
+	rep.BrownoutTransitions = ctl.transitions
+	mx.Gauge("serving_brownout_level", float64(ctl.level))
+	dep.SetHedgingDisabled(false)
+	if fallback != nil {
+		fallback.SetHedgingDisabled(false)
+	}
 }
 
 // backoff draws the equal-jitter wait before re-admission attempt n
@@ -807,6 +949,7 @@ func (a *summaryAcc) fold(rep *Report, jr *JobResult) {
 	rep.Hedges += jr.Hedges
 	rep.HedgeWins += jr.HedgeWins
 	rep.ShortCircuits += jr.ShortCircuits
+	rep.BudgetDenied += jr.BudgetDenied
 	switch jr.Outcome {
 	case OutcomeShed:
 		rep.Shed++
@@ -816,6 +959,8 @@ func (a *summaryAcc) fold(rep *Report, jr *JobResult) {
 		rep.Throttled++
 	case OutcomeFailed:
 		rep.Failed++
+	case OutcomeBudgetExhausted:
+		rep.BudgetExhausted++
 	default: // "" (legacy) or OutcomeOK
 		rep.Completed++
 		a.lats = append(a.lats, jr.Latency)
@@ -910,5 +1055,14 @@ func (r *Report) writeSummary(b *strings.Builder) {
 	if r.Hedges > 0 || r.ShortCircuits > 0 {
 		fmt.Fprintf(b, "  hedges %d (wins %d), breaker short-circuits %d\n",
 			r.Hedges, r.HedgeWins, r.ShortCircuits)
+	}
+	if r.BudgetDenied > 0 || r.BudgetExhausted > 0 {
+		fmt.Fprintf(b, "  retry budget: denied %d attempts, exhausted outcomes %d\n",
+			r.BudgetDenied, r.BudgetExhausted)
+	}
+	if r.BrownoutTransitions > 0 || r.BrownoutShed > 0 || r.FallbackServed > 0 {
+		fmt.Fprintf(b, "  brownout: transitions %d, deepest %s, shed %d, fallback served %d\n",
+			r.BrownoutTransitions, BrownoutLevelName(r.BrownoutDeepest),
+			r.BrownoutShed, r.FallbackServed)
 	}
 }

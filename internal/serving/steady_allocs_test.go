@@ -20,6 +20,9 @@ func TestServeStreamSteadyStateAllocs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("allocation counting is slow")
 	}
+	if raceEnabled {
+		t.Skip("race instrumentation defeats escape analysis; alloc counts are only meaningful in production builds")
+	}
 	measure := func(n int) float64 {
 		e := deployWide(t, 16)
 		e.pl.SetAccountConcurrency(256)

@@ -46,6 +46,21 @@ func ServeStream(cfg Config, src sim.Source, input func(int) *tensor.Tensor) (*R
 	if err := cfg.Batch.Validate(); err != nil {
 		return nil, fmt.Errorf("serving: %w", err)
 	}
+	if err := cfg.Brownout.Validate(); err != nil {
+		return nil, fmt.Errorf("serving: %w", err)
+	}
+	if cfg.Brownout.enabled() && cfg.Series == nil {
+		return nil, fmt.Errorf("serving: brownout needs a time series to observe")
+	}
+	if fb := cfg.Fallback; fb != nil {
+		if fb.Platform() != cfg.Deployment.Platform() {
+			return nil, fmt.Errorf("serving: fallback deployment must share the primary's platform")
+		}
+		if fb.Partitions() != cfg.Deployment.Partitions() {
+			return nil, fmt.Errorf("serving: fallback has %d partitions, primary %d",
+				fb.Partitions(), cfg.Deployment.Partitions())
+		}
+	}
 	if cfg.Pipeline.enabled() || cfg.Batch.enabled() {
 		return runPipelined(cfg, src, input, true)
 	}
